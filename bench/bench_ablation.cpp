@@ -1,0 +1,211 @@
+// Ablation studies for the design choices DESIGN.md calls out —
+// extensions the paper discusses but does not evaluate:
+//
+//  A. Basis polynomial x step size: the paper uses the monomial basis
+//     and argues a conservative s = 5 is forced by MPK conditioning;
+//     Newton/Chebyshev bases (paper ref [1]) extend the stable range.
+//     We sweep s with each basis and report breakdowns/orthogonality.
+//  B. Mixed-precision (double-double) Gram accumulation (paper refs
+//     [26], [27]): extends the stable kappa range of CholQR-family
+//     algorithms at a local-compute premium, without extra
+//     communication.
+//  C. Breakdown policy: throw vs shifted retry (Fukaya et al. [11])
+//     when condition (5)/(9) is deliberately violated.
+//
+//   bench_ablation [--nx=96] [--ranks=4]
+
+#include "bench_common.hpp"
+
+#include "dense/svd.hpp"
+#include "ortho/intra.hpp"
+#include "ortho/randomized.hpp"
+#include "sparse/generators.hpp"
+#include "synth/synthetic.hpp"
+#include "util/timer.hpp"
+
+#include <cstdio>
+
+namespace {
+
+using namespace tsbo;
+using namespace tsbo::bench;
+
+void ablation_basis_times_s(const util::Cli& cli) {
+  const int nx = cli.get_int("nx", 96);
+  const int ranks = cli.get_int("ranks", 4);
+  const auto a = sparse::laplace2d_5pt(nx, nx);
+  const auto b = ones_rhs(a);
+
+  std::printf(
+      "## Ablation A: basis polynomial x step size (two-stage, bs = m, "
+      "2-D Laplace n=%dx%d, run to rtol 1e-6)\n"
+      "## expected: monomial degrades as s grows (shift retries, extra "
+      "iterations); Newton/Chebyshev stay clean\n\n",
+      nx, nx);
+
+  util::Table table({"basis", "s", "iters", "converged", "true relres",
+                     "breakdowns", "shift retries"});
+  for (const auto basis :
+       {krylov::BasisKind::kMonomial, krylov::BasisKind::kNewton,
+        krylov::BasisKind::kChebyshev}) {
+    const char* name = basis == krylov::BasisKind::kMonomial ? "monomial"
+                       : basis == krylov::BasisKind::kNewton ? "newton"
+                                                             : "chebyshev";
+    for (const int s : {5, 10, 20}) {
+      krylov::SolveResult out;
+      par::spmd_run(ranks, [&](par::Communicator& comm) {
+        const sparse::RowPartition part(a.rows, comm.size());
+        const sparse::DistCsr dist(a, part, comm.rank());
+        const auto begin = static_cast<std::size_t>(part.begin(comm.rank()));
+        const auto nloc = static_cast<std::size_t>(dist.n_local());
+        std::vector<double> x(nloc, 0.0);
+        krylov::SStepGmresConfig cfg;
+        cfg.scheme = krylov::OrthoScheme::kTwoStage;
+        cfg.s = s;
+        cfg.bs = 60;
+        cfg.basis = basis;
+        cfg.lambda_min = 0.01;
+        cfg.lambda_max = 8.0;  // 5-pt Laplace spectrum
+        cfg.rtol = 1e-6;
+        cfg.max_restarts = 200;
+        const auto r = krylov::sstep_gmres(
+            comm, dist, nullptr,
+            std::span<const double>(b.data() + begin, nloc), x, cfg);
+        if (comm.rank() == 0) out = r;
+      });
+      table.row()
+          .add(name)
+          .add(s)
+          .add(out.iters)
+          .add(out.converged ? "yes" : "no")
+          .add(util::sci(out.true_relres))
+          .add(out.cholesky_breakdowns)
+          .add(out.shift_retries);
+    }
+  }
+  table.print();
+}
+
+void ablation_mixed_precision() {
+  std::printf(
+      "\n## Ablation B: double-double Gram accumulation in CholQR2 "
+      "(shift-retry policy, 5 seeds, worst case reported)\n"
+      "## expected: near the eps^-1/2 cliff the dd Gram needs fewer "
+      "shifted retries and reaches better orthogonality, at ~5-10x "
+      "local Gram cost; far past the cliff both need shifts (the Gram "
+      "is rounded back to double before Cholesky)\n\n");
+
+  util::Table table({"kappa", "plain max err", "plain retries",
+                     "plain time ms", "dd max err", "dd retries",
+                     "dd time ms"});
+  const dense::index_t n = 50000, s = 5;
+  for (const double kappa : {1e4, 1e7, 5e7, 1e8, 1e11}) {
+    table.row().add(util::sci(kappa, 0));
+    for (const bool dd : {false, true}) {
+      double max_err = 0.0, ms = 0.0;
+      int retries = 0;
+      for (std::uint64_t seed = 0; seed < 5; ++seed) {
+        dense::Matrix v = synth::logscaled(n, s, kappa, seed);
+        dense::Matrix r(s, s);
+        ortho::OrthoContext ctx;
+        ctx.mixed_precision_gram = dd;
+        ctx.policy = ortho::BreakdownPolicy::kShift;
+        util::WallTimer t;
+        ortho::cholqr2(ctx, v.view(), r.view());
+        ms += 1e3 * t.seconds();
+        max_err = std::max(max_err, dense::orthogonality_error(v.view()));
+        retries += ctx.shift_retries;
+      }
+      table.add(util::sci(max_err)).add(retries).add(ms / 5.0, 2);
+    }
+  }
+  table.print();
+}
+
+void ablation_breakdown_policy() {
+  std::printf(
+      "\n## Ablation C: breakdown policy on condition-(5)-violating "
+      "panels (kappa = 1e12 logscaled, 10 seeds)\n"
+      "## expected: kThrow raises CholeskyBreakdown on the seeds whose "
+      "Gram pivots go non-positive; kShift completes every seed\n\n");
+  util::Table table({"policy", "completed", "exceptions", "shift retries",
+                     "worst err (completed)"});
+  for (const auto policy :
+       {ortho::BreakdownPolicy::kThrow, ortho::BreakdownPolicy::kShift}) {
+    int completed = 0, exceptions = 0, retries = 0;
+    double worst = 0.0;
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      dense::Matrix v = synth::logscaled(30000, 5, 1e12, seed);
+      dense::Matrix r(5, 5);
+      ortho::OrthoContext ctx;
+      ctx.policy = policy;
+      try {
+        ortho::cholqr2(ctx, v.view(), r.view());
+        ++completed;
+        retries += ctx.shift_retries;
+        worst = std::max(worst, dense::orthogonality_error(v.view()));
+      } catch (const ortho::CholeskyBreakdown&) {
+        ++exceptions;
+      }
+    }
+    table.row()
+        .add(policy == ortho::BreakdownPolicy::kThrow ? "throw" : "shift")
+        .add(completed)
+        .add(exceptions)
+        .add(retries)
+        .add(completed ? util::sci(worst) : "-");
+  }
+  table.print();
+}
+
+void ablation_randomized() {
+  std::printf(
+      "\n## Ablation D: randomized (sketched) CholQR — the paper's "
+      "Section IX future-work direction [3]\n"
+      "## expected: stable O(eps) orthogonality far past CholQR2's "
+      "eps^-1/2 cliff, with 2 reduces (vs shifted CholQR3's 3)\n\n");
+  util::Table table({"kappa", "CholQR2", "sCholQR3", "randomized",
+                     "rand time ms"});
+  const dense::index_t n = 50000, s = 5;
+  for (const double kappa : {1e4, 1e8, 1e10, 1e13}) {
+    table.row().add(util::sci(kappa, 0));
+    const dense::Matrix v0 = synth::logscaled(n, s, kappa, 5);
+    auto try_algo = [&](auto&& fn) -> std::string {
+      dense::Matrix v = dense::copy_of(v0.view());
+      dense::Matrix r(s, s);
+      ortho::OrthoContext ctx;
+      ctx.policy = ortho::BreakdownPolicy::kThrow;
+      try {
+        fn(ctx, v.view(), r.view());
+        return util::sci(dense::orthogonality_error(v.view()));
+      } catch (const ortho::CholeskyBreakdown&) {
+        return "breakdown";
+      }
+    };
+    table.add(try_algo([](ortho::OrthoContext& c, dense::MatrixView v,
+                          dense::MatrixView r) { ortho::cholqr2(c, v, r); }));
+    table.add(try_algo([](ortho::OrthoContext& c, dense::MatrixView v,
+                          dense::MatrixView r) {
+      ortho::shifted_cholqr3(c, v, r);
+    }));
+    util::WallTimer t;
+    table.add(try_algo([](ortho::OrthoContext& c, dense::MatrixView v,
+                          dense::MatrixView r) {
+      ortho::randomized_cholqr(c, v, r, 0);
+    }));
+    table.add(1e3 * t.seconds(), 2);
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  std::printf("# Ablations: paper-discussed extensions (not in its tables)\n\n");
+  ablation_basis_times_s(cli);
+  ablation_mixed_precision();
+  ablation_breakdown_policy();
+  ablation_randomized();
+  return 0;
+}

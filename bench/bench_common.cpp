@@ -1,0 +1,68 @@
+#include "bench_common.hpp"
+
+#include "precond/gauss_seidel.hpp"
+
+#include <memory>
+#include <mutex>
+
+namespace tsbo::bench {
+
+krylov::SolveResult run_distributed(const sparse::CsrMatrix& a,
+                                    const std::vector<double>& b,
+                                    const RunSpec& spec) {
+  krylov::SolveResult out;
+  std::mutex merge_mutex;
+  util::PhaseTimers merged;
+
+  par::spmd_run(spec.ranks, spec.model, [&](par::Communicator& comm) {
+    const sparse::RowPartition part(a.rows, comm.size());
+    const sparse::DistCsr dist(a, part, comm.rank());
+    const auto begin = static_cast<std::size_t>(part.begin(comm.rank()));
+    const auto nloc = static_cast<std::size_t>(dist.n_local());
+    std::vector<double> x(nloc, 0.0);
+    std::span<const double> b_local(b.data() + begin, nloc);
+
+    std::unique_ptr<precond::Preconditioner> prec;
+    if (spec.gauss_seidel) {
+      prec = std::make_unique<precond::MulticolorGaussSeidel>(dist);
+    }
+
+    krylov::SolveResult res;
+    if (spec.scheme < 0) {
+      krylov::GmresConfig cfg;
+      cfg.m = spec.m;
+      cfg.rtol = spec.rtol;
+      cfg.max_restarts = spec.max_restarts;
+      res = krylov::gmres(comm, dist, prec.get(), b_local, x, cfg);
+    } else {
+      krylov::SStepGmresConfig cfg;
+      cfg.m = spec.m;
+      cfg.s = spec.s;
+      cfg.bs = spec.bs;
+      cfg.scheme = static_cast<krylov::OrthoScheme>(spec.scheme);
+      cfg.rtol = spec.rtol;
+      cfg.max_restarts = spec.max_restarts;
+      res = krylov::sstep_gmres(comm, dist, prec.get(), b_local, x, cfg);
+    }
+
+    std::lock_guard lock(merge_mutex);
+    merged.merge_max(res.timers);
+    if (comm.rank() == 0) out = res;
+  });
+
+  out.timers = merged;
+  return out;
+}
+
+OrthoBreakdown breakdown_of(const krylov::SolveResult& r) {
+  OrthoBreakdown b;
+  b.dot = r.timers.seconds("ortho/dot");
+  b.reduce = r.timers.seconds("ortho/reduce");
+  b.update = r.timers.seconds("ortho/update");
+  b.factor = r.timers.seconds("ortho/chol") + r.timers.seconds("ortho/trsm") +
+             r.timers.seconds("ortho/hhqr");
+  b.small = r.timers.seconds("ortho/small");
+  return b;
+}
+
+}  // namespace tsbo::bench

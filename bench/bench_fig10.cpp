@@ -1,0 +1,75 @@
+// Reproduces paper Fig. 10: orthogonalization time breakdown of
+// BCGS2 + CholQR2 (the original s-step GMRES) vs rank count, for the
+// 2-D Laplace problem — absolute seconds and fraction of ortho time.
+//
+// Expected shape: as ranks grow, the "dot-products + global reduce"
+// share grows and dominates (the global reduces appear in both BCGS2
+// and CholQR), while vector updates shrink with the local row count.
+//
+//   bench_fig10 [--nx=512] [--ranks=1,2,4,8,16] [--restarts=2] [--net=cluster]
+
+#include "bench_common.hpp"
+
+#include "sparse/generators.hpp"
+
+#include <cstdio>
+
+namespace tsbo::bench {
+
+/// Shared driver for Figs. 10-12: one scheme, rank sweep, breakdown.
+inline int run_breakdown_figure(int argc, char** argv, const char* figure,
+                                int scheme, const char* scheme_name) {
+  util::Cli cli(argc, argv);
+  const int nx = cli.get_int("nx", 192);
+  const std::vector<int> rank_list =
+      cli.get_int_list("ranks", {1, 2, 4, 8, 16});
+  const int restarts = cli.get_int("restarts", 2);
+
+  const auto a = sparse::laplace2d_5pt(nx, nx);
+  const auto b = ones_rhs(a);
+
+  std::printf(
+      "# %s reproduction: ortho time breakdown of %s, 2-D Laplace "
+      "n=%dx%d, %d restarts\n"
+      "# expected shape: reduce (global all-reduce) share grows with "
+      "ranks; update/dot shares shrink\n\n",
+      figure, scheme_name, nx, nx, restarts);
+
+  util::Table table({"ranks", "dot s", "reduce s", "update s", "factor s",
+                     "small s", "dot %", "reduce %", "update %", "factor %"});
+
+  for (const int p : rank_list) {
+    RunSpec spec;
+    spec.ranks = p;
+    spec.model = model_from_cli(cli);
+    spec.max_restarts = restarts;
+    spec.scheme = scheme;
+    const auto r = run_distributed(a, b, spec);
+    const OrthoBreakdown bd = breakdown_of(r);
+    const double tot = bd.total() > 0 ? bd.total() : 1.0;
+    table.row()
+        .add(p)
+        .add(bd.dot, 3)
+        .add(bd.reduce, 3)
+        .add(bd.update, 3)
+        .add(bd.factor, 3)
+        .add(bd.small, 3)
+        .add(100.0 * bd.dot / tot, 1)
+        .add(100.0 * bd.reduce / tot, 1)
+        .add(100.0 * bd.update / tot, 1)
+        .add(100.0 * bd.factor / tot, 1);
+  }
+  table.print();
+  return 0;
+}
+
+}  // namespace tsbo::bench
+
+#ifndef TSBO_BREAKDOWN_NO_MAIN
+int main(int argc, char** argv) {
+  using namespace tsbo;
+  return bench::run_breakdown_figure(
+      argc, argv, "Fig. 10",
+      static_cast<int>(krylov::OrthoScheme::kBcgs2CholQr2), "BCGS2+CholQR2");
+}
+#endif

@@ -1,0 +1,15 @@
+// Reproduces paper Fig. 11: orthogonalization time breakdown of
+// BCGS-PIP2 vs rank count (see bench_fig10.cpp for the shared driver
+// and the expected shape; PIP2 cuts the reduce count from 5 to 2 per
+// panel, so its reduce share is visibly smaller than Fig. 10's).
+
+#define TSBO_BREAKDOWN_NO_MAIN
+#include "bench_fig10.cpp"
+#undef TSBO_BREAKDOWN_NO_MAIN
+
+int main(int argc, char** argv) {
+  using namespace tsbo;
+  return bench::run_breakdown_figure(
+      argc, argv, "Fig. 11", static_cast<int>(krylov::OrthoScheme::kBcgsPip2),
+      "BCGS-PIP2");
+}

@@ -1,0 +1,15 @@
+// Reproduces paper Fig. 12: orthogonalization time breakdown of the
+// two-stage approach with bs = m (see bench_fig10.cpp for the shared
+// driver).  Expected: the smallest reduce share of the three
+// breakdown figures — one reduce per panel plus one per big panel.
+
+#define TSBO_BREAKDOWN_NO_MAIN
+#include "bench_fig10.cpp"
+#undef TSBO_BREAKDOWN_NO_MAIN
+
+int main(int argc, char** argv) {
+  using namespace tsbo;
+  return bench::run_breakdown_figure(
+      argc, argv, "Fig. 12", static_cast<int>(krylov::OrthoScheme::kTwoStage),
+      "two-stage (bs=m)");
+}

@@ -1,0 +1,136 @@
+// Supporting micro-kernel benchmarks (google-benchmark).
+//
+// These quantify the two local-performance effects the paper's
+// argument rests on:
+//   1. BLAS-3 block inner products reuse the streamed panel: the fused
+//      Gram [Q,V]^T V at block size bs = 60 sustains far higher
+//      throughput than 60 BLAS-1 dots or s = 5 panels (why the second
+//      stage runs at block size bs).
+//   2. CholQR's factor+TRSM cost is trivial next to HHQR's
+//      reflector-by-reflector sweeps (why BCGS2 uses CholQR2).
+// Plus SpMV throughput for context.
+
+#include "dense/blas1.hpp"
+#include "dense/blas3.hpp"
+#include "ortho/intra.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/spmv.hpp"
+#include "synth/synthetic.hpp"
+#include "util/random.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+namespace {
+
+using namespace tsbo;
+using dense::index_t;
+using dense::Matrix;
+
+Matrix random_matrix(index_t rows, index_t cols, std::uint64_t seed) {
+  Matrix m(rows, cols);
+  util::Xoshiro256 rng(seed);
+  util::fill_normal(rng, m.data());
+  return m;
+}
+
+/// Block dot product C = A^T B at varying block size: the data-reuse
+/// story behind the two-stage second stage.
+void BM_BlockDot(benchmark::State& state) {
+  const index_t n = 1 << 18;
+  const auto cols = static_cast<index_t>(state.range(0));
+  const Matrix a = random_matrix(n, cols, 1);
+  const Matrix b = random_matrix(n, cols, 2);
+  Matrix c(cols, cols);
+  for (auto _ : state) {
+    dense::gemm_tn(1.0, a.view(), b.view(), 0.0, c.view());
+    benchmark::DoNotOptimize(c.col(0));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * static_cast<long>(n) *
+                          cols * cols);
+}
+BENCHMARK(BM_BlockDot)->Arg(1)->Arg(5)->Arg(20)->Arg(60)->Unit(benchmark::kMillisecond);
+
+/// The same work done as independent BLAS-1 dots (standard GMRES).
+void BM_ColumnwiseDots(benchmark::State& state) {
+  const index_t n = 1 << 18;
+  const auto cols = static_cast<index_t>(state.range(0));
+  const Matrix a = random_matrix(n, cols, 3);
+  const Matrix b = random_matrix(n, cols, 4);
+  std::vector<double> out(static_cast<std::size_t>(cols) * cols);
+  for (auto _ : state) {
+    for (index_t i = 0; i < cols; ++i) {
+      for (index_t j = 0; j < cols; ++j) {
+        out[static_cast<std::size_t>(i) * cols + j] = dense::dot(
+            std::span<const double>(a.col(i), static_cast<std::size_t>(n)),
+            std::span<const double>(b.col(j), static_cast<std::size_t>(n)));
+      }
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * static_cast<long>(n) *
+                          cols * cols);
+}
+BENCHMARK(BM_ColumnwiseDots)->Arg(5)->Arg(20)->Unit(benchmark::kMillisecond);
+
+/// Panel update V -= Q R at growing basis width.
+void BM_BlockUpdate(benchmark::State& state) {
+  const index_t n = 1 << 18;
+  const auto q = static_cast<index_t>(state.range(0));
+  const Matrix qm = random_matrix(n, q, 5);
+  const Matrix r = random_matrix(q, 5, 6);
+  Matrix v = random_matrix(n, 5, 7);
+  for (auto _ : state) {
+    dense::gemm_nn(-1.0, qm.view(), r.view(), 1.0, v.view());
+    benchmark::DoNotOptimize(v.col(0));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * static_cast<long>(n) * q * 5);
+}
+BENCHMARK(BM_BlockUpdate)->Arg(5)->Arg(30)->Arg(60)->Unit(benchmark::kMillisecond);
+
+/// CholQR vs HHQR on the same panel (single rank).
+void BM_CholQR(benchmark::State& state) {
+  const index_t n = 1 << 17;
+  const auto s = static_cast<index_t>(state.range(0));
+  const Matrix v0 = synth::logscaled(n, s, 100.0, 8);
+  for (auto _ : state) {
+    Matrix v = dense::copy_of(v0.view());
+    Matrix r(s, s);
+    ortho::OrthoContext ctx;
+    ortho::cholqr(ctx, v.view(), r.view());
+    benchmark::DoNotOptimize(v.col(0));
+  }
+}
+BENCHMARK(BM_CholQR)->Arg(5)->Arg(20)->Arg(60)->Unit(benchmark::kMillisecond);
+
+void BM_HHQR(benchmark::State& state) {
+  const index_t n = 1 << 17;
+  const auto s = static_cast<index_t>(state.range(0));
+  const Matrix v0 = synth::logscaled(n, s, 100.0, 9);
+  for (auto _ : state) {
+    Matrix v = dense::copy_of(v0.view());
+    Matrix r(s, s);
+    ortho::OrthoContext ctx;
+    ortho::hhqr(ctx, v.view(), r.view());
+    benchmark::DoNotOptimize(v.col(0));
+  }
+}
+BENCHMARK(BM_HHQR)->Arg(5)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_SpMV(benchmark::State& state) {
+  const auto nx = static_cast<sparse::ord>(state.range(0));
+  const auto a = sparse::laplace2d_9pt(nx, nx);
+  std::vector<double> x(static_cast<std::size_t>(a.rows), 1.0);
+  std::vector<double> y(static_cast<std::size_t>(a.rows));
+  for (auto _ : state) {
+    sparse::spmv(a, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * a.nnz());
+}
+BENCHMARK(BM_SpMV)->Arg(128)->Arg(512)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Reproduces paper Table III: strong scaling of the four solvers on the
+// 9-pt 2-D Laplace problem.
+//
+// Paper: n = 2000^2, 1..32 Summit nodes x 6 GPUs (up to 192 ranks),
+// run to convergence.  Here: shrunk grid, rank counts the host can run
+// un-oversubscribed, cluster network model, fixed restart budget.
+// Expected shape (per rank count):
+//   Ortho(GMRES+CGS2) > Ortho(BCGS2+CholQR2) > Ortho(BCGS-PIP2)
+//                     > Ortho(two-stage, bs=m),
+// with the s-step-over-GMRES and two-stage-over-GMRES speedup factors
+// *growing* with the rank count (communication-bound regime).
+//
+//   bench_table03 [--nx=512] [--ranks=1,2,4,8,16] [--restarts=2] [--net=cluster]
+
+#include "bench_common.hpp"
+
+#include "sparse/generators.hpp"
+
+#include <cstdio>
+
+int main(int argc, char** argv) {
+  using namespace tsbo;
+  using namespace tsbo::bench;
+  util::Cli cli(argc, argv);
+  const int nx = cli.get_int("nx", 192);
+  const std::vector<int> rank_list =
+      cli.get_int_list("ranks", {1, 2, 4, 8, 16});
+  const int restarts = cli.get_int("restarts", 2);
+
+  const auto a = sparse::laplace2d_9pt(nx, nx);
+  const auto b = ones_rhs(a);
+
+  std::printf(
+      "# Table III reproduction: strong scaling, 2-D Laplace 9-pt "
+      "n=%dx%d, %d restarts (%ld iters), net model injects fabric "
+      "latency\n"
+      "# expected shape: ortho ordering CGS2 > BCGS2 > PIP2 > two-stage;"
+      " speedups over GMRES grow with ranks\n\n",
+      nx, nx, restarts, 60L * restarts);
+
+  struct Algo {
+    const char* name;
+    int scheme;
+  };
+  const Algo algos[] = {
+      {"GMRES+CGS2", -1},
+      {"s-step BCGS2", static_cast<int>(krylov::OrthoScheme::kBcgs2CholQr2)},
+      {"s-step PIP2", static_cast<int>(krylov::OrthoScheme::kBcgsPip2)},
+      {"two-stage bs=m", static_cast<int>(krylov::OrthoScheme::kTwoStage)},
+  };
+
+  util::Table table({"ranks", "solver", "SpMV", "Ortho", "Total",
+                     "ortho speedup", "total speedup", "allreduces"});
+
+  for (const int p : rank_list) {
+    RunSpec spec;
+    spec.ranks = p;
+    spec.model = model_from_cli(cli);
+    spec.max_restarts = restarts;
+
+    double base_ortho = 0.0, base_total = 0.0;
+    for (const Algo& algo : algos) {
+      spec.scheme = algo.scheme;
+      const auto r = run_distributed(a, b, spec);
+      if (algo.scheme == -1) {
+        base_ortho = r.time_ortho();
+        base_total = r.time_total();
+      }
+      table.row()
+          .add(p)
+          .add(algo.name)
+          .add(r.time_spmv(), 3)
+          .add(r.time_ortho(), 3)
+          .add(r.time_total(), 3)
+          .add(util::speedup_str(base_ortho, r.time_ortho()))
+          .add(util::speedup_str(base_total, r.time_total()))
+          .add(static_cast<long>(r.comm_stats.allreduces));
+    }
+    table.separator();
+  }
+  table.print();
+  return 0;
+}

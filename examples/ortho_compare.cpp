@@ -1,0 +1,111 @@
+// Compares every block-orthogonalization scheme in the library on
+// synthetic matrices of controlled conditioning: the numerical story of
+// the paper (Sections IV-VI) in one runnable program.
+//
+//   ./example_ortho_compare [--n=20000] [--panels=6] [--s=5] [--kappa=1e7]
+
+#include "dense/svd.hpp"
+#include "ortho/block_gs.hpp"
+#include "ortho/intra.hpp"
+#include "ortho/manager.hpp"
+#include "synth/synthetic.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+#include <cstdio>
+#include <functional>
+
+int main(int argc, char** argv) {
+  using namespace tsbo;
+  using dense::index_t;
+  using dense::Matrix;
+
+  util::Cli cli(argc, argv);
+  const auto n = static_cast<index_t>(cli.get_int("n", 20000));
+  const int panels = cli.get_int("panels", 6);
+  const auto s = static_cast<index_t>(cli.get_int("s", 5));
+  const double kappa = cli.get_double("kappa", 1e7);
+
+  synth::GluedSpec spec;
+  spec.n = n;
+  spec.panels = panels;
+  spec.panel_cols = s;
+  spec.kappa_panel = kappa;
+  const Matrix v0 = synth::glued(spec, 42);
+
+  std::printf(
+      "Block orthogonalization on a glued %d x %d matrix "
+      "(%d panels of %d, panel kappa = %.0e)\n\n",
+      n, panels * s, panels, s, kappa);
+
+  using Algo = std::function<void(ortho::OrthoContext&, dense::ConstMatrixView,
+                                  dense::MatrixView, dense::MatrixView,
+                                  dense::MatrixView)>;
+  struct Row {
+    const char* name;
+    Algo algo;
+    const char* syncs;
+  };
+  const Row rows[] = {
+      {"BCGS (single pass)",
+       [](ortho::OrthoContext& c, dense::ConstMatrixView q, dense::MatrixView v,
+          dense::MatrixView rp, dense::MatrixView rd) {
+         ortho::bcgs_project(c, q, v, rp);
+         ortho::cholqr(c, v, rd);
+       },
+       "2"},
+      {"BCGS2 + CholQR2",
+       [](ortho::OrthoContext& c, dense::ConstMatrixView q, dense::MatrixView v,
+          dense::MatrixView rp, dense::MatrixView rd) {
+         ortho::bcgs2(c, q, v, rp, rd, ortho::IntraKind::kCholQR2);
+       },
+       "5"},
+      {"BCGS2 + HHQR",
+       [](ortho::OrthoContext& c, dense::ConstMatrixView q, dense::MatrixView v,
+          dense::MatrixView rp, dense::MatrixView rd) {
+         ortho::bcgs2(c, q, v, rp, rd, ortho::IntraKind::kHHQR);
+       },
+       "O(s)"},
+      {"BCGS-PIP",
+       [](ortho::OrthoContext& c, dense::ConstMatrixView q, dense::MatrixView v,
+          dense::MatrixView rp, dense::MatrixView rd) {
+         ortho::bcgs_pip(c, q, v, rp, rd);
+       },
+       "1"},
+      {"BCGS-PIP2",
+       [](ortho::OrthoContext& c, dense::ConstMatrixView q, dense::MatrixView v,
+          dense::MatrixView rp, dense::MatrixView rd) {
+         ortho::bcgs_pip2(c, q, v, rp, rd);
+       },
+       "2"},
+  };
+
+  util::Table table(
+      {"scheme", "syncs/panel", "||I - QtQ||", "kappa(Q)", "time ms"});
+  for (const Row& row : rows) {
+    Matrix q = dense::copy_of(v0.view());
+    Matrix r(v0.cols(), v0.cols());
+    ortho::OrthoContext ctx;
+    ctx.policy = ortho::BreakdownPolicy::kShift;
+    util::WallTimer timer;
+    for (index_t c0 = 0; c0 < v0.cols(); c0 += s) {
+      row.algo(ctx, q.view().columns(0, c0), q.view().columns(c0, s),
+               r.view().block(0, c0, c0, s), r.view().block(c0, c0, s, s));
+    }
+    const double ms = 1e3 * timer.seconds();
+    table.row()
+        .add(row.name)
+        .add(row.syncs)
+        .add(util::sci(dense::orthogonality_error(q.view())))
+        .add(util::sci(dense::cond_2(q.view())))
+        .add(ms, 2);
+  }
+  table.print();
+
+  std::printf(
+      "\nNote how the single-reduce schemes (PIP) match the accuracy of\n"
+      "the 5-reduce BCGS2+CholQR2 once re-orthogonalized (PIP2) — the\n"
+      "observation that motivates the paper's two-stage scheme.\n");
+  return 0;
+}

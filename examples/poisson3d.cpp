@@ -1,0 +1,91 @@
+// 3-D Poisson solve with preconditioner comparison: none / Jacobi /
+// multicolor Gauss-Seidel / Chebyshev, all under s-step GMRES with the
+// two-stage orthogonalization.  Demonstrates the preconditioner API
+// and the paper's point that local (communication-free) preconditioners
+// compose with s-step methods without extra synchronization.
+//
+//   ./example_poisson3d [--n=32] [--ranks=4] [--rtol=1e-8]
+
+#include "krylov/sstep_gmres.hpp"
+#include "par/spmd.hpp"
+#include "precond/chebyshev.hpp"
+#include "precond/gauss_seidel.hpp"
+#include "precond/jacobi.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/spmv.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+int main(int argc, char** argv) {
+  using namespace tsbo;
+  util::Cli cli(argc, argv);
+  const int side = cli.get_int("n", 32);
+  const int nranks = cli.get_int("ranks", 4);
+  const double rtol = cli.get_double("rtol", 1e-8);
+
+  const sparse::CsrMatrix a = sparse::laplace3d_7pt(side, side, side);
+  std::vector<double> x_star(static_cast<std::size_t>(a.rows), 1.0);
+  std::vector<double> b(static_cast<std::size_t>(a.rows), 0.0);
+  sparse::spmv(a, x_star, b);
+
+  std::printf("3-D Poisson %d^3 (n = %d), s-step GMRES + two-stage, %d ranks\n\n",
+              side, a.rows, nranks);
+
+  util::Table table({"preconditioner", "iters", "restarts", "true relres",
+                     "allreduces", "time s"});
+  std::mutex io;
+
+  for (const std::string kind : {"none", "jacobi", "mc-gs", "chebyshev"}) {
+    par::spmd_run(nranks, [&](par::Communicator& comm) {
+      const sparse::RowPartition part(a.rows, comm.size());
+      const sparse::DistCsr dist(a, part, comm.rank());
+      const auto begin = static_cast<std::size_t>(part.begin(comm.rank()));
+      const auto nloc = static_cast<std::size_t>(dist.n_local());
+
+      std::unique_ptr<precond::Preconditioner> m;
+      if (kind == "jacobi") {
+        m = std::make_unique<precond::Jacobi>(dist);
+      } else if (kind == "mc-gs") {
+        m = std::make_unique<precond::MulticolorGaussSeidel>(dist, 2);
+      } else if (kind == "chebyshev") {
+        // The 7-pt Laplacian spectrum is known analytically; give the
+        // polynomial the exact interval (of D^{-1}A) rather than the
+        // power-method estimate — Chebyshev is very sensitive to
+        // interval coverage at the low end.
+        const double c = std::cos(M_PI / (side + 1));
+        m = std::make_unique<precond::ChebyshevPolynomial>(
+            dist, 4, (1.0 - c), (1.0 + c));
+      }
+
+      std::vector<double> x(nloc, 0.0);
+      krylov::SStepGmresConfig cfg;
+      cfg.scheme = krylov::OrthoScheme::kTwoStage;
+      cfg.rtol = rtol;
+      const auto res = krylov::sstep_gmres(
+          comm, dist, m.get(),
+          std::span<const double>(b.data() + begin, nloc), x, cfg);
+
+      if (comm.rank() == 0) {
+        std::lock_guard lock(io);
+        table.row()
+            .add(kind)
+            .add(res.iters)
+            .add(res.restarts)
+            .add(util::sci(res.true_relres))
+            .add(static_cast<long>(res.comm_stats.allreduces))
+            .add(res.time_total(), 3);
+      }
+    });
+  }
+  table.print();
+  std::printf(
+      "\nAll preconditioners are rank-local (block Jacobi style): note the\n"
+      "all-reduce counts shrink with the iteration count, never grow with\n"
+      "preconditioner complexity.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Solves the SuiteSparse surrogate matrices (or a user-supplied
+// MatrixMarket file) with all four solver configurations, applying the
+// paper's column-then-row max-scaling first — the Table IV workflow as
+// a runnable example.
+//
+//   ./example_suitesparse_like [--matrix=ecology2] [--n=40000] [--ranks=4]
+//   ./example_suitesparse_like --file=/path/to/real_matrix.mtx
+
+#include "krylov/gmres.hpp"
+#include "krylov/sstep_gmres.hpp"
+#include "par/spmd.hpp"
+#include "sparse/mm_io.hpp"
+#include "sparse/scaling.hpp"
+#include "sparse/spmv.hpp"
+#include "sparse/suitesparse_like.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+int main(int argc, char** argv) {
+  using namespace tsbo;
+  util::Cli cli(argc, argv);
+  const int nranks = cli.get_int("ranks", 4);
+
+  sparse::CsrMatrix a;
+  std::string label;
+  if (cli.has("file")) {
+    label = cli.get("file", "");
+    a = sparse::read_matrix_market_file(label);
+  } else {
+    label = cli.get("matrix", "ecology2");
+    a = sparse::make_surrogate(label, static_cast<sparse::ord>(
+                                          cli.get_int("n", 40000)))
+            .matrix;
+  }
+  // The paper's Section VI equilibration (makes the matrix nonsymmetric).
+  sparse::equilibrate_max(a);
+
+  std::vector<double> x_star(static_cast<std::size_t>(a.rows), 1.0);
+  std::vector<double> b(static_cast<std::size_t>(a.rows), 0.0);
+  sparse::spmv(a, x_star, b);
+
+  std::printf("%s: n = %d, nnz/row = %.1f, max-scaled, %d ranks\n\n",
+              label.c_str(), a.rows, a.nnz_per_row(), nranks);
+
+  util::Table table(
+      {"solver", "iters", "converged", "true relres", "allreduces"});
+  std::mutex io;
+
+  struct Config {
+    const char* name;
+    int scheme;  // -1: standard GMRES
+  };
+  const Config configs[] = {
+      {"standard GMRES", -1},
+      {"s-step BCGS2", static_cast<int>(krylov::OrthoScheme::kBcgs2CholQr2)},
+      {"s-step BCGS-PIP2", static_cast<int>(krylov::OrthoScheme::kBcgsPip2)},
+      {"s-step two-stage", static_cast<int>(krylov::OrthoScheme::kTwoStage)},
+  };
+
+  for (const Config& config : configs) {
+    par::spmd_run(nranks, [&](par::Communicator& comm) {
+      const sparse::RowPartition part(a.rows, comm.size());
+      const sparse::DistCsr dist(a, part, comm.rank());
+      const auto begin = static_cast<std::size_t>(part.begin(comm.rank()));
+      const auto nloc = static_cast<std::size_t>(dist.n_local());
+      std::vector<double> x(nloc, 0.0);
+      std::span<const double> b_local(b.data() + begin, nloc);
+
+      krylov::SolveResult res;
+      if (config.scheme < 0) {
+        krylov::GmresConfig cfg;
+        cfg.rtol = 1e-6;
+        cfg.max_iters = 60000;
+        res = krylov::gmres(comm, dist, nullptr, b_local, x, cfg);
+      } else {
+        krylov::SStepGmresConfig cfg;
+        cfg.scheme = static_cast<krylov::OrthoScheme>(config.scheme);
+        cfg.rtol = 1e-6;
+        cfg.max_iters = 60000;
+        res = krylov::sstep_gmres(comm, dist, nullptr, b_local, x, cfg);
+      }
+      if (comm.rank() == 0) {
+        std::lock_guard lock(io);
+        table.row()
+            .add(config.name)
+            .add(res.iters)
+            .add(res.converged ? "yes" : "no")
+            .add(util::sci(res.true_relres))
+            .add(static_cast<long>(res.comm_stats.allreduces));
+      }
+    });
+  }
+  table.print();
+  std::printf(
+      "\nIteration counts differ only by the convergence-check granularity\n"
+      "(every step / every s steps / every bs steps) — the paper's Table\n"
+      "III rounding. All-reduce counts show the communication savings.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+#include "dense/blas1.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tsbo::dense {
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  // Four partial accumulators break the serial dependence chain and let
+  // the compiler vectorize; they also slightly improve rounding.
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t i = 0;
+  const std::size_t n4 = x.size() - x.size() % 4;
+  for (; i < n4; i += 4) {
+    s0 += x[i] * y[i];
+    s1 += x[i + 1] * y[i + 1];
+    s2 += x[i + 2] * y[i + 2];
+    s3 += x[i + 3] * y[i + 3];
+  }
+  for (; i < x.size(); ++i) s0 += x[i] * y[i];
+  return (s0 + s1) + (s2 + s3);
+}
+
+double nrm2(std::span<const double> x) {
+  // Two-pass scaled norm: cheap and robust for the magnitudes GMRES
+  // produces (Krylov vectors can overflow the naive sum of squares).
+  double m = amax(x);
+  if (m == 0.0 || !std::isfinite(m)) return m;
+  double s = 0.0;
+  const double inv = 1.0 / m;
+  for (double v : x) {
+    const double t = v * inv;
+    s += t * t;
+  }
+  return m * std::sqrt(s);
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scal(double alpha, std::span<double> x) {
+  for (double& v : x) v *= alpha;
+}
+
+void vcopy(std::span<const double> x, std::span<double> y) {
+  assert(x.size() == y.size());
+  std::copy(x.begin(), x.end(), y.begin());
+}
+
+double amax(std::span<const double> x) {
+  double m = 0.0;
+  for (double v : x) m = std::max(m, std::abs(v));
+  return m;
+}
+
+}  // namespace tsbo::dense

@@ -1,0 +1,30 @@
+#pragma once
+// BLAS-1 style vector kernels.
+//
+// These are the building blocks of the *standard* GMRES orthogonalization
+// path (the paper's performance baseline): dot products and axpys with
+// no data reuse, which is exactly why the block (BLAS-3) algorithms win.
+
+#include <span>
+
+namespace tsbo::dense {
+
+/// x . y
+double dot(std::span<const double> x, std::span<const double> y);
+
+/// ||x||_2 computed with scaling against overflow/underflow.
+double nrm2(std::span<const double> x);
+
+/// y += alpha * x
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x *= alpha
+void scal(double alpha, std::span<double> x);
+
+/// y = x
+void vcopy(std::span<const double> x, std::span<double> y);
+
+/// max_i |x_i|
+double amax(std::span<const double> x);
+
+}  // namespace tsbo::dense

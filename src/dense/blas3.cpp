@@ -1,0 +1,189 @@
+#include "dense/blas3.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tsbo::dense {
+
+namespace {
+// Row-block height: a 256 x ncols tile of the tall operand stays in L1/L2
+// while all columns of the small operand are applied to it.
+constexpr index_t kRowBlock = 256;
+}  // namespace
+
+void gemm_nn(double alpha, ConstMatrixView a, ConstMatrixView b, double beta,
+             MatrixView c) {
+  assert(a.rows == c.rows && a.cols == b.rows && b.cols == c.cols);
+  const index_t m = a.rows, k = a.cols, n = b.cols;
+  if (beta != 1.0) {
+    for (index_t j = 0; j < n; ++j) {
+      double* cj = c.col(j);
+      if (beta == 0.0) {
+        std::fill_n(cj, m, 0.0);
+      } else {
+        for (index_t i = 0; i < m; ++i) cj[i] *= beta;
+      }
+    }
+  }
+  if (alpha == 0.0 || k == 0) return;
+
+  for (index_t i0 = 0; i0 < m; i0 += kRowBlock) {
+    const index_t ib = std::min(kRowBlock, m - i0);
+    for (index_t j = 0; j < n; ++j) {
+      double* cj = c.col(j) + i0;
+      // Unroll the accumulation over pairs of inner columns: halves the
+      // number of passes over the C tile.
+      index_t l = 0;
+      for (; l + 1 < k; l += 2) {
+        const double b0 = alpha * b(l, j);
+        const double b1 = alpha * b(l + 1, j);
+        const double* a0 = a.col(l) + i0;
+        const double* a1 = a.col(l + 1) + i0;
+        for (index_t i = 0; i < ib; ++i) cj[i] += b0 * a0[i] + b1 * a1[i];
+      }
+      for (; l < k; ++l) {
+        const double b0 = alpha * b(l, j);
+        const double* a0 = a.col(l) + i0;
+        for (index_t i = 0; i < ib; ++i) cj[i] += b0 * a0[i];
+      }
+    }
+  }
+}
+
+void gemm_tn(double alpha, ConstMatrixView a, ConstMatrixView b, double beta,
+             MatrixView c) {
+  assert(a.cols == c.rows && a.rows == b.rows && b.cols == c.cols);
+  const index_t m = a.rows, p = a.cols, n = b.cols;
+  if (beta != 1.0) {
+    for (index_t j = 0; j < n; ++j) {
+      double* cj = c.col(j);
+      if (beta == 0.0) {
+        std::fill_n(cj, p, 0.0);
+      } else {
+        for (index_t i = 0; i < p; ++i) cj[i] *= beta;
+      }
+    }
+  }
+  if (alpha == 0.0 || m == 0) return;
+
+  for (index_t r0 = 0; r0 < m; r0 += kRowBlock) {
+    const index_t rb = std::min(kRowBlock, m - r0);
+    for (index_t j = 0; j < n; ++j) {
+      const double* bj = b.col(j) + r0;
+      double* cj = c.col(j);
+      index_t i = 0;
+      // Two output dot-products per pass share the streamed bj tile.
+      for (; i + 1 < p; i += 2) {
+        const double* a0 = a.col(i) + r0;
+        const double* a1 = a.col(i + 1) + r0;
+        double s0 = 0.0, s1 = 0.0;
+        for (index_t r = 0; r < rb; ++r) {
+          s0 += a0[r] * bj[r];
+          s1 += a1[r] * bj[r];
+        }
+        cj[i] += alpha * s0;
+        cj[i + 1] += alpha * s1;
+      }
+      for (; i < p; ++i) {
+        const double* a0 = a.col(i) + r0;
+        double s0 = 0.0;
+        for (index_t r = 0; r < rb; ++r) s0 += a0[r] * bj[r];
+        cj[i] += alpha * s0;
+      }
+    }
+  }
+}
+
+void gemm_nt(double alpha, ConstMatrixView a, ConstMatrixView b, double beta,
+             MatrixView c) {
+  assert(a.rows == c.rows && a.cols == b.cols && b.rows == c.cols);
+  const index_t m = a.rows, k = a.cols, n = b.rows;
+  if (beta != 1.0) {
+    for (index_t j = 0; j < n; ++j) {
+      double* cj = c.col(j);
+      if (beta == 0.0) {
+        std::fill_n(cj, m, 0.0);
+      } else {
+        for (index_t i = 0; i < m; ++i) cj[i] *= beta;
+      }
+    }
+  }
+  if (alpha == 0.0 || k == 0) return;
+  for (index_t j = 0; j < n; ++j) {
+    double* cj = c.col(j);
+    for (index_t l = 0; l < k; ++l) {
+      const double blj = alpha * b(j, l);
+      const double* al = a.col(l);
+      for (index_t i = 0; i < m; ++i) cj[i] += blj * al[i];
+    }
+  }
+}
+
+void trsm_right_upper(ConstMatrixView u, MatrixView b) {
+  assert(u.rows == u.cols && u.cols == b.cols);
+  const index_t n = b.rows, s = b.cols;
+  // Row-tiled: the i0-tile of all s columns stays in cache through the
+  // whole triangular sweep.  An untiled sweep re-streams the tall panel
+  // O(s) times, which dominates at the two-stage big-panel width.
+  for (index_t i0 = 0; i0 < n; i0 += kRowBlock) {
+    const index_t ib = std::min(kRowBlock, n - i0);
+    for (index_t j = 0; j < s; ++j) {
+      double* bj = b.col(j) + i0;
+      for (index_t l = 0; l < j; ++l) {
+        const double ulj = u(l, j);
+        if (ulj == 0.0) continue;
+        const double* bl = b.col(l) + i0;
+        for (index_t i = 0; i < ib; ++i) bj[i] -= ulj * bl[i];
+      }
+      const double inv = 1.0 / u(j, j);
+      for (index_t i = 0; i < ib; ++i) bj[i] *= inv;
+    }
+  }
+}
+
+void trmm_right_upper(ConstMatrixView u, MatrixView b) {
+  assert(u.rows == u.cols && u.cols == b.cols);
+  const index_t n = b.rows, s = b.cols;
+  // Row-tiled like trsm_right_upper; columns processed right-to-left
+  // within a tile so each source column is still unmodified when read.
+  for (index_t i0 = 0; i0 < n; i0 += kRowBlock) {
+    const index_t ib = std::min(kRowBlock, n - i0);
+    for (index_t j = s - 1; j >= 0; --j) {
+      double* bj = b.col(j) + i0;
+      const double ujj = u(j, j);
+      for (index_t i = 0; i < ib; ++i) bj[i] *= ujj;
+      for (index_t l = 0; l < j; ++l) {
+        const double ulj = u(l, j);
+        if (ulj == 0.0) continue;
+        const double* bl = b.col(l) + i0;
+        for (index_t i = 0; i < ib; ++i) bj[i] += ulj * bl[i];
+      }
+    }
+  }
+}
+
+void syrk_tn(ConstMatrixView a, MatrixView c) {
+  assert(c.rows == a.cols && c.cols == a.cols);
+  gemm_tn(1.0, a, a, 0.0, c);
+  // gemm_tn already fills the full square; symmetrize to kill rounding
+  // asymmetry so Cholesky sees an exactly symmetric Gram matrix.
+  for (index_t j = 0; j < c.cols; ++j) {
+    for (index_t i = 0; i < j; ++i) {
+      const double v = 0.5 * (c(i, j) + c(j, i));
+      c(i, j) = v;
+      c(j, i) = v;
+    }
+  }
+}
+
+double frobenius_norm(ConstMatrixView a) {
+  double s = 0.0;
+  for (index_t j = 0; j < a.cols; ++j) {
+    const double* col = a.col(j);
+    for (index_t i = 0; i < a.rows; ++i) s += col[i] * col[i];
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace tsbo::dense

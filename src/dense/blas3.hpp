@@ -1,0 +1,45 @@
+#pragma once
+// BLAS-3 style blocked kernels.
+//
+// These carry the paper's performance argument: block orthogonalization
+// (BCGS/CholQR/BCGS-PIP) spends its local flops in GEMM with a block
+// size of s+1 (one-stage) or bs+1 (two-stage second stage), and larger
+// block sizes mean more reuse of the streamed tall operand per pass.
+// The kernels below are row-blocked so that the panel tile stays in
+// cache while the tall matrix streams through once.
+
+#include "dense/matrix.hpp"
+
+namespace tsbo::dense {
+
+/// C = alpha * A * B + beta * C   (A: m x k, B: k x n, C: m x n)
+void gemm_nn(double alpha, ConstMatrixView a, ConstMatrixView b, double beta,
+             MatrixView c);
+
+/// C = alpha * A^T * B + beta * C   (A: m x k, B: m x n, C: k x n)
+///
+/// This is the "GEMM for dot-products" of the paper's Fig. 2: the block
+/// inner product Q^T V, and the fused Gram matrix [Q, V]^T V of
+/// BCGS-PIP.  A and B stream; C is tiny and accumulates in cache.
+void gemm_tn(double alpha, ConstMatrixView a, ConstMatrixView b, double beta,
+             MatrixView c);
+
+/// C = alpha * A * B^T + beta * C   (A: m x k, B: n x k, C: m x n)
+void gemm_nt(double alpha, ConstMatrixView a, ConstMatrixView b, double beta,
+             MatrixView c);
+
+/// B := B * U^{-1}  with U upper triangular (the "TRSM for normalize"
+/// of CholQR, paper Fig. 3a).  B is n x s tall-skinny.
+void trsm_right_upper(ConstMatrixView u, MatrixView b);
+
+/// B := B * U  (multiply on the right by upper triangular U).
+void trmm_right_upper(ConstMatrixView u, MatrixView b);
+
+/// C = A^T A (upper triangle filled, mirrored to lower) — the Gram
+/// matrix kernel of CholQR.
+void syrk_tn(ConstMatrixView a, MatrixView c);
+
+/// Frobenius norm of a view.
+double frobenius_norm(ConstMatrixView a);
+
+}  // namespace tsbo::dense

@@ -1,0 +1,53 @@
+#include "dense/cholesky.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace tsbo::dense {
+
+CholResult potrf_upper(MatrixView a) {
+  assert(a.rows == a.cols);
+  const index_t n = a.rows;
+  for (index_t j = 0; j < n; ++j) {
+    // d = a_jj - sum_k r_kj^2
+    double d = a(j, j);
+    const double* colj = a.col(j);
+    for (index_t k = 0; k < j; ++k) d -= colj[k] * colj[k];
+    if (!(d > 0.0) || !std::isfinite(d)) {
+      return {j + 1};
+    }
+    const double rjj = std::sqrt(d);
+    a(j, j) = rjj;
+    const double inv = 1.0 / rjj;
+    for (index_t c = j + 1; c < n; ++c) {
+      double s = a(j, c);
+      const double* colc = a.col(c);
+      for (index_t k = 0; k < j; ++k) s -= colj[k] * colc[k];
+      a(j, c) = s * inv;
+    }
+  }
+  // Zero the strict lower triangle so the output is exactly R.
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j + 1; i < n; ++i) a(i, j) = 0.0;
+  }
+  return {0};
+}
+
+CholResult potrf_upper_shifted(MatrixView a, double shift) {
+  assert(a.rows == a.cols);
+  for (index_t j = 0; j < a.cols; ++j) a(j, j) += shift;
+  return potrf_upper(a);
+}
+
+double one_norm(ConstMatrixView a) {
+  double best = 0.0;
+  for (index_t j = 0; j < a.cols; ++j) {
+    double s = 0.0;
+    const double* col = a.col(j);
+    for (index_t i = 0; i < a.rows; ++i) s += std::abs(col[i]);
+    best = s > best ? s : best;
+  }
+  return best;
+}
+
+}  // namespace tsbo::dense

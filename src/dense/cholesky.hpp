@@ -1,0 +1,35 @@
+#pragma once
+// Cholesky factorization with breakdown reporting.
+//
+// CholQR computes chol(V^T V); when kappa(V) exceeds ~eps^{-1/2} the
+// Gram matrix is numerically indefinite and the factorization *must*
+// fail loudly (paper condition (1)).  potrf therefore returns the pivot
+// index of the first non-positive diagonal instead of throwing, and the
+// orthogonalization layer chooses the recovery policy (hard error or
+// the shifted retry of Fukaya et al. [11]).
+
+#include "dense/matrix.hpp"
+
+namespace tsbo::dense {
+
+/// Result of a Cholesky factorization attempt.
+struct CholResult {
+  /// 0 on success; otherwise the 1-based index of the first pivot that
+  /// was not strictly positive (LAPACK `info` convention).
+  index_t info = 0;
+  [[nodiscard]] bool ok() const { return info == 0; }
+};
+
+/// In-place upper Cholesky: A = R^T R.  On exit the upper triangle of
+/// `a` holds R; the strict lower triangle is zeroed.  The diagonal of R
+/// is non-negative by construction.
+CholResult potrf_upper(MatrixView a);
+
+/// Shifted Cholesky: factors A + shift*I.  Used by shifted CholQR;
+/// the caller picks the shift (typically c * eps * ||A||).
+CholResult potrf_upper_shifted(MatrixView a, double shift);
+
+/// 1-norm of a square matrix (max column sum) — used to size shifts.
+double one_norm(ConstMatrixView a);
+
+}  // namespace tsbo::dense

@@ -1,0 +1,37 @@
+#include "dense/dd.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace tsbo::dense {
+
+double dot_dd(const double* x, const double* y, index_t n) {
+  dd acc;
+  for (index_t i = 0; i < n; ++i) {
+    const dd p = two_prod(x[i], y[i]);
+    dd_add(acc, p);
+  }
+  return dd_to_double(acc);
+}
+
+void gram_dd(ConstMatrixView a, MatrixView g) {
+  assert(g.rows == a.cols && g.cols == a.cols);
+  for (index_t j = 0; j < a.cols; ++j) {
+    for (index_t i = 0; i <= j; ++i) {
+      const double v = dot_dd(a.col(i), a.col(j), a.rows);
+      g(i, j) = v;
+      g(j, i) = v;
+    }
+  }
+}
+
+void gemm_tn_dd(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+  assert(c.rows == a.cols && c.cols == b.cols && a.rows == b.rows);
+  for (index_t j = 0; j < b.cols; ++j) {
+    for (index_t i = 0; i < a.cols; ++i) {
+      c(i, j) = dot_dd(a.col(i), b.col(j), a.rows);
+    }
+  }
+}
+
+}  // namespace tsbo::dense

@@ -1,0 +1,65 @@
+#pragma once
+// Double-double (compensated) arithmetic for mixed-precision CholQR.
+//
+// The paper's related work (Yamazaki et al. [26], [27]) stabilizes
+// CholQR by accumulating the Gram matrix in twice the working
+// precision; on hardware without float128 this is software-emulated
+// double-double (Hida/Li/Bailey [15]).  We provide the accumulation
+// kernels so the mixed-precision variant can be composed with every
+// block scheme in ortho/.
+
+#include "dense/matrix.hpp"
+
+#include <cmath>
+
+namespace tsbo::dense {
+
+/// Unevaluated sum hi + lo with |lo| <= ulp(hi)/2.
+struct dd {
+  double hi = 0.0;
+  double lo = 0.0;
+};
+
+/// Error-free transformation: a + b = s + err exactly.
+inline dd two_sum(double a, double b) {
+  const double s = a + b;
+  const double bb = s - a;
+  const double err = (a - (s - bb)) + (b - bb);
+  return {s, err};
+}
+
+/// Error-free product via FMA: a * b = p + err exactly.
+inline dd two_prod(double a, double b) {
+  const double p = a * b;
+  const double err = std::fma(a, b, -p);
+  return {p, err};
+}
+
+/// x += y (double-double accumulate of a double).
+inline void dd_add(dd& x, double y) {
+  const dd s = two_sum(x.hi, y);
+  x.lo += s.lo;
+  x.hi = s.hi;
+}
+
+/// x += y (full double-double addition).
+inline void dd_add(dd& x, const dd& y) {
+  dd s = two_sum(x.hi, y.hi);
+  s.lo += x.lo + y.lo;
+  x = two_sum(s.hi, s.lo);
+}
+
+/// Rounds back to working precision.
+inline double dd_to_double(const dd& x) { return x.hi + x.lo; }
+
+/// Compensated dot product: exact products accumulated in double-double.
+double dot_dd(const double* x, const double* y, index_t n);
+
+/// Gram matrix G = A^T A with double-double accumulation, rounded to
+/// double on output.  This is the kernel of mixed-precision CholQR.
+void gram_dd(ConstMatrixView a, MatrixView g);
+
+/// Block inner product C = A^T B with double-double accumulation.
+void gemm_tn_dd(ConstMatrixView a, ConstMatrixView b, MatrixView c);
+
+}  // namespace tsbo::dense

@@ -1,0 +1,65 @@
+#include "dense/givens.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace tsbo::dense {
+
+GivensRotation make_givens(double a, double b, double& r) {
+  if (b == 0.0) {
+    r = std::abs(a);
+    return {a >= 0.0 ? 1.0 : -1.0, 0.0};
+  }
+  const double h = std::hypot(a, b);
+  r = h;
+  return {a / h, b / h};
+}
+
+HessenbergLeastSquares::HessenbergLeastSquares(index_t max_cols, double rhs0)
+    : r_(max_cols + 1, max_cols),
+      g_(static_cast<std::size_t>(max_cols) + 1, 0.0) {
+  g_[0] = rhs0;
+}
+
+void HessenbergLeastSquares::append_column(std::span<const double> h) {
+  const index_t k = ncols_;
+  assert(k < r_.cols());
+  assert(static_cast<index_t>(h.size()) >= k + 2);
+
+  // Copy, then apply all previous rotations to the new column.
+  std::vector<double> col(h.begin(), h.begin() + k + 2);
+  for (index_t i = 0; i < k; ++i) {
+    const auto [c, s] = rot_[i];
+    const double t0 = c * col[i] + s * col[i + 1];
+    const double t1 = -s * col[i] + c * col[i + 1];
+    col[i] = t0;
+    col[i + 1] = t1;
+  }
+
+  double r = 0.0;
+  GivensRotation g = make_givens(col[k], col[k + 1], r);
+  rot_.push_back(g);
+  col[k] = r;
+  col[k + 1] = 0.0;
+
+  // Rotate the RHS.
+  const double t0 = g.c * g_[k] + g.s * g_[k + 1];
+  const double t1 = -g.s * g_[k] + g.c * g_[k + 1];
+  g_[k] = t0;
+  g_[k + 1] = t1;
+
+  for (index_t i = 0; i <= k + 1; ++i) r_(i, k) = col[i];
+  ++ncols_;
+}
+
+std::vector<double> HessenbergLeastSquares::solve_y() const {
+  std::vector<double> y(ncols_, 0.0);
+  for (index_t i = ncols_ - 1; i >= 0; --i) {
+    double s = g_[i];
+    for (index_t j = i + 1; j < ncols_; ++j) s -= r_(i, j) * y[j];
+    y[i] = s / r_(i, i);
+  }
+  return y;
+}
+
+}  // namespace tsbo::dense

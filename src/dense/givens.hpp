@@ -1,0 +1,57 @@
+#pragma once
+// Givens rotations for the GMRES least-squares solve.
+//
+// GMRES minimizes ||gamma*e1 - H y|| over the Hessenberg system; the
+// standard technique maintains a QR factorization of H by one Givens
+// rotation per column, giving the residual norm for free as the last
+// entry of the rotated right-hand side (paper Fig. 1 lines 14-17).
+
+#include "dense/matrix.hpp"
+
+#include <span>
+#include <vector>
+
+namespace tsbo::dense {
+
+/// One plane rotation: [c s; -s c]^T applied to rows (i, i+1).
+struct GivensRotation {
+  double c = 1.0;
+  double s = 0.0;
+};
+
+/// Computes c, s such that [c s; -s c]^T [a; b] = [r; 0], r >= 0 and
+/// returns r.  Robust (hypot-based) against over/underflow.
+GivensRotation make_givens(double a, double b, double& r);
+
+/// Progressive least-squares solver for Hessenberg systems.
+///
+/// Columns of H arrive block by block (s at a time in s-step GMRES, one
+/// at a time in standard GMRES).  append_column() rotates the new column
+/// through all previous rotations, generates one new rotation, and
+/// updates the rotated RHS; residual_norm() is then the current GMRES
+/// residual estimate.  solve_y() back-substitutes for the minimizer.
+class HessenbergLeastSquares {
+ public:
+  /// max_cols: restart length m; rhs0: initial residual norm gamma.
+  HessenbergLeastSquares(index_t max_cols, double rhs0);
+
+  /// Appends column k (0-based) of the Hessenberg matrix: h has k+2
+  /// leading entries (H(0..k+1, k)).
+  void append_column(std::span<const double> h);
+
+  /// |last rotated RHS entry| = current minimal residual norm.
+  [[nodiscard]] double residual_norm() const { return std::abs(g_[ncols_]); }
+
+  [[nodiscard]] index_t cols() const { return ncols_; }
+
+  /// Solves the triangular system for y (size == cols()).
+  [[nodiscard]] std::vector<double> solve_y() const;
+
+ private:
+  Matrix r_;                          // rotated upper-triangular factor
+  std::vector<GivensRotation> rot_;
+  std::vector<double> g_;             // rotated RHS
+  index_t ncols_ = 0;
+};
+
+}  // namespace tsbo::dense

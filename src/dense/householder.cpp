@@ -1,0 +1,99 @@
+#include "dense/householder.hpp"
+
+#include "dense/blas1.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <span>
+
+namespace tsbo::dense {
+
+HouseholderQR geqrf(ConstMatrixView a) {
+  assert(a.rows >= a.cols);
+  HouseholderQR f{copy_of(a), std::vector<double>(a.cols, 0.0)};
+  const index_t n = a.rows, s = a.cols;
+  Matrix& m = f.qr;
+
+  for (index_t j = 0; j < s; ++j) {
+    double* colj = m.col(j);
+    // Householder vector for x = m(j:n, j).
+    const double normx =
+        nrm2(std::span<const double>(colj + j, static_cast<std::size_t>(n - j)));
+    if (normx == 0.0) {
+      f.tau[j] = 0.0;
+      continue;
+    }
+    const double alpha = colj[j];
+    const double beta = alpha >= 0.0 ? -normx : normx;
+    const double v0 = alpha - beta;
+    f.tau[j] = -v0 / beta;  // tau = (beta - alpha) / beta
+    const double inv_v0 = 1.0 / v0;
+    for (index_t i = j + 1; i < n; ++i) colj[i] *= inv_v0;
+    colj[j] = beta;
+
+    // Apply (I - tau v v^T) to the trailing columns; v = [1; m(j+1:n, j)].
+    for (index_t c = j + 1; c < s; ++c) {
+      double* colc = m.col(c);
+      double w = colc[j];
+      for (index_t i = j + 1; i < n; ++i) w += colj[i] * colc[i];
+      w *= f.tau[j];
+      colc[j] -= w;
+      for (index_t i = j + 1; i < n; ++i) colc[i] -= w * colj[i];
+    }
+  }
+  return f;
+}
+
+Matrix extract_r(const HouseholderQR& f) {
+  const index_t s = f.qr.cols();
+  Matrix r(s, s);
+  for (index_t j = 0; j < s; ++j) {
+    for (index_t i = 0; i <= j; ++i) r(i, j) = f.qr(i, j);
+  }
+  // Normalize signs: make diag(R) >= 0 by flipping rows of R (the
+  // corresponding Q columns are flipped in form_q).
+  for (index_t i = 0; i < s; ++i) {
+    if (r(i, i) < 0.0) {
+      for (index_t j = i; j < s; ++j) r(i, j) = -r(i, j);
+    }
+  }
+  return r;
+}
+
+Matrix form_q(const HouseholderQR& f) {
+  const index_t n = f.qr.rows(), s = f.qr.cols();
+  Matrix q(n, s);
+  for (index_t j = 0; j < s; ++j) q(j, j) = 1.0;
+
+  // Apply reflectors in reverse order: Q = H_0 H_1 ... H_{s-1} E.
+  for (index_t j = s - 1; j >= 0; --j) {
+    const double tau = f.tau[j];
+    if (tau == 0.0) continue;
+    const double* vj = f.qr.col(j);
+    for (index_t c = 0; c < s; ++c) {
+      double* colc = q.col(c);
+      double w = colc[j];
+      for (index_t i = j + 1; i < n; ++i) w += vj[i] * colc[i];
+      w *= tau;
+      colc[j] -= w;
+      for (index_t i = j + 1; i < n; ++i) colc[i] -= w * vj[i];
+    }
+  }
+
+  // Match extract_r's sign normalization: column i of Q flips whenever
+  // row i of R flipped.
+  for (index_t i = 0; i < s; ++i) {
+    if (f.qr(i, i) < 0.0) {
+      double* coli = q.col(i);
+      for (index_t r = 0; r < n; ++r) coli[r] = -coli[r];
+    }
+  }
+  return q;
+}
+
+ThinQR householder_qr(ConstMatrixView a) {
+  HouseholderQR f = geqrf(a);
+  return {form_q(f), extract_r(f)};
+}
+
+}  // namespace tsbo::dense

@@ -1,0 +1,45 @@
+#pragma once
+// Householder QR for tall-skinny matrices.
+//
+// Shared-memory reference used (a) as the unconditionally stable intra-
+// block factorization in "BCGS2 with HHQR" (paper Fig. 2b option 1) and
+// (b) to compute accurate R factors for condition-number measurement
+// (singular values of R equal those of the input, and Householder QR is
+// backward stable so even tiny singular values are trustworthy).
+//
+// The distributed O(s)-reduce variant lives in ortho/intra.*; this file
+// is purely node-local dense linear algebra.
+
+#include "dense/matrix.hpp"
+
+#include <vector>
+
+namespace tsbo::dense {
+
+/// Compact WY-free Householder factorization state: reflectors stored
+/// below the diagonal of `qr`, scales in `tau`.
+struct HouseholderQR {
+  Matrix qr;                // n x s, R in upper triangle, v_j below diag
+  std::vector<double> tau;  // s reflector coefficients
+};
+
+/// Factors A (n x s, n >= s) into QR.  A is consumed by copy.
+HouseholderQR geqrf(ConstMatrixView a);
+
+/// Extracts the s x s upper-triangular R (diagonal sign-normalized to
+/// be non-negative, matching the paper's BlkOrth convention).
+Matrix extract_r(const HouseholderQR& f);
+
+/// Forms the explicit thin Q (n x s) with the same sign convention as
+/// extract_r, so that Q * R == A.
+Matrix form_q(const HouseholderQR& f);
+
+/// Convenience: thin QR with non-negative diagonal R.
+/// Returns {Q (n x s), R (s x s)}.
+struct ThinQR {
+  Matrix q;
+  Matrix r;
+};
+ThinQR householder_qr(ConstMatrixView a);
+
+}  // namespace tsbo::dense

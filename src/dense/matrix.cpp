@@ -1,0 +1,46 @@
+#include "dense/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsbo::dense {
+
+Matrix Matrix::identity(index_t n) {
+  Matrix m(n, n);
+  for (index_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix copy_of(ConstMatrixView a) {
+  Matrix out(a.rows, a.cols);
+  copy(a, out.view());
+  return out;
+}
+
+void copy(ConstMatrixView src, MatrixView dst) {
+  assert(src.rows == dst.rows && src.cols == dst.cols);
+  for (index_t j = 0; j < src.cols; ++j) {
+    std::copy_n(src.col(j), src.rows, dst.col(j));
+  }
+}
+
+void fill(MatrixView a, double v) {
+  for (index_t j = 0; j < a.cols; ++j) {
+    std::fill_n(a.col(j), a.rows, v);
+  }
+}
+
+double max_abs_diff(ConstMatrixView a, ConstMatrixView b) {
+  assert(a.rows == b.rows && a.cols == b.cols);
+  double d = 0.0;
+  for (index_t j = 0; j < a.cols; ++j) {
+    const double* pa = a.col(j);
+    const double* pb = b.col(j);
+    for (index_t i = 0; i < a.rows; ++i) {
+      d = std::max(d, std::abs(pa[i] - pb[i]));
+    }
+  }
+  return d;
+}
+
+}  // namespace tsbo::dense

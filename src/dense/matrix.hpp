@@ -1,0 +1,146 @@
+#pragma once
+// Column-major dense matrix storage and lightweight views.
+//
+// All dense kernels in tsbo operate on (Const)MatrixView: a non-owning
+// {data, rows, cols, ld} quadruple in column-major (BLAS/LAPACK) layout.
+// Matrix owns storage via std::vector and hands out views.  Column-major
+// is chosen because the library's hot loops are tall-skinny panel
+// operations (Q^T V, V - Q R, V R^{-1}) whose unit-stride direction is
+// down a column.
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tsbo::dense {
+
+using index_t = int;
+
+/// Non-owning read-only view of a column-major matrix.
+struct ConstMatrixView {
+  const double* data = nullptr;
+  index_t rows = 0;
+  index_t cols = 0;
+  index_t ld = 0;  // leading dimension (>= rows)
+
+  [[nodiscard]] const double* col(index_t j) const {
+    assert(j >= 0 && j < cols);
+    return data + static_cast<std::size_t>(j) * static_cast<std::size_t>(ld);
+  }
+  [[nodiscard]] double operator()(index_t i, index_t j) const {
+    assert(i >= 0 && i < rows);
+    return col(j)[i];
+  }
+  /// Sub-block view [r0, r0+nr) x [c0, c0+nc).
+  [[nodiscard]] ConstMatrixView block(index_t r0, index_t c0, index_t nr,
+                                      index_t nc) const {
+    assert(r0 >= 0 && c0 >= 0 && r0 + nr <= rows && c0 + nc <= cols);
+    return {col(c0) + r0, nr, nc, ld};
+  }
+  [[nodiscard]] ConstMatrixView columns(index_t c0, index_t nc) const {
+    return block(0, c0, rows, nc);
+  }
+  [[nodiscard]] bool empty() const { return rows == 0 || cols == 0; }
+};
+
+/// Non-owning mutable view of a column-major matrix.
+struct MatrixView {
+  double* data = nullptr;
+  index_t rows = 0;
+  index_t cols = 0;
+  index_t ld = 0;
+
+  [[nodiscard]] double* col(index_t j) const {
+    assert(j >= 0 && j < cols);
+    return data + static_cast<std::size_t>(j) * static_cast<std::size_t>(ld);
+  }
+  [[nodiscard]] double& operator()(index_t i, index_t j) const {
+    assert(i >= 0 && i < rows);
+    return col(j)[i];
+  }
+  [[nodiscard]] MatrixView block(index_t r0, index_t c0, index_t nr,
+                                 index_t nc) const {
+    assert(r0 >= 0 && c0 >= 0 && r0 + nr <= rows && c0 + nc <= cols);
+    return {col(c0) + r0, nr, nc, ld};
+  }
+  [[nodiscard]] MatrixView columns(index_t c0, index_t nc) const {
+    return block(0, c0, rows, nc);
+  }
+  [[nodiscard]] bool empty() const { return rows == 0 || cols == 0; }
+
+  // NOLINTNEXTLINE(google-explicit-constructor): views decay like spans.
+  operator ConstMatrixView() const { return {data, rows, cols, ld}; }
+};
+
+/// Owning column-major matrix (ld == rows).
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(index_t rows, index_t cols)
+      : rows_(rows),
+        cols_(cols),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+              0.0) {
+    assert(rows >= 0 && cols >= 0);
+  }
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+
+  [[nodiscard]] double& operator()(index_t i, index_t j) {
+    return data_[static_cast<std::size_t>(j) * rows_ + i];
+  }
+  [[nodiscard]] double operator()(index_t i, index_t j) const {
+    return data_[static_cast<std::size_t>(j) * rows_ + i];
+  }
+
+  [[nodiscard]] double* col(index_t j) {
+    return data_.data() + static_cast<std::size_t>(j) * rows_;
+  }
+  [[nodiscard]] const double* col(index_t j) const {
+    return data_.data() + static_cast<std::size_t>(j) * rows_;
+  }
+
+  [[nodiscard]] MatrixView view() {
+    return {data_.data(), rows_, cols_, rows_};
+  }
+  [[nodiscard]] ConstMatrixView view() const {
+    return {data_.data(), rows_, cols_, rows_};
+  }
+  [[nodiscard]] MatrixView block(index_t r0, index_t c0, index_t nr, index_t nc) {
+    return view().block(r0, c0, nr, nc);
+  }
+  [[nodiscard]] ConstMatrixView block(index_t r0, index_t c0, index_t nr,
+                                      index_t nc) const {
+    return view().block(r0, c0, nr, nc);
+  }
+
+  [[nodiscard]] std::span<double> data() { return data_; }
+  [[nodiscard]] std::span<const double> data() const { return data_; }
+
+  void set_zero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+  /// Identity in the top-left min(rows, cols) block, zero elsewhere.
+  static Matrix identity(index_t n);
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Deep copy of a view into an owning Matrix.
+Matrix copy_of(ConstMatrixView a);
+
+/// Copies src into dst (shapes must match; ld may differ).
+void copy(ConstMatrixView src, MatrixView dst);
+
+/// Sets all entries of the view to v.
+void fill(MatrixView a, double v);
+
+/// Max-abs entry difference between two equal-shaped views.
+double max_abs_diff(ConstMatrixView a, ConstMatrixView b);
+
+}  // namespace tsbo::dense

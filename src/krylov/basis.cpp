@@ -1,0 +1,109 @@
+#include "krylov/basis.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace tsbo::krylov {
+
+KrylovBasis KrylovBasis::monomial(index_t m) {
+  return {BasisKind::kMonomial,
+          std::vector<BasisStep>(static_cast<std::size_t>(m))};
+}
+
+std::vector<double> leja_order(std::vector<double> points) {
+  if (points.empty()) return points;
+  std::vector<double> out;
+  out.reserve(points.size());
+  // Start from the point of largest magnitude.
+  std::size_t pick = 0;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (std::abs(points[i]) > std::abs(points[pick])) pick = i;
+  }
+  out.push_back(points[pick]);
+  points.erase(points.begin() + static_cast<std::ptrdiff_t>(pick));
+
+  while (!points.empty()) {
+    double best = -std::numeric_limits<double>::infinity();
+    pick = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      // Product of distances in log space to avoid under/overflow.
+      double prod = 0.0;
+      for (const double c : out) prod += std::log(std::abs(points[i] - c) + 1e-300);
+      if (prod > best) {
+        best = prod;
+        pick = i;
+      }
+    }
+    out.push_back(points[pick]);
+    points.erase(points.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+  return out;
+}
+
+KrylovBasis KrylovBasis::newton(index_t m, index_t s, double lmin,
+                                double lmax) {
+  if (s <= 0 || m % s != 0) {
+    throw std::invalid_argument("KrylovBasis::newton: s must divide m");
+  }
+  // s Chebyshev points of [lmin, lmax], Leja-ordered, reused per panel.
+  std::vector<double> pts(static_cast<std::size_t>(s));
+  const double d = 0.5 * (lmax + lmin);
+  const double c = 0.5 * (lmax - lmin);
+  for (index_t k = 0; k < s; ++k) {
+    pts[static_cast<std::size_t>(k)] =
+        d + c * std::cos(M_PI * (2.0 * k + 1.0) / (2.0 * s));
+  }
+  pts = leja_order(pts);
+
+  std::vector<BasisStep> steps(static_cast<std::size_t>(m));
+  for (index_t k = 0; k < m; ++k) {
+    steps[static_cast<std::size_t>(k)].theta = pts[static_cast<std::size_t>(k % s)];
+  }
+  return {BasisKind::kNewton, std::move(steps)};
+}
+
+KrylovBasis KrylovBasis::chebyshev(index_t m, index_t s, double lmin,
+                                   double lmax) {
+  if (s <= 0 || m % s != 0) {
+    throw std::invalid_argument("KrylovBasis::chebyshev: s must divide m");
+  }
+  const double d = 0.5 * (lmax + lmin);
+  const double c = 0.5 * (lmax - lmin);
+  if (c <= 0.0) {
+    throw std::invalid_argument("KrylovBasis::chebyshev: empty interval");
+  }
+  std::vector<BasisStep> steps(static_cast<std::size_t>(m));
+  for (index_t k = 0; k < m; ++k) {
+    BasisStep& st = steps[static_cast<std::size_t>(k)];
+    if (k % s == 0) {
+      // Panel-local recurrence start: p_1 = (z - d)/c * p_0.
+      st = {d, 0.0, c};
+    } else {
+      // p_{k+1} = (2/c)(z - d) p_k - p_{k-1}.
+      st = {d, 0.5 * c, 0.5 * c};
+    }
+  }
+  return {BasisKind::kChebyshev, std::move(steps)};
+}
+
+KrylovBasis KrylovBasis::with_gamma_scale(double factor) const {
+  KrylovBasis out = *this;
+  for (BasisStep& st : out.steps_) st.gamma *= factor;
+  return out;
+}
+
+dense::Matrix KrylovBasis::change_of_basis() const {
+  const index_t m = steps();
+  dense::Matrix t(m + 1, m);
+  for (index_t k = 0; k < m; ++k) {
+    const BasisStep& st = step(k);
+    t(k + 1, k) = st.gamma;
+    t(k, k) = st.theta;
+    if (k > 0) t(k - 1, k) = st.sigma;
+  }
+  return t;
+}
+
+}  // namespace tsbo::krylov

@@ -1,0 +1,80 @@
+#pragma once
+// Krylov basis polynomials for the matrix-powers kernel.
+//
+// MPK generates v_{k+1} from x_k (the stored column A is applied to)
+// through the three-term step
+//     v_{k+1} = ( A x_k - theta_k x_k - sigma_k v_{k-1} ) / gamma_k ,
+// equivalently  A x_k = gamma_k v_{k+1} + theta_k x_k + sigma_k v_{k-1},
+// which is exactly what the Hessenberg assembly consumes (the paper's
+// change-of-basis matrix T in Fig. 1 line 14).
+//
+//   monomial : theta = sigma = 0, gamma = 1 (the paper's evaluated
+//              choice, Section VI)
+//   Newton   : theta_k = Leja-ordered Chebyshev points of a real
+//              spectral interval, sigma = 0 (paper's discussed
+//              extension, ref [1])
+//   Chebyshev: scaled three-term Chebyshev recurrence on the interval,
+//              restarted at every panel boundary (sigma_k = 0 there, as
+//              the previous raw vector is no longer available).
+
+#include "dense/matrix.hpp"
+
+#include <vector>
+
+namespace tsbo::krylov {
+
+using dense::index_t;
+
+enum class BasisKind { kMonomial, kNewton, kChebyshev };
+
+struct BasisStep {
+  double theta = 0.0;
+  double sigma = 0.0;
+  double gamma = 1.0;
+};
+
+class KrylovBasis {
+ public:
+  /// Monomial basis for m steps.
+  static KrylovBasis monomial(index_t m);
+
+  /// Newton basis: s Leja-ordered Chebyshev points of [lmin, lmax],
+  /// reused every panel (Bai/Hu/Reichel practice).
+  static KrylovBasis newton(index_t m, index_t s, double lmin, double lmax);
+
+  /// Chebyshev basis on [lmin, lmax], three-term recurrence restarted
+  /// at each panel boundary.
+  static KrylovBasis chebyshev(index_t m, index_t s, double lmin, double lmax);
+
+  [[nodiscard]] BasisKind kind() const { return kind_; }
+  [[nodiscard]] index_t steps() const { return static_cast<index_t>(steps_.size()); }
+  [[nodiscard]] const BasisStep& step(index_t k) const {
+    return steps_[static_cast<std::size_t>(k)];
+  }
+
+  /// The (m+1) x m change-of-basis matrix T with A X = V T structure
+  /// restricted to the polynomial recurrence (columns: gamma on the
+  /// subdiagonal, theta on the diagonal, sigma on the superdiagonal).
+  /// Exposed for tests and documentation.
+  [[nodiscard]] dense::Matrix change_of_basis() const;
+
+  /// Returns a copy with every gamma multiplied by `factor`.  The
+  /// solver scales the monomial/Newton bases by a matrix-norm estimate
+  /// so MPK vectors stay O(1) in norm — the standard remedy for the
+  /// exponential growth of the raw monomial basis (the scaling is
+  /// absorbed exactly by the change-of-basis bookkeeping).
+  [[nodiscard]] KrylovBasis with_gamma_scale(double factor) const;
+
+ private:
+  KrylovBasis(BasisKind kind, std::vector<BasisStep> steps)
+      : kind_(kind), steps_(std::move(steps)) {}
+
+  BasisKind kind_;
+  std::vector<BasisStep> steps_;
+};
+
+/// Leja ordering of a point set: greedily maximizes the product of
+/// distances to already-chosen points (stabilizes the Newton basis).
+std::vector<double> leja_order(std::vector<double> points);
+
+}  // namespace tsbo::krylov

@@ -1,0 +1,122 @@
+#include "krylov/gmres.hpp"
+
+#include "dense/blas1.hpp"
+#include "dense/blas2.hpp"
+#include "dense/givens.hpp"
+#include "ortho/cgs.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace tsbo::krylov {
+
+namespace {
+
+/// r = b - A x (one SpMV).
+void residual(par::Communicator& comm, const sparse::DistCsr& a,
+              std::span<const double> b, std::span<const double> x,
+              std::span<double> r, std::span<double> tmp,
+              util::PhaseTimers* timers) {
+  a.spmv(comm, x, tmp, timers);
+  for (std::size_t i = 0; i < r.size(); ++i) r[i] = b[i] - tmp[i];
+}
+
+}  // namespace
+
+SolveResult gmres(par::Communicator& comm, const sparse::DistCsr& a,
+                  const precond::Preconditioner* m_prec,
+                  std::span<const double> b, std::span<double> x,
+                  const GmresConfig& cfg) {
+  const auto nloc = static_cast<std::size_t>(a.n_local());
+  assert(b.size() == nloc && x.size() == nloc);
+
+  SolveResult res;
+  const par::CommStats comm_before = comm.stats();
+  ortho::OrthoContext octx;
+  octx.comm = &comm;
+  octx.timers = &res.timers;
+
+  PrecOperator op(a, m_prec);
+  dense::Matrix basis(static_cast<index_t>(nloc), cfg.m + 1);
+  std::vector<double> r(nloc), tmp(nloc), z(nloc);
+
+  res.timers.start("total");
+  residual(comm, a, b, x, r, tmp, &res.timers);
+  const double gamma0 = ortho::global_norm(octx, r);
+  double gamma = gamma0;
+
+  if (gamma0 == 0.0) {
+    res.converged = true;
+  }
+
+  while (!res.converged && res.iters < cfg.max_iters &&
+         res.restarts < cfg.max_restarts) {
+    // Seed the cycle: q_0 = r / gamma.
+    {
+      double* q0 = basis.col(0);
+      const double inv = 1.0 / gamma;
+      for (std::size_t i = 0; i < nloc; ++i) q0[i] = r[i] * inv;
+    }
+    dense::HessenbergLeastSquares ls(cfg.m, gamma);
+    std::vector<double> h(static_cast<std::size_t>(cfg.m) + 2);
+
+    bool inner_converged = false;
+    for (index_t k = 0; k < cfg.m && res.iters < cfg.max_iters; ++k) {
+      std::span<const double> qk(basis.col(k), nloc);
+      std::span<double> w(basis.col(k + 1), nloc);
+      op.apply(comm, qk, w, &res.timers);
+
+      std::span<double> hk(h.data(), static_cast<std::size_t>(k) + 2);
+      if (cfg.ortho == GmresConfig::Ortho::kCgs2) {
+        ortho::cgs2_step(octx, basis.view().columns(0, k + 1), w, hk);
+      } else {
+        ortho::mgs_step(octx, basis.view().columns(0, k + 1), w, hk);
+      }
+
+      res.timers.start("ortho/small");
+      ls.append_column(hk);
+      res.timers.stop("ortho/small");
+      res.iters += 1;
+
+      if (ls.residual_norm() <= cfg.rtol * gamma0) {
+        inner_converged = true;
+        break;
+      }
+      if (hk[static_cast<std::size_t>(k) + 1] == 0.0) {
+        // Happy breakdown: the Krylov space is invariant.
+        inner_converged = true;
+        break;
+      }
+    }
+
+    // Correction: x += M^{-1} (Q y).
+    const index_t used = ls.cols();
+    if (used > 0) {
+      const std::vector<double> y = ls.solve_y();
+      res.timers.start("ortho/small");
+      dense::gemv(1.0, basis.view().columns(0, used), y, 0.0, z);
+      res.timers.stop("ortho/small");
+      op.apply_minv(z, tmp, &res.timers);
+      dense::axpy(1.0, tmp, x);
+    }
+    res.restarts += 1;
+    res.relres = gamma0 > 0.0 ? ls.residual_norm() / gamma0 : 0.0;
+
+    residual(comm, a, b, x, r, tmp, &res.timers);
+    gamma = ortho::global_norm(octx, r);
+    if (inner_converged || gamma <= cfg.rtol * gamma0) {
+      res.converged = true;
+    }
+  }
+
+  res.timers.stop("total");
+  residual(comm, a, b, x, r, tmp, &res.timers);
+  const double final_norm = ortho::global_norm(octx, r);
+  res.true_relres = gamma0 > 0.0 ? final_norm / gamma0 : 0.0;
+  res.comm_stats = par::subtract(comm.stats(), comm_before);
+  res.cholesky_breakdowns = octx.cholesky_breakdowns;
+  res.shift_retries = octx.shift_retries;
+  return res;
+}
+
+}  // namespace tsbo::krylov

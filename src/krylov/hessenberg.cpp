@@ -1,0 +1,53 @@
+#include "krylov/hessenberg.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace tsbo::krylov {
+
+void assemble_hessenberg(dense::ConstMatrixView r, dense::ConstMatrixView l,
+                         const KrylovBasis& basis, index_t s, index_t c0,
+                         index_t c1, dense::MatrixView h) {
+  assert(c0 >= 0 && c0 <= c1 && c1 <= h.cols);
+  assert(r.rows >= c1 + 1 && l.rows >= c1 + 1);
+
+  std::vector<double> rhat(static_cast<std::size_t>(c1) + 1);
+  for (index_t k = c0; k < c1; ++k) {
+    const BasisStep& st = basis.step(k);
+
+    // Rhat(:, k) = gamma R(:, k+1) + theta L(:, k) + sigma rep(v_{k-1}),
+    // nonzero in rows 0..k+1.
+    for (index_t i = 0; i <= k + 1; ++i) {
+      double v = st.gamma * r(i, k + 1);
+      if (st.theta != 0.0) v += st.theta * l(i, k);
+      if (st.sigma != 0.0 && k >= 1) {
+        const bool prev_is_start = ((k - 1) % s) == 0;
+        v += st.sigma * (prev_is_start ? l(i, k - 1) : r(i, k - 1));
+      }
+      rhat[static_cast<std::size_t>(i)] = v;
+    }
+
+    // Solve H(:, k) L(k, k) = Rhat(:, k) - sum_{j<k} H(:, j) L(j, k).
+    for (index_t j = 0; j < k; ++j) {
+      const double ljk = l(j, k);
+      if (ljk == 0.0) continue;
+      for (index_t i = 0; i <= j + 1; ++i) {
+        rhat[static_cast<std::size_t>(i)] -= h(i, j) * ljk;
+      }
+    }
+    const double lkk = l(k, k);
+    if (lkk == 0.0 || !std::isfinite(lkk)) {
+      throw std::runtime_error(
+          "assemble_hessenberg: singular basis representation (L diagonal)");
+    }
+    const double inv = 1.0 / lkk;
+    for (index_t i = 0; i <= k + 1; ++i) {
+      h(i, k) = rhat[static_cast<std::size_t>(i)] * inv;
+    }
+    for (index_t i = k + 2; i < h.rows; ++i) h(i, k) = 0.0;
+  }
+}
+
+}  // namespace tsbo::krylov

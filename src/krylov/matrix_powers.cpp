@@ -1,0 +1,59 @@
+#include "krylov/matrix_powers.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tsbo::krylov {
+
+void PrecOperator::apply(par::Communicator& comm, std::span<const double> x,
+                         std::span<double> y, util::PhaseTimers* timers) const {
+  if (m_ != nullptr) {
+    if (timers) timers->start("precond");
+    m_->apply(x, tmp_);
+    if (timers) timers->stop("precond");
+    a_.spmv(comm, tmp_, y, timers);
+  } else {
+    a_.spmv(comm, x, y, timers);
+  }
+}
+
+void PrecOperator::apply_minv(std::span<const double> x, std::span<double> y,
+                              util::PhaseTimers* timers) const {
+  if (m_ != nullptr) {
+    if (timers) timers->start("precond");
+    m_->apply(x, y);
+    if (timers) timers->stop("precond");
+  } else {
+    std::copy(x.begin(), x.end(), y.begin());
+  }
+}
+
+void matrix_powers(par::Communicator& comm, const PrecOperator& op,
+                   const KrylovBasis& basis, dense::MatrixView basis_cols,
+                   index_t first_out, index_t s, util::PhaseTimers* timers) {
+  assert(first_out >= 1 && first_out + s <= basis_cols.cols + 1);
+  const auto nloc = static_cast<std::size_t>(basis_cols.rows);
+
+  for (index_t k = 0; k < s; ++k) {
+    const index_t out_col = first_out + k;
+    const index_t in_col = out_col - 1;
+    const BasisStep& st = basis.step(in_col);
+
+    std::span<const double> x(basis_cols.col(in_col), nloc);
+    std::span<double> v(basis_cols.col(out_col), nloc);
+    op.apply(comm, x, v, timers);
+
+    if (st.theta != 0.0 || st.sigma != 0.0 || st.gamma != 1.0) {
+      const double* prev =
+          st.sigma != 0.0 ? basis_cols.col(in_col - 1) : nullptr;
+      const double inv_gamma = 1.0 / st.gamma;
+      for (std::size_t i = 0; i < nloc; ++i) {
+        double t = v[i] - st.theta * x[i];
+        if (prev != nullptr) t -= st.sigma * prev[i];
+        v[i] = t * inv_gamma;
+      }
+    }
+  }
+}
+
+}  // namespace tsbo::krylov

@@ -1,0 +1,50 @@
+#pragma once
+// Matrix-powers kernel (paper Fig. 1 lines 6-9, Fig. 5 lines 4-12).
+//
+// The paper's Trilinos implementation deliberately uses the *standard*
+// MPK — s sequential applications of (preconditioned) SpMV, each with
+// neighborhood communication — rather than a communication-avoiding
+// MPK, because CA-MPK composes poorly with general preconditioners
+// (Section III).  We implement the same.
+
+#include "krylov/basis.hpp"
+#include "precond/preconditioner.hpp"
+#include "sparse/dist_csr.hpp"
+
+namespace tsbo::krylov {
+
+/// The solver's operator: y = A M^{-1} x (right preconditioning), or
+/// plain y = A x when no preconditioner is attached.
+class PrecOperator {
+ public:
+  PrecOperator(const sparse::DistCsr& a, const precond::Preconditioner* m)
+      : a_(a), m_(m), tmp_(static_cast<std::size_t>(a.n_local())) {}
+
+  [[nodiscard]] const sparse::DistCsr& matrix() const { return a_; }
+  [[nodiscard]] const precond::Preconditioner* preconditioner() const {
+    return m_;
+  }
+
+  void apply(par::Communicator& comm, std::span<const double> x,
+             std::span<double> y, util::PhaseTimers* timers) const;
+
+  /// Applies only M^{-1} (for recovering x from the preconditioned
+  /// correction).  Identity when no preconditioner.
+  void apply_minv(std::span<const double> x, std::span<double> y,
+                  util::PhaseTimers* timers) const;
+
+ private:
+  const sparse::DistCsr& a_;
+  const precond::Preconditioner* m_;
+  mutable std::vector<double> tmp_;
+};
+
+/// Runs MPK: fills basis columns [first_out, first_out + s) from the
+/// recurrence v_{k+1} = (Op x_k - theta_k x_k - sigma_k v_{k-1}) /
+/// gamma_k, where x_k is basis column first_out - 1 + k_local and the
+/// global step index is its column index.
+void matrix_powers(par::Communicator& comm, const PrecOperator& op,
+                   const KrylovBasis& basis, dense::MatrixView basis_cols,
+                   index_t first_out, index_t s, util::PhaseTimers* timers);
+
+}  // namespace tsbo::krylov

@@ -1,0 +1,51 @@
+#pragma once
+// Shared solver configuration and result types.
+
+#include "ortho/multivector.hpp"
+#include "par/communicator.hpp"
+#include "util/timer.hpp"
+
+namespace tsbo::krylov {
+
+using dense::index_t;
+
+/// Which block-orthogonalization scheme the s-step solver uses
+/// (Table III's four columns plus diagnostics).
+enum class OrthoScheme {
+  kBcgs2CholQr2,  ///< original s-step GMRES (5 reduces / s steps)
+  kBcgs2Hhqr,     ///< stability reference (O(s) reduces / s steps)
+  kBcgsPip,       ///< single-pass PIP (1 reduce; no re-orthogonalization)
+  kBcgsPip2,      ///< the paper's new one-stage variant (2 reduces)
+  kTwoStage,      ///< the paper's contribution (1 + s/bs reduces)
+};
+
+const char* ortho_scheme_name(OrthoScheme s);
+
+/// Outcome of a linear solve.
+struct SolveResult {
+  bool converged = false;
+  long iters = 0;      ///< inner iterations (paper's "# iters" column)
+  int restarts = 0;    ///< completed restart cycles
+  double relres = 0.0; ///< recurrence residual estimate at exit
+  double true_relres = 0.0;  ///< ||b - A x|| / ||b|| measured at exit
+
+  util::PhaseTimers timers;   ///< SpMV / precond / ortho phase breakdown
+  par::CommStats comm_stats;  ///< collected from the rank's communicator
+  int cholesky_breakdowns = 0;
+  int shift_retries = 0;
+
+  /// Convenience sums over the timer buckets (seconds).
+  [[nodiscard]] double time_spmv() const {
+    return timers.seconds("spmv/comm") + timers.seconds("spmv/local");
+  }
+  [[nodiscard]] double time_precond() const { return timers.seconds("precond"); }
+  [[nodiscard]] double time_ortho() const {
+    return timers.seconds("ortho/dot") + timers.seconds("ortho/reduce") +
+           timers.seconds("ortho/update") + timers.seconds("ortho/trsm") +
+           timers.seconds("ortho/chol") + timers.seconds("ortho/hhqr") +
+           timers.seconds("ortho/small");
+  }
+  [[nodiscard]] double time_total() const { return timers.seconds("total"); }
+};
+
+}  // namespace tsbo::krylov

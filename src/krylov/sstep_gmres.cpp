@@ -1,0 +1,239 @@
+#include "krylov/sstep_gmres.hpp"
+
+#include "dense/blas1.hpp"
+#include "dense/blas2.hpp"
+#include "dense/givens.hpp"
+#include "krylov/hessenberg.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace tsbo::krylov {
+
+const char* ortho_scheme_name(OrthoScheme s) {
+  switch (s) {
+    case OrthoScheme::kBcgs2CholQr2:
+      return "BCGS2(CholQR2)";
+    case OrthoScheme::kBcgs2Hhqr:
+      return "BCGS2(HHQR)";
+    case OrthoScheme::kBcgsPip:
+      return "BCGS-PIP";
+    case OrthoScheme::kBcgsPip2:
+      return "BCGS-PIP2";
+    case OrthoScheme::kTwoStage:
+      return "Two-stage";
+  }
+  return "?";
+}
+
+std::unique_ptr<ortho::BlockOrthoManager> make_manager(
+    const SStepGmresConfig& cfg) {
+  switch (cfg.scheme) {
+    case OrthoScheme::kBcgs2CholQr2:
+      return ortho::make_bcgs2_manager(ortho::IntraKind::kCholQR2);
+    case OrthoScheme::kBcgs2Hhqr:
+      return ortho::make_bcgs2_manager(ortho::IntraKind::kHHQR);
+    case OrthoScheme::kBcgsPip:
+      return ortho::make_bcgs_pip_manager();
+    case OrthoScheme::kBcgsPip2:
+      return ortho::make_bcgs_pip2_manager();
+    case OrthoScheme::kTwoStage:
+      return ortho::make_two_stage_manager(cfg.bs);
+  }
+  throw std::invalid_argument("make_manager: unknown scheme");
+}
+
+namespace {
+
+void validate(const SStepGmresConfig& cfg) {
+  if (cfg.s <= 0 || cfg.m <= 0 || cfg.m % cfg.s != 0) {
+    throw std::invalid_argument("sstep_gmres: s must divide m");
+  }
+  if (cfg.scheme == OrthoScheme::kTwoStage) {
+    if (cfg.bs < cfg.s || cfg.bs > cfg.m || cfg.bs % cfg.s != 0) {
+      throw std::invalid_argument(
+          "sstep_gmres: two-stage requires s <= bs <= m with s | bs");
+    }
+  }
+  if ((cfg.basis == BasisKind::kNewton || cfg.basis == BasisKind::kChebyshev) &&
+      !(cfg.lambda_max > cfg.lambda_min)) {
+    throw std::invalid_argument(
+        "sstep_gmres: Newton/Chebyshev bases need a spectral interval");
+  }
+}
+
+KrylovBasis make_basis(const SStepGmresConfig& cfg) {
+  switch (cfg.basis) {
+    case BasisKind::kMonomial:
+      return KrylovBasis::monomial(cfg.m);
+    case BasisKind::kNewton:
+      return KrylovBasis::newton(cfg.m, cfg.s, cfg.lambda_min, cfg.lambda_max);
+    case BasisKind::kChebyshev:
+      return KrylovBasis::chebyshev(cfg.m, cfg.s, cfg.lambda_min,
+                                    cfg.lambda_max);
+  }
+  throw std::invalid_argument("sstep_gmres: unknown basis");
+}
+
+void residual(par::Communicator& comm, const sparse::DistCsr& a,
+              std::span<const double> b, std::span<const double> x,
+              std::span<double> r, std::span<double> tmp,
+              util::PhaseTimers* timers) {
+  a.spmv(comm, x, tmp, timers);
+  for (std::size_t i = 0; i < r.size(); ++i) r[i] = b[i] - tmp[i];
+}
+
+}  // namespace
+
+SolveResult sstep_gmres(par::Communicator& comm, const sparse::DistCsr& a,
+                        const precond::Preconditioner* m_prec,
+                        std::span<const double> b, std::span<double> x,
+                        const SStepGmresConfig& cfg) {
+  validate(cfg);
+  const auto nloc = static_cast<std::size_t>(a.n_local());
+  assert(b.size() == nloc && x.size() == nloc);
+
+  SolveResult res;
+  const par::CommStats comm_before = comm.stats();
+  ortho::OrthoContext octx;
+  octx.comm = &comm;
+  octx.timers = &res.timers;
+  octx.policy = cfg.policy;
+  octx.mixed_precision_gram = cfg.mixed_precision_gram;
+
+  PrecOperator op(a, m_prec);
+  KrylovBasis kbasis = make_basis(cfg);
+  // Scale the monomial/Newton recurrences by an operator-norm estimate
+  // so the raw MPK vectors stay O(1): without this the monomial basis
+  // grows like ||A||^s per panel and the Gram matrices overflow their
+  // conditioning long before condition (5) is the binding constraint.
+  // (Chebyshev's own gamma already normalizes.)
+  if (cfg.basis != BasisKind::kChebyshev) {
+    const sparse::CsrMatrix& local = a.local_matrix();
+    double est = 0.0;
+    for (sparse::ord i = 0; i < local.rows; ++i) {
+      double row = 0.0;
+      double diag = 1.0;
+      for (sparse::offset k = local.row_ptr[i]; k < local.row_ptr[i + 1]; ++k) {
+        const auto kk = static_cast<std::size_t>(k);
+        row += std::abs(local.values[kk]);
+        if (local.col_idx[kk] == i) diag = std::abs(local.values[kk]);
+      }
+      // With a (roughly diagonal-normalizing) preconditioner the
+      // operator is closer to D^{-1}A; estimate accordingly.
+      est = std::max(est, m_prec != nullptr && diag > 0.0 ? row / diag : row);
+    }
+    est = comm.allreduce_max_scalar(est);
+    if (est > 0.0) kbasis = kbasis.with_gamma_scale(est);
+  }
+  std::unique_ptr<ortho::BlockOrthoManager> manager = make_manager(cfg);
+
+  dense::Matrix basis(static_cast<index_t>(nloc), cfg.m + 1);
+  dense::Matrix rmat(cfg.m + 1, cfg.m + 1);
+  dense::Matrix lmat(cfg.m + 1, cfg.m + 1);
+  dense::Matrix hmat(cfg.m + 1, cfg.m);
+  std::vector<double> r(nloc), tmp(nloc), z(nloc);
+
+  res.timers.start("total");
+  residual(comm, a, b, x, r, tmp, &res.timers);
+  const double gamma0 = ortho::global_norm(octx, r);
+  double gamma = gamma0;
+  if (gamma0 == 0.0) res.converged = true;
+
+  while (!res.converged && res.iters < cfg.max_iters &&
+         res.restarts < cfg.max_restarts) {
+    // Seed the cycle: column 0 = r / gamma; R = L = identity seed.
+    {
+      double* q0 = basis.col(0);
+      const double inv = 1.0 / gamma;
+      for (std::size_t i = 0; i < nloc; ++i) q0[i] = r[i] * inv;
+    }
+    rmat.set_zero();
+    lmat.set_zero();
+    rmat(0, 0) = 1.0;
+    manager->reset();
+    dense::HessenbergLeastSquares ls(cfg.m, gamma);
+
+    index_t assembled = 0;  // Hessenberg columns appended so far
+    index_t generated = 1;  // basis columns generated so far
+    bool inner_converged = false;
+
+    const index_t npanel = cfg.m / cfg.s;
+    for (index_t p = 0; p < npanel; ++p) {
+      const index_t start = p * cfg.s;
+      manager->note_mpk_start(octx, lmat.view(), start);
+      matrix_powers(comm, op, kbasis, basis.view(), start + 1, cfg.s,
+                    &res.timers);
+      generated = start + 1 + cfg.s;
+
+      index_t nfinal = manager->add_panel(octx, basis.view(), start + 1,
+                                          cfg.s, rmat.view(), lmat.view());
+
+      if (nfinal - 1 > assembled) {
+        res.timers.start("ortho/small");
+        assemble_hessenberg(rmat.view(), lmat.view(), kbasis, cfg.s, assembled,
+                            nfinal - 1, hmat.view());
+        for (index_t k = assembled; k < nfinal - 1; ++k) {
+          ls.append_column(std::span<const double>(
+              hmat.col(k), static_cast<std::size_t>(k) + 2));
+        }
+        res.timers.stop("ortho/small");
+        assembled = nfinal - 1;
+        if (ls.residual_norm() <= cfg.rtol * gamma0) {
+          inner_converged = true;
+          break;
+        }
+      }
+    }
+
+    // Flush a partially filled big panel (only happens when bs does not
+    // divide m, or after an early inner break; both leave usable final
+    // columns for the solution update).
+    const index_t nfinal =
+        manager->finalize(octx, basis.view(), generated, rmat.view(),
+                          lmat.view());
+    if (nfinal - 1 > assembled) {
+      res.timers.start("ortho/small");
+      assemble_hessenberg(rmat.view(), lmat.view(), kbasis, cfg.s, assembled,
+                          nfinal - 1, hmat.view());
+      for (index_t k = assembled; k < nfinal - 1; ++k) {
+        ls.append_column(std::span<const double>(
+            hmat.col(k), static_cast<std::size_t>(k) + 2));
+      }
+      res.timers.stop("ortho/small");
+      assembled = nfinal - 1;
+      if (ls.residual_norm() <= cfg.rtol * gamma0) inner_converged = true;
+    }
+
+    // Correction: x += M^{-1} (Q_{1:assembled} y).
+    const index_t used = ls.cols();
+    if (used > 0) {
+      const std::vector<double> y = ls.solve_y();
+      res.timers.start("ortho/small");
+      dense::gemv(1.0, basis.view().columns(0, used), y, 0.0, z);
+      res.timers.stop("ortho/small");
+      op.apply_minv(z, tmp, &res.timers);
+      dense::axpy(1.0, tmp, x);
+    }
+    res.iters += assembled;
+    res.restarts += 1;
+    res.relres = gamma0 > 0.0 ? ls.residual_norm() / gamma0 : 0.0;
+
+    residual(comm, a, b, x, r, tmp, &res.timers);
+    gamma = ortho::global_norm(octx, r);
+    if (inner_converged || gamma <= cfg.rtol * gamma0) res.converged = true;
+  }
+
+  res.timers.stop("total");
+  residual(comm, a, b, x, r, tmp, &res.timers);
+  const double final_norm = ortho::global_norm(octx, r);
+  res.true_relres = gamma0 > 0.0 ? final_norm / gamma0 : 0.0;
+  res.comm_stats = par::subtract(comm.stats(), comm_before);
+  res.cholesky_breakdowns = octx.cholesky_breakdowns;
+  res.shift_retries = octx.shift_retries;
+  return res;
+}
+
+}  // namespace tsbo::krylov

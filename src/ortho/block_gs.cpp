@@ -1,0 +1,104 @@
+#include "ortho/block_gs.hpp"
+
+#include "dense/blas3.hpp"
+#include "ortho/intra.hpp"
+
+#include <cassert>
+
+namespace tsbo::ortho {
+
+namespace {
+
+/// r_prev += t_prev * r_diag;  r_diag := t_diag * r_diag.
+/// The exact re-orthogonalization coefficient update (the paper's
+/// Fig. 4b lines 5-6; Fig. 2b's "T + R" is its first-order
+/// approximation — we apply the exact form everywhere).
+void reortho_fixup(ConstMatrixView t_prev, ConstMatrixView t_diag,
+                   MatrixView r_prev, MatrixView r_diag) {
+  if (r_prev.cols > 0 && r_prev.rows > 0) {
+    dense::gemm_nn(1.0, t_prev, r_diag, 1.0, r_prev);
+  }
+  dense::Matrix tmp(r_diag.rows, r_diag.cols);
+  dense::gemm_nn(1.0, t_diag, r_diag, 0.0, tmp.view());
+  dense::copy(tmp.view(), r_diag);
+}
+
+}  // namespace
+
+void bcgs_project(OrthoContext& ctx, ConstMatrixView q, MatrixView v,
+                  MatrixView r_prev) {
+  assert(r_prev.rows == q.cols && r_prev.cols == v.cols);
+  if (q.cols == 0) return;
+  block_dot(ctx, q, v, r_prev);
+  block_update(ctx, q, r_prev, v);
+}
+
+void bcgs2(OrthoContext& ctx, ConstMatrixView q, MatrixView v,
+           MatrixView r_prev, MatrixView r_diag, IntraKind intra) {
+  assert(r_diag.rows == v.cols && r_diag.cols == v.cols);
+
+  // First inter-block pass.
+  bcgs_project(ctx, q, v, r_prev);
+
+  // First intra-block factorization.
+  switch (intra) {
+    case IntraKind::kCholQR2:
+      cholqr2(ctx, v, r_diag);
+      break;
+    case IntraKind::kHHQR:
+      hhqr(ctx, v, r_diag);
+      break;
+    case IntraKind::kShiftedCholQR3:
+      shifted_cholqr3(ctx, v, r_diag);
+      break;
+  }
+
+  if (q.cols == 0) return;
+
+  // Second inter-block pass + CholQR (paper Fig. 2b lines 10-15).
+  dense::Matrix t_prev(q.cols, v.cols);
+  dense::Matrix t_diag(v.cols, v.cols);
+  bcgs_project(ctx, q, v, t_prev.view());
+  cholqr(ctx, v, t_diag.view());
+  reortho_fixup(t_prev.view(), t_diag.view(), r_prev, r_diag);
+}
+
+void bcgs_pip(OrthoContext& ctx, ConstMatrixView q, MatrixView v,
+              MatrixView r_prev, MatrixView r_diag) {
+  assert(r_prev.rows == q.cols && r_prev.cols == v.cols);
+  assert(r_diag.rows == v.cols && r_diag.cols == v.cols);
+  const index_t nq = q.cols;
+  const index_t s = v.cols;
+
+  // Single fused reduce: G = [Q, V]^T V (paper Fig. 4a line 1).
+  dense::Matrix g(nq + s, s);
+  fused_gram(ctx, q, v, g.view());
+
+  // r_prev = Q^T V (top block of G).
+  dense::copy(g.view().block(0, 0, nq, s), r_prev);
+
+  // Pythagorean update: S = V^T V - r_prev^T r_prev, then Cholesky
+  // (Fig. 4a line 2).
+  dense::copy(g.view().block(nq, 0, s, s), r_diag);
+  if (nq > 0) {
+    if (ctx.timers) ctx.timers->start("ortho/chol");
+    dense::gemm_tn(-1.0, r_prev, r_prev, 1.0, r_diag);
+    if (ctx.timers) ctx.timers->stop("ortho/chol");
+  }
+  chol_factor(ctx, r_diag, "BCGS-PIP");
+
+  // V := (V - Q r_prev) r_diag^{-1} (Fig. 4a lines 3-4).
+  block_update(ctx, q, r_prev, v);
+  block_scale(ctx, r_diag, v);
+}
+
+void bcgs_pip2(OrthoContext& ctx, ConstMatrixView q, MatrixView v,
+               MatrixView r_prev, MatrixView r_diag) {
+  bcgs_pip(ctx, q, v, r_prev, r_diag);
+  dense::Matrix t_prev(q.cols, v.cols);
+  dense::Matrix t_diag(v.cols, v.cols);
+  bcgs_pip(ctx, q, v, t_prev.view(), t_diag.view());
+  reortho_fixup(t_prev.view(), t_diag.view(), r_prev, r_diag);
+}
+
+}  // namespace tsbo::ortho

@@ -1,0 +1,224 @@
+#include "ortho/intra.hpp"
+
+#include "dense/blas1.hpp"
+#include "dense/blas3.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace tsbo::ortho {
+
+namespace {
+
+/// r := t * r for small upper-triangular t, r (in place on r).
+void triangular_accumulate(ConstMatrixView t, MatrixView r) {
+  assert(t.rows == r.rows && t.cols == r.rows && r.rows == r.cols);
+  dense::Matrix tmp(r.rows, r.cols);
+  dense::gemm_nn(1.0, t, r, 0.0, tmp.view());
+  dense::copy(tmp.view(), r);
+}
+
+}  // namespace
+
+void cholqr(OrthoContext& ctx, MatrixView v, MatrixView r) {
+  assert(r.rows == v.cols && r.cols == v.cols);
+  // Gram matrix with one reduce, redundant Cholesky on every rank
+  // (deterministic reduction => identical factors), local TRSM.
+  block_dot(ctx, v, v, r);
+  chol_factor(ctx, r, "CholQR");
+  block_scale(ctx, r, v);
+}
+
+void cholqr2(OrthoContext& ctx, MatrixView v, MatrixView r) {
+  cholqr(ctx, v, r);
+  dense::Matrix t(v.cols, v.cols);
+  cholqr(ctx, v, t.view());
+  triangular_accumulate(t.view(), r);
+}
+
+void shifted_cholqr3(OrthoContext& ctx, MatrixView v, MatrixView r) {
+  assert(r.rows == v.cols && r.cols == v.cols);
+  // First pass: always-shifted Cholesky; the shift of [11] guarantees
+  // success for any numerically full-rank input.
+  block_dot(ctx, v, v, r);
+  if (ctx.timers) ctx.timers->start("ortho/chol");
+  const double shift = 11.0 * (static_cast<double>(v.cols) + 1.0) *
+                       std::numeric_limits<double>::epsilon() *
+                       dense::one_norm(r);
+  const bool ok = dense::potrf_upper_shifted(r, shift).ok();
+  if (ctx.timers) ctx.timers->stop("ortho/chol");
+  if (!ok) {
+    throw CholeskyBreakdown("shifted CholQR: input numerically rank-deficient");
+  }
+  block_scale(ctx, r, v);
+  dense::Matrix t(v.cols, v.cols);
+  cholqr2(ctx, v, t.view());
+  triangular_accumulate(t.view(), r);
+}
+
+void hhqr(OrthoContext& ctx, MatrixView v, MatrixView r) {
+  assert(r.rows == v.cols && r.cols == v.cols);
+  const index_t nloc = v.rows;
+  const index_t s = v.cols;
+  const int rank = ctx.comm ? ctx.comm->rank() : 0;
+  const bool owns_pivots = rank == 0;
+  // Collective validation: all ranks must agree to throw, otherwise the
+  // non-throwing ranks would deadlock in the first reduction (the same
+  // reason MPI codes validate before communicating).
+  {
+    double bad = (owns_pivots && nloc < s) ? 1.0 : 0.0;
+    if (ctx.comm) bad = ctx.comm->allreduce_max_scalar(bad);
+    if (bad != 0.0) {
+      throw std::invalid_argument("hhqr: rank 0 must own at least s rows");
+    }
+  }
+
+  // Reflector scales; reflector vectors overwrite v below the pivot row.
+  std::vector<double> tau(static_cast<std::size_t>(s), 0.0);
+
+  auto timed_reduce = [&](std::span<double> buf) {
+    if (!ctx.comm) return;
+    if (ctx.timers) ctx.timers->start("ortho/reduce");
+    ctx.comm->allreduce_sum(buf);
+    if (ctx.timers) ctx.timers->stop("ortho/reduce");
+  };
+
+  if (ctx.timers) ctx.timers->start("ortho/hhqr");
+  for (index_t j = 0; j < s; ++j) {
+    double* colj = v.col(j);
+    // Fused reduce: [ sum of squares below and incl. pivot, pivot value ].
+    // Pivot row j lives on rank 0 (block layout, row j global == local).
+    double nrm2_local = 0.0;
+    const index_t lo = owns_pivots ? j : 0;
+    for (index_t i = lo; i < nloc; ++i) nrm2_local += colj[i] * colj[i];
+    double msg[2] = {nrm2_local, owns_pivots ? colj[j] : 0.0};
+    timed_reduce(std::span<double>(msg, 2));
+    const double normx = std::sqrt(msg[0]);
+    const double alpha = msg[1];
+
+    if (normx == 0.0) {
+      tau[static_cast<std::size_t>(j)] = 0.0;
+      r(j, j) = 0.0;
+      continue;
+    }
+    const double beta = alpha >= 0.0 ? -normx : normx;
+    const double v0 = alpha - beta;
+    tau[static_cast<std::size_t>(j)] = -v0 / beta;
+    const double inv_v0 = 1.0 / v0;
+    // Scale my part of the reflector; pivot entry becomes implicit 1.
+    for (index_t i = lo; i < nloc; ++i) colj[i] *= inv_v0;
+    if (owns_pivots) colj[j] = 1.0;
+
+    // w = tau * v^T V(:, j+1:s) — one reduce of (s - j - 1) values.
+    const index_t rest = s - j - 1;
+    std::vector<double> w(static_cast<std::size_t>(rest), 0.0);
+    for (index_t c = 0; c < rest; ++c) {
+      const double* colc = v.col(j + 1 + c);
+      double acc = 0.0;
+      for (index_t i = lo; i < nloc; ++i) acc += colj[i] * colc[i];
+      w[static_cast<std::size_t>(c)] = acc;
+    }
+    if (rest > 0) timed_reduce(w);
+    for (index_t c = 0; c < rest; ++c) {
+      double* colc = v.col(j + 1 + c);
+      const double wc = tau[static_cast<std::size_t>(j)] * w[static_cast<std::size_t>(c)];
+      for (index_t i = lo; i < nloc; ++i) colc[i] -= wc * colj[i];
+    }
+    // R(j, j) = beta; R(j, c) for c > j now sits in row j on rank 0 but
+    // will be collected after the loop (rows 0..s-1 of v on rank 0).
+    r(j, j) = beta;
+  }
+
+  // Collect R: rows 0..s-1 of the reduced v live on rank 0; broadcast so
+  // every rank holds the replicated factor (one more synchronization).
+  {
+    std::vector<double> rbuf(static_cast<std::size_t>(s) * s, 0.0);
+    if (owns_pivots) {
+      for (index_t jj = 0; jj < s; ++jj) {
+        for (index_t ii = 0; ii < jj; ++ii) {
+          rbuf[static_cast<std::size_t>(jj) * s + ii] = v(ii, jj);
+        }
+        rbuf[static_cast<std::size_t>(jj) * s + jj] = r(jj, jj);
+      }
+    }
+    if (ctx.comm) {
+      if (ctx.timers) ctx.timers->start("ortho/reduce");
+      ctx.comm->broadcast(rbuf, 0);
+      if (ctx.timers) ctx.timers->stop("ortho/reduce");
+    }
+    for (index_t jj = 0; jj < s; ++jj) {
+      for (index_t ii = 0; ii <= jj; ++ii) {
+        r(ii, jj) = rbuf[static_cast<std::size_t>(jj) * s + ii];
+      }
+      for (index_t ii = jj + 1; ii < s; ++ii) r(ii, jj) = 0.0;
+    }
+  }
+
+  // Form the explicit Q in place: apply reflectors in reverse order to
+  // the identity columns.  Each application costs one reduce.
+  dense::Matrix q(nloc, s);
+  if (owns_pivots) {
+    for (index_t j = 0; j < s; ++j) q(j, j) = 1.0;
+  }
+  for (index_t j = s - 1; j >= 0; --j) {
+    const double tj = tau[static_cast<std::size_t>(j)];
+    if (tj == 0.0) continue;
+    const double* colj = v.col(j);
+    const index_t lo = owns_pivots ? j : 0;
+    std::vector<double> w(static_cast<std::size_t>(s), 0.0);
+    for (index_t c = 0; c < s; ++c) {
+      const double* qc = q.col(c);
+      double acc = 0.0;
+      for (index_t i = lo; i < nloc; ++i) acc += colj[i] * qc[i];
+      w[static_cast<std::size_t>(c)] = acc;
+    }
+    timed_reduce(w);
+    for (index_t c = 0; c < s; ++c) {
+      double* qc = q.col(c);
+      const double wc = tj * w[static_cast<std::size_t>(c)];
+      for (index_t i = lo; i < nloc; ++i) qc[i] -= wc * colj[i];
+    }
+  }
+  dense::copy(q.view(), v);
+  if (ctx.timers) ctx.timers->stop("ortho/hhqr");
+
+  // Sign-normalize: diag(R) >= 0 (BlkOrth convention of Fig. 1).
+  for (index_t j = 0; j < s; ++j) {
+    if (r(j, j) < 0.0) {
+      for (index_t c = j; c < s; ++c) r(j, c) = -r(j, c);
+      double* colj = v.col(j);
+      for (index_t i = 0; i < nloc; ++i) colj[i] = -colj[i];
+    }
+  }
+}
+
+void mgs(OrthoContext& ctx, MatrixView v, MatrixView r) {
+  assert(r.rows == v.cols && r.cols == v.cols);
+  dense::fill(r, 0.0);
+  const index_t s = v.cols;
+  for (index_t j = 0; j < s; ++j) {
+    double* colj = v.col(j);
+    std::span<double> cj(colj, static_cast<std::size_t>(v.rows));
+    for (index_t k = 0; k < j; ++k) {
+      const double* colk = v.col(k);
+      std::span<const double> ck(colk, static_cast<std::size_t>(v.rows));
+      double h = dense::dot(ck, cj);
+      if (ctx.comm) {
+        if (ctx.timers) ctx.timers->start("ortho/reduce");
+        h = ctx.comm->allreduce_sum_scalar(h);
+        if (ctx.timers) ctx.timers->stop("ortho/reduce");
+      }
+      r(k, j) = h;
+      dense::axpy(-h, ck, cj);
+    }
+    const double nrm = global_norm(ctx, cj);
+    r(j, j) = nrm;
+    if (nrm > 0.0) dense::scal(1.0 / nrm, cj);
+  }
+}
+
+}  // namespace tsbo::ortho

@@ -1,0 +1,41 @@
+#pragma once
+// Intra-block orthogonalization kernels (paper Section IV, Fig. 3).
+//
+// All routines replace V (rank-local rows x s) by its orthonormal Q in
+// place and write the s x s upper-triangular factor into `r` so that
+// Q r == V (up to rounding).  Synchronization counts, the paper's
+// central accounting:
+//   CholQR            1 reduce     (Gram + redundant Cholesky + TRSM)
+//   CholQR2           2 reduces
+//   shifted CholQR3   3 reduces    (stability remedy of [11])
+//   HHQR              O(s) reduces (column-wise distributed Householder)
+//   MGS               O(s) reduces (reference)
+
+#include "ortho/multivector.hpp"
+
+namespace tsbo::ortho {
+
+/// Cholesky QR (paper Fig. 3a).  One global reduce.
+void cholqr(OrthoContext& ctx, MatrixView v, MatrixView r);
+
+/// Cholesky QR twice (paper Fig. 3b).  Two global reduces; the factor
+/// written to `r` is the product T * R of both passes.
+void cholqr2(OrthoContext& ctx, MatrixView v, MatrixView r);
+
+/// Shifted CholQR followed by CholQR2 ("shifted CholQR3", Fukaya et
+/// al. [11]): stable for any numerically full-rank input at 1.5x the
+/// cost of CholQR2.  Three global reduces.
+void shifted_cholqr3(OrthoContext& ctx, MatrixView v, MatrixView r);
+
+/// Distributed Householder QR: column-by-column reflectors spanning all
+/// ranks, 2 reduces per column plus 1 broadcast-equivalent for R and
+/// one reduce per column to form the explicit Q — the BLAS-1/2,
+/// O(s)-synchronization behaviour the paper contrasts CholQR against.
+/// Requires rank 0 to own at least s rows (1-D block layout, n >> s).
+void hhqr(OrthoContext& ctx, MatrixView v, MatrixView r);
+
+/// Modified Gram-Schmidt, column-wise (reference implementation; 2
+/// reduces per column).
+void mgs(OrthoContext& ctx, MatrixView v, MatrixView r);
+
+}  // namespace tsbo::ortho

@@ -1,0 +1,29 @@
+#pragma once
+// Measurement helpers for the numerical studies (Figs. 6-9): gathering
+// distributed panels and computing the paper's two metrics,
+// orthogonality error ||I - Q^T Q||_2 and condition number kappa_2.
+
+#include "dense/matrix.hpp"
+#include "ortho/multivector.hpp"
+
+namespace tsbo::ortho {
+
+/// Gathers a distributed multivector (rank-local row blocks) to a full
+/// matrix on rank `root`; other ranks receive an empty matrix.  With a
+/// null communicator, returns a copy.  Diagnostic use only (not part of
+/// the solver's communication accounting).
+dense::Matrix gather_multivector(par::Communicator* comm,
+                                 dense::ConstMatrixView local, int root = 0);
+
+/// ||I - Q^T Q||_2 of a distributed Q: one reduce for the Gram matrix,
+/// then a redundant small SVD on every rank.  Cheap enough to call
+/// per panel.
+double orthogonality_error(OrthoContext& ctx, dense::ConstMatrixView q_local);
+
+/// kappa_2 of a distributed tall-skinny matrix: gathers to root,
+/// computes the Jacobi-SVD condition number there, broadcasts the
+/// result.  Expensive (O(n k^2)); the Fig. 8/9 harnesses call it at
+/// panel granularity.
+double condition_number(OrthoContext& ctx, dense::ConstMatrixView local);
+
+}  // namespace tsbo::ortho

@@ -1,0 +1,88 @@
+#pragma once
+// Distributed tall-skinny multivector primitives.
+//
+// Basis vectors are stored as rank-local row blocks (1-D block row
+// layout, paper Section VII) of a column-major panel.  The primitives
+// here are the paper's three orthogonalization building blocks:
+//   * block dot products  R = Q^T V   (local GEMM + one global reduce)
+//   * vector updates      V -= Q R    (local GEMM, no communication)
+//   * normalization       V := V R^{-1} (local TRSM, no communication)
+// plus the fused Gram matrix [Q, V]^T V that makes BCGS-PIP a
+// *single-reduce* algorithm, and a breakdown-aware Cholesky wrapper.
+//
+// Every routine is collective across the communicator in OrthoContext;
+// with a null communicator the same code runs single-rank (used by the
+// MATLAB-style numerical studies of Figs. 6-8).
+
+#include "dense/cholesky.hpp"
+#include "dense/matrix.hpp"
+#include "par/communicator.hpp"
+#include "util/timer.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace tsbo::ortho {
+
+using dense::ConstMatrixView;
+using dense::index_t;
+using dense::MatrixView;
+
+/// What to do when the Cholesky factorization of a Gram matrix breaks
+/// down (input condition number past ~eps^{-1/2}, paper condition (1)).
+enum class BreakdownPolicy {
+  kThrow,  ///< raise CholeskyBreakdown (numerical studies want to see it)
+  kShift,  ///< retry with a diagonal shift (Fukaya et al. [11] remedy)
+};
+
+/// Raised on unrecoverable Gram-matrix breakdown.
+class CholeskyBreakdown : public std::runtime_error {
+ public:
+  explicit CholeskyBreakdown(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Shared knobs + instrumentation for every orthogonalization call.
+struct OrthoContext {
+  par::Communicator* comm = nullptr;   ///< null -> single-rank execution
+  util::PhaseTimers* timers = nullptr; ///< optional phase breakdown
+  BreakdownPolicy policy = BreakdownPolicy::kThrow;
+  /// Accumulate Gram matrices in double-double (mixed-precision CholQR
+  /// extension, paper related work [26]/[27]).
+  bool mixed_precision_gram = false;
+
+  // Instrumentation (mutated by the kernels).
+  int cholesky_breakdowns = 0;  ///< failures seen (before recovery)
+  int shift_retries = 0;        ///< shifted re-factorizations performed
+
+  [[nodiscard]] int nranks() const { return comm ? comm->size() : 1; }
+};
+
+/// C = A^T B followed by a global sum-reduce of C.  One synchronization.
+void block_dot(OrthoContext& ctx, ConstMatrixView a, ConstMatrixView b,
+               MatrixView c);
+
+/// G = [Q, V]^T V in a single reduce: G is (q + s) x s where q = Q.cols,
+/// s = V.cols.  Rows [0, q) hold Q^T V; rows [q, q+s) hold V^T V.
+/// This is the Pythagorean trick that gives BCGS-PIP its single
+/// synchronization (paper Fig. 4a line 1).
+void fused_gram(OrthoContext& ctx, ConstMatrixView q, ConstMatrixView v,
+                MatrixView g);
+
+/// V -= Q * C.  Local GEMM; no communication.
+void block_update(OrthoContext& ctx, ConstMatrixView q, ConstMatrixView c,
+                  MatrixView v);
+
+/// V := V * R^{-1}.  Local TRSM; no communication.
+void block_scale(OrthoContext& ctx, ConstMatrixView r, MatrixView v);
+
+/// Breakdown-aware Cholesky of the (small, replicated) Gram matrix g;
+/// overwrites g with the upper factor.  Under kShift, retries with
+/// progressively larger diagonal shifts (never more than 3 attempts);
+/// under kThrow, raises CholeskyBreakdown naming `what`.
+void chol_factor(OrthoContext& ctx, MatrixView g, const std::string& what);
+
+/// ||x||_2 across ranks (one reduce).
+double global_norm(OrthoContext& ctx, std::span<const double> x);
+
+}  // namespace tsbo::ortho

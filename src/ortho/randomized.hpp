@@ -1,0 +1,43 @@
+#pragma once
+// Randomized (sketched) Cholesky QR — the paper's named future-work
+// direction (Section IX; Balabanov [3], arXiv:2210.09953).
+//
+// A sparse sign-embedding Theta (k x n, k = c*s rows, q nonzeros of
+// +-1/sqrt(q) per input coordinate) sketches the panel: S = Theta V is
+// k x s and, with high probability, kappa(S) ~ kappa(V) up to a (1 +
+// eps) distortion.  QR of the tiny sketch yields R_s such that
+// V R_s^{-1} is O(1)-conditioned regardless of kappa(V), so a single
+// CholQR afterwards is stable for any numerically full-rank input —
+// removing the kappa < eps^{-1/2} condition of CholQR2 at the cost of
+// one extra (small) reduce.
+//
+// Distributed: each rank sketches its local rows (the embedding is
+// hashed from global row ids, so it is partition-independent), the k x
+// s sketch is summed with one all-reduce, and the k x k QR runs
+// redundantly on every rank.  Two reduces per call in total.
+
+#include "ortho/multivector.hpp"
+
+namespace tsbo::ortho {
+
+/// Sketch parameters.
+struct SketchConfig {
+  index_t rows_per_col = 4;  ///< k = rows_per_col * s sketch rows
+  int nnz_per_coord = 8;     ///< q: +-1 entries per input coordinate
+  std::uint64_t seed = 0x5eed;
+};
+
+/// Applies the sparse sign embedding to the rank-local rows of v
+/// (global row ids begin at `row_begin`); accumulates into s_out
+/// (k x s, caller-zeroed).  Deterministic in (seed, global row id).
+void apply_sketch(dense::ConstMatrixView v, index_t row_begin, index_t k,
+                  const SketchConfig& cfg, dense::MatrixView s_out);
+
+/// Randomized CholQR: V is replaced by its orthonormal Q; r receives
+/// the s x s factor with Q r == V.  `row_begin` is the global index of
+/// the rank's first row (0 for single-rank use).  Two global reduces.
+void randomized_cholqr(OrthoContext& ctx, dense::MatrixView v,
+                       dense::MatrixView r, index_t row_begin,
+                       const SketchConfig& cfg = {});
+
+}  // namespace tsbo::ortho

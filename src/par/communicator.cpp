@@ -1,0 +1,162 @@
+#include "par/communicator.hpp"
+
+#include "util/timer.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace tsbo::par {
+
+CommStats subtract(const CommStats& after, const CommStats& before) {
+  CommStats d;
+  d.allreduces = after.allreduces - before.allreduces;
+  d.broadcasts = after.broadcasts - before.broadcasts;
+  d.p2p_rounds = after.p2p_rounds - before.p2p_rounds;
+  d.barriers = after.barriers - before.barriers;
+  d.bytes_allreduced = after.bytes_allreduced - before.bytes_allreduced;
+  d.injected_seconds = after.injected_seconds - before.injected_seconds;
+  return d;
+}
+
+SpmdContext::SpmdContext(int nranks, NetworkModel model)
+    : nranks_(nranks),
+      model_(model),
+      slots_(static_cast<std::size_t>(nranks), nullptr),
+      sizes_(static_cast<std::size_t>(nranks), 0) {
+  assert(nranks >= 1);
+}
+
+Communicator::Communicator(SpmdContext& ctx, int rank)
+    : ctx_(ctx), rank_(rank) {
+  assert(rank >= 0 && rank < ctx.nranks());
+}
+
+void Communicator::barrier() {
+  stats_.barriers += 1;
+  if (ctx_.nranks_ == 1) return;
+  const int my_sense = local_sense_ ^= 1;
+  if (ctx_.arrived_.fetch_add(1, std::memory_order_acq_rel) ==
+      ctx_.nranks_ - 1) {
+    ctx_.arrived_.store(0, std::memory_order_relaxed);
+    ctx_.sense_.store(my_sense, std::memory_order_release);
+  } else {
+    while (ctx_.sense_.load(std::memory_order_acquire) != my_sense) {
+      // spin
+    }
+  }
+}
+
+void Communicator::inject(double seconds) {
+  if (seconds <= 0.0) return;
+  stats_.injected_seconds += seconds;
+  util::spin_wait(seconds);
+}
+
+void Communicator::allreduce_sum(std::span<double> inout) {
+  stats_.allreduces += 1;
+  stats_.bytes_allreduced += inout.size_bytes();
+  if (ctx_.nranks_ > 1) {
+    ctx_.slots_[rank_] = inout.data();
+    ctx_.sizes_[rank_] = inout.size();
+    barrier();
+    // Deterministic order: sum rank 0..p-1 contributions.
+    scratch_.assign(inout.size(), 0.0);
+    for (int r = 0; r < ctx_.nranks_; ++r) {
+      assert(ctx_.sizes_[r] == inout.size());
+      const double* src = static_cast<const double*>(ctx_.slots_[r]);
+      for (std::size_t i = 0; i < inout.size(); ++i) scratch_[i] += src[i];
+    }
+    barrier();  // all ranks finished reading before buffers are reused
+    std::memcpy(inout.data(), scratch_.data(), inout.size_bytes());
+  }
+  inject(ctx_.model_.allreduce_seconds(ctx_.nranks_, inout.size_bytes()));
+}
+
+void Communicator::allreduce_max(std::span<double> inout) {
+  stats_.allreduces += 1;
+  stats_.bytes_allreduced += inout.size_bytes();
+  if (ctx_.nranks_ > 1) {
+    ctx_.slots_[rank_] = inout.data();
+    ctx_.sizes_[rank_] = inout.size();
+    barrier();
+    scratch_.assign(inout.size(), 0.0);
+    for (std::size_t i = 0; i < inout.size(); ++i) {
+      double m = static_cast<const double*>(ctx_.slots_[0])[i];
+      for (int r = 1; r < ctx_.nranks_; ++r) {
+        const double v = static_cast<const double*>(ctx_.slots_[r])[i];
+        m = v > m ? v : m;
+      }
+      scratch_[i] = m;
+    }
+    barrier();
+    std::memcpy(inout.data(), scratch_.data(), inout.size_bytes());
+  }
+  inject(ctx_.model_.allreduce_seconds(ctx_.nranks_, inout.size_bytes()));
+}
+
+double Communicator::allreduce_sum_scalar(double x) {
+  allreduce_sum(std::span<double>(&x, 1));
+  return x;
+}
+
+double Communicator::allreduce_max_scalar(double x) {
+  allreduce_max(std::span<double>(&x, 1));
+  return x;
+}
+
+void Communicator::broadcast(std::span<double> data, int root) {
+  stats_.broadcasts += 1;
+  if (ctx_.nranks_ > 1) {
+    if (rank_ == root) {
+      ctx_.slots_[root] = data.data();
+      ctx_.sizes_[root] = data.size();
+    }
+    barrier();
+    if (rank_ != root) {
+      assert(ctx_.sizes_[root] == data.size());
+      std::memcpy(data.data(),
+                  static_cast<const double*>(ctx_.slots_[root]),
+                  data.size_bytes());
+    }
+    barrier();
+  }
+  inject(ctx_.model_.allreduce_seconds(ctx_.nranks_, data.size_bytes()));
+}
+
+std::vector<double> Communicator::gather(std::span<const double> local,
+                                         int root) {
+  ctx_.slots_[rank_] = local.data();
+  ctx_.sizes_[rank_] = local.size();
+  barrier();
+  std::vector<double> out;
+  if (rank_ == root) {
+    std::size_t total = 0;
+    for (int r = 0; r < ctx_.nranks_; ++r) total += ctx_.sizes_[r];
+    out.reserve(total);
+    for (int r = 0; r < ctx_.nranks_; ++r) {
+      const double* src = static_cast<const double*>(ctx_.slots_[r]);
+      out.insert(out.end(), src, src + ctx_.sizes_[r]);
+    }
+  }
+  barrier();
+  return out;
+}
+
+void Communicator::exchange_begin(std::span<const double> send) {
+  ctx_.slots_[rank_] = send.data();
+  ctx_.sizes_[rank_] = send.size();
+  barrier();
+}
+
+std::span<const double> Communicator::peer_buffer(int peer) const {
+  assert(peer >= 0 && peer < ctx_.nranks_);
+  return {static_cast<const double*>(ctx_.slots_[peer]), ctx_.sizes_[peer]};
+}
+
+void Communicator::exchange_end(std::size_t max_recv_bytes) {
+  barrier();
+  stats_.p2p_rounds += 1;
+  inject(ctx_.model_.p2p_seconds(max_recv_bytes));
+}
+
+}  // namespace tsbo::par

@@ -1,0 +1,117 @@
+#pragma once
+// MPI-like communicator over the in-process SPMD runtime.
+//
+// Each simulated rank is a thread; collectives run over shared memory
+// with deterministic reduction order (every rank computes the identical
+// rank-0..p-1 sum), so redundant small factorizations — Cholesky of the
+// reduced Gram matrix, the projected least-squares solve — produce
+// bit-identical results on all ranks exactly as the paper's Trilinos
+// implementation relies on.  The attached NetworkModel injects fabric
+// latency per operation; CommStats counts synchronizations so tests can
+// assert the paper's per-algorithm sync counts (5 / 2 / 1 + s/bs).
+
+#include "par/network_model.hpp"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tsbo::par {
+
+/// Per-rank communication counters.
+struct CommStats {
+  std::uint64_t allreduces = 0;
+  std::uint64_t broadcasts = 0;
+  std::uint64_t p2p_rounds = 0;
+  std::uint64_t barriers = 0;
+  std::uint64_t bytes_allreduced = 0;
+  double injected_seconds = 0.0;  // total modeled fabric time
+};
+
+/// after - before, for windowed accounting around a solver call.
+CommStats subtract(const CommStats& after, const CommStats& before);
+
+/// Shared state of one SPMD execution; owned by spmd_run().
+class SpmdContext {
+ public:
+  SpmdContext(int nranks, NetworkModel model);
+
+  [[nodiscard]] int nranks() const { return nranks_; }
+  [[nodiscard]] const NetworkModel& model() const { return model_; }
+
+ private:
+  friend class Communicator;
+
+  int nranks_;
+  NetworkModel model_;
+
+  // Sense-reversing central barrier.
+  std::atomic<int> arrived_{0};
+  std::atomic<int> sense_{0};
+
+  // Publication slots for zero-copy collectives (one per rank).
+  std::vector<const void*> slots_;
+  std::vector<std::size_t> sizes_;
+};
+
+/// Rank-local handle used inside spmd_run() bodies.  Not thread-safe
+/// across ranks by design: one Communicator per rank thread.
+class Communicator {
+ public:
+  Communicator(SpmdContext& ctx, int rank);
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return ctx_.nranks_; }
+
+  /// Blocks until all ranks arrive.
+  void barrier();
+
+  /// In-place sum-reduction of `inout` across all ranks; every rank
+  /// receives the identical deterministic sum.  One logical global
+  /// synchronization (the paper's unit of communication accounting).
+  void allreduce_sum(std::span<double> inout);
+
+  /// In-place max-reduction.
+  void allreduce_max(std::span<double> inout);
+
+  /// Convenience scalar all-reduce.
+  double allreduce_sum_scalar(double x);
+  double allreduce_max_scalar(double x);
+
+  /// Copies root's buffer into every rank's `data`.
+  void broadcast(std::span<double> data, int root);
+
+  /// Gathers variable-length rank-local blocks to `root`; returns the
+  /// concatenation (rank order) on root and an empty vector elsewhere.
+  std::vector<double> gather(std::span<const double> local, int root);
+
+  /// One neighbor-exchange round: `pull` describes, for each source
+  /// rank this rank needs data from, a callback-free copy plan.  The
+  /// caller publishes its own send buffer and reads peers' buffers; the
+  /// communicator handles the two-phase synchronization and charges one
+  /// p2p round of `max_recv_bytes` to the cost model.
+  ///
+  /// Usage:
+  ///   comm.exchange_begin(my_send_buffer);
+  ///   ... read peer buffers via comm.peer_buffer(r) ...
+  ///   comm.exchange_end(max_recv_bytes);
+  void exchange_begin(std::span<const double> send);
+  [[nodiscard]] std::span<const double> peer_buffer(int peer) const;
+  void exchange_end(std::size_t max_recv_bytes);
+
+  [[nodiscard]] const CommStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CommStats{}; }
+
+ private:
+  void inject(double seconds);
+
+  SpmdContext& ctx_;
+  int rank_;
+  int local_sense_ = 0;
+  std::vector<double> scratch_;
+  CommStats stats_;
+};
+
+}  // namespace tsbo::par

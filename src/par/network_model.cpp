@@ -1,0 +1,4 @@
+#include "par/network_model.hpp"
+
+// Header-only alpha-beta model; translation unit reserved for future
+// trace-calibrated models (e.g. per-rank-count measured latencies).

@@ -1,0 +1,71 @@
+#include "par/spmd.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace tsbo::par {
+
+namespace {
+
+void pin_to_core(unsigned core) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(core % std::max(1u, std::thread::hardware_concurrency()), &set);
+  pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)core;
+#endif
+}
+
+}  // namespace
+
+void spmd_run(int nranks, const NetworkModel& model,
+              const std::function<void(Communicator&)>& fn) {
+  assert(nranks >= 1);
+  SpmdContext ctx(nranks, model);
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+
+  const bool pin = nranks <= static_cast<int>(std::thread::hardware_concurrency());
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      if (pin) pin_to_core(static_cast<unsigned>(r));
+      try {
+        Communicator comm(ctx, r);
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+void spmd_run(int nranks, const std::function<void(Communicator&)>& fn) {
+  spmd_run(nranks, NetworkModel::off(), fn);
+}
+
+RowRange block_row_range(long n, int nranks, int rank) {
+  assert(nranks >= 1 && rank >= 0 && rank < nranks);
+  const long base = n / nranks;
+  const long rem = n % nranks;
+  const long begin = rank * base + std::min<long>(rank, rem);
+  const long size = base + (rank < rem ? 1 : 0);
+  return {begin, begin + size};
+}
+
+}  // namespace tsbo::par

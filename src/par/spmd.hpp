@@ -1,0 +1,35 @@
+#pragma once
+// SPMD launcher: runs fn(comm) on `nranks` rank-threads.
+//
+// This is the reproduction's stand-in for `mpirun -np p`: every rank is
+// a thread with private data, communicating only through Communicator
+// collectives.  Ranks are pinned round-robin to cores when the host has
+// enough of them, so strong-scaling measurements are not distorted by
+// the OS migrating rank threads.
+
+#include "par/communicator.hpp"
+
+#include <functional>
+
+namespace tsbo::par {
+
+/// Runs `fn` on nranks rank-threads sharing one SpmdContext.  The first
+/// exception thrown by any rank is rethrown on the caller after all
+/// ranks have been joined.
+void spmd_run(int nranks, const NetworkModel& model,
+              const std::function<void(Communicator&)>& fn);
+
+/// Convenience overload without latency injection.
+void spmd_run(int nranks, const std::function<void(Communicator&)>& fn);
+
+/// Splits n rows into `nranks` contiguous blocks (1-D block row
+/// partition, paper Section VII); returns the [begin, end) of `rank`.
+/// Remainder rows go to the lowest ranks, matching Tpetra's default.
+struct RowRange {
+  long begin = 0;
+  long end = 0;
+  [[nodiscard]] long size() const { return end - begin; }
+};
+RowRange block_row_range(long n, int nranks, int rank);
+
+}  // namespace tsbo::par

@@ -1,0 +1,107 @@
+#include "par/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace tsbo::par {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // The calling thread participates in parallel_for, so spawn one fewer.
+  const unsigned workers = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t nthreads = workers_.size() + 1;
+  if (nthreads == 1 || n < 2 * nthreads) {
+    fn(0, n);
+    return;
+  }
+  // ~4 chunks per thread for load balance without excessive contention.
+  const std::size_t chunk = std::max<std::size_t>(1, n / (4 * nthreads));
+  const std::size_t nchunks = (n + chunk - 1) / chunk;
+
+  {
+    std::lock_guard lock(mutex_);
+    job_ = Job{&fn, n, chunk, 0, nchunks};
+    has_job_ = true;
+    ++generation_;
+  }
+  cv_work_.notify_all();
+
+  // The caller also consumes chunks.
+  for (;;) {
+    std::size_t begin, end;
+    {
+      std::lock_guard lock(mutex_);
+      if (job_.next >= job_.n) break;
+      begin = job_.next;
+      end = std::min(begin + job_.chunk, job_.n);
+      job_.next = end;
+    }
+    fn(begin, end);
+    std::lock_guard lock(mutex_);
+    if (--job_.remaining == 0) {
+      has_job_ = false;
+      cv_done_.notify_all();
+      break;
+    }
+  }
+
+  std::unique_lock lock(mutex_);
+  cv_done_.wait(lock, [this] { return !has_job_; });
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      cv_work_.wait(lock, [&] { return stop_ || (has_job_ && generation_ != seen); });
+      if (stop_) return;
+      seen = generation_;
+      fn = job_.fn;
+    }
+    for (;;) {
+      std::size_t begin, end;
+      {
+        std::lock_guard lock(mutex_);
+        if (!has_job_ || job_.fn != fn || job_.next >= job_.n) break;
+        begin = job_.next;
+        end = std::min(begin + job_.chunk, job_.n);
+        job_.next = end;
+      }
+      (*fn)(begin, end);
+      std::lock_guard lock(mutex_);
+      if (has_job_ && job_.fn == fn && --job_.remaining == 0) {
+        has_job_ = false;
+        cv_done_.notify_all();
+        break;
+      }
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace tsbo::par

@@ -1,0 +1,59 @@
+#pragma once
+// Persistent worker-thread pool with blocked-range parallel_for.
+//
+// Used for node-local data parallelism (matrix generation, single-rank
+// kernels).  The SPMD distributed runtime in spmd.hpp deliberately does
+// NOT use this pool: there, each simulated MPI rank is its own thread
+// with rank-private data, mirroring the one-rank-per-GPU layout of the
+// paper's Summit runs.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tsbo::par {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Runs fn(begin, end) over a partition of [0, n) across the workers
+  /// and the calling thread; blocks until all chunks complete.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Process-wide default pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  struct Job {
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    std::size_t chunk = 0;
+    std::size_t next = 0;       // next chunk start (guarded by mutex)
+    std::size_t remaining = 0;  // unfinished chunks
+  };
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  Job job_;
+  bool has_job_ = false;
+  bool stop_ = false;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace tsbo::par

@@ -1,0 +1,95 @@
+#include "precond/gauss_seidel.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tsbo::precond {
+
+std::vector<int> greedy_coloring(const sparse::CsrMatrix& local,
+                                 sparse::ord n_owned) {
+  std::vector<int> color(static_cast<std::size_t>(n_owned), -1);
+  std::vector<char> used;  // colors used by already-colored neighbors
+  for (sparse::ord i = 0; i < n_owned; ++i) {
+    used.assign(used.size(), 0);
+    for (sparse::offset k = local.row_ptr[i]; k < local.row_ptr[i + 1]; ++k) {
+      const sparse::ord j = local.col_idx[static_cast<std::size_t>(k)];
+      if (j < n_owned && j != i && color[static_cast<std::size_t>(j)] >= 0) {
+        const auto c = static_cast<std::size_t>(color[static_cast<std::size_t>(j)]);
+        if (c >= used.size()) used.resize(c + 1, 0);
+        used[c] = 1;
+      }
+    }
+    int c = 0;
+    while (static_cast<std::size_t>(c) < used.size() &&
+           used[static_cast<std::size_t>(c)]) {
+      ++c;
+    }
+    if (static_cast<std::size_t>(c) >= used.size()) used.resize(c + 1, 0);
+    color[static_cast<std::size_t>(i)] = c;
+  }
+  return color;
+}
+
+MulticolorGaussSeidel::MulticolorGaussSeidel(const sparse::DistCsr& a,
+                                             int sweeps, bool symmetric)
+    : sweeps_(sweeps), symmetric_(symmetric) {
+  const sparse::CsrMatrix& local = a.local_matrix();
+  const sparse::ord n = local.rows;
+
+  // Drop ghost columns: the preconditioner acts on the rank-local
+  // diagonal block (block Jacobi across ranks).
+  std::vector<sparse::Triplet> t;
+  t.reserve(static_cast<std::size_t>(local.nnz()));
+  for (sparse::ord i = 0; i < n; ++i) {
+    for (sparse::offset k = local.row_ptr[i]; k < local.row_ptr[i + 1]; ++k) {
+      const sparse::ord j = local.col_idx[static_cast<std::size_t>(k)];
+      if (j < n) t.push_back({i, j, local.values[static_cast<std::size_t>(k)]});
+    }
+  }
+  block_ = sparse::csr_from_triplets(n, n, std::move(t));
+
+  inv_diag_.assign(static_cast<std::size_t>(n), 1.0);
+  for (sparse::ord i = 0; i < n; ++i) {
+    const double d = block_.at(i, i);
+    if (d != 0.0) inv_diag_[static_cast<std::size_t>(i)] = 1.0 / d;
+  }
+
+  color_of_ = greedy_coloring(block_, n);
+  num_colors_ = 0;
+  for (const int c : color_of_) num_colors_ = std::max(num_colors_, c + 1);
+  color_rows_.assign(static_cast<std::size_t>(num_colors_), {});
+  for (sparse::ord i = 0; i < n; ++i) {
+    color_rows_[static_cast<std::size_t>(color_of_[static_cast<std::size_t>(i)])]
+        .push_back(i);
+  }
+}
+
+void MulticolorGaussSeidel::relax_color(int color, std::span<const double> x,
+                                        std::span<double> y) const {
+  for (const sparse::ord i :
+       color_rows_[static_cast<std::size_t>(color)]) {
+    double s = x[static_cast<std::size_t>(i)];
+    for (sparse::offset k = block_.row_ptr[i]; k < block_.row_ptr[i + 1]; ++k) {
+      const sparse::ord j = block_.col_idx[static_cast<std::size_t>(k)];
+      if (j != i) {
+        s -= block_.values[static_cast<std::size_t>(k)] *
+             y[static_cast<std::size_t>(j)];
+      }
+    }
+    y[static_cast<std::size_t>(i)] = s * inv_diag_[static_cast<std::size_t>(i)];
+  }
+}
+
+void MulticolorGaussSeidel::apply(std::span<const double> x,
+                                  std::span<double> y) const {
+  assert(x.size() == inv_diag_.size() && y.size() == inv_diag_.size());
+  std::fill(y.begin(), y.end(), 0.0);
+  for (int sweep = 0; sweep < sweeps_; ++sweep) {
+    for (int c = 0; c < num_colors_; ++c) relax_color(c, x, y);
+    if (symmetric_) {
+      for (int c = num_colors_ - 1; c >= 0; --c) relax_color(c, x, y);
+    }
+  }
+}
+
+}  // namespace tsbo::precond

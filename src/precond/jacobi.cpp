@@ -1,0 +1,27 @@
+#include "precond/jacobi.hpp"
+
+#include <cassert>
+
+namespace tsbo::precond {
+
+Jacobi::Jacobi(const sparse::DistCsr& a) {
+  const sparse::CsrMatrix& local = a.local_matrix();
+  inv_diag_.assign(static_cast<std::size_t>(local.rows), 1.0);
+  for (sparse::ord i = 0; i < local.rows; ++i) {
+    // Diagonal entry: global column row_begin+i maps to local column i.
+    for (sparse::offset k = local.row_ptr[i]; k < local.row_ptr[i + 1]; ++k) {
+      if (local.col_idx[static_cast<std::size_t>(k)] == i) {
+        const double d = local.values[static_cast<std::size_t>(k)];
+        if (d != 0.0) inv_diag_[static_cast<std::size_t>(i)] = 1.0 / d;
+        break;
+      }
+    }
+  }
+}
+
+void Jacobi::apply(std::span<const double> x, std::span<double> y) const {
+  assert(x.size() == inv_diag_.size() && y.size() == inv_diag_.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] * inv_diag_[i];
+}
+
+}  // namespace tsbo::precond

@@ -1,0 +1,24 @@
+#pragma once
+// Point Jacobi (diagonal) preconditioner.
+
+#include "precond/preconditioner.hpp"
+#include "sparse/dist_csr.hpp"
+
+#include <vector>
+
+namespace tsbo::precond {
+
+class Jacobi final : public Preconditioner {
+ public:
+  /// Extracts the local diagonal of `a`.  Zero diagonals become 1
+  /// (identity action on those rows).
+  explicit Jacobi(const sparse::DistCsr& a);
+
+  void apply(std::span<const double> x, std::span<double> y) const override;
+  [[nodiscard]] std::string name() const override { return "Jacobi"; }
+
+ private:
+  std::vector<double> inv_diag_;
+};
+
+}  // namespace tsbo::precond

@@ -1,0 +1,28 @@
+#pragma once
+// Preconditioner interface.
+//
+// The paper applies SpMV "typically combined with a preconditioner"
+// (Section I) and evaluates a local Gauss-Seidel preconditioner (block
+// Jacobi with Gauss-Seidel in each block, Fig. 13).  All provided
+// preconditioners are *local*: apply() touches only the rank's own rows
+// and requires no communication, exactly like the paper's block-Jacobi
+// family.  Solvers use right preconditioning (solve A M^{-1} u = b,
+// x = M^{-1} u), so the Krylov residual norm is the true residual norm.
+
+#include <span>
+#include <string>
+
+namespace tsbo::precond {
+
+class Preconditioner {
+ public:
+  virtual ~Preconditioner() = default;
+
+  /// y = M^{-1} x on the rank-local rows.  x and y have the local
+  /// length; aliasing x == y is not allowed.
+  virtual void apply(std::span<const double> x, std::span<double> y) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace tsbo::precond

@@ -1,0 +1,92 @@
+#include "sparse/dist_csr.hpp"
+
+#include "sparse/spmv.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <map>
+
+namespace tsbo::sparse {
+
+DistCsr::DistCsr(const CsrMatrix& global, const RowPartition& partition,
+                 int rank)
+    : rank_(rank), partition_(partition.n(), partition.nranks()) {
+  const ord begin = partition_.begin(rank);
+  const ord end = partition_.end(rank);
+  local_ = extract_rows(global, begin, end);
+
+  // Collect off-rank (ghost) column ids.
+  std::vector<ord> ghosts;
+  for (const ord c : local_.col_idx) {
+    if (c < begin || c >= end) ghosts.push_back(c);
+  }
+  std::sort(ghosts.begin(), ghosts.end());
+  ghosts.erase(std::unique(ghosts.begin(), ghosts.end()), ghosts.end());
+  ghost_gid_ = std::move(ghosts);
+
+  // Remap columns: own rows -> [0, nlocal), ghosts -> nlocal + slot.
+  const ord nlocal = end - begin;
+  for (ord& c : local_.col_idx) {
+    if (c >= begin && c < end) {
+      c -= begin;
+    } else {
+      const auto it =
+          std::lower_bound(ghost_gid_.begin(), ghost_gid_.end(), c);
+      c = nlocal + static_cast<ord>(it - ghost_gid_.begin());
+    }
+  }
+  local_.cols = nlocal + static_cast<ord>(ghost_gid_.size());
+
+  ghost_owner_.resize(ghost_gid_.size());
+  ghost_peer_offset_.resize(ghost_gid_.size());
+  std::map<int, std::size_t> per_peer;
+  for (std::size_t g = 0; g < ghost_gid_.size(); ++g) {
+    const int owner = partition_.owner(ghost_gid_[g]);
+    ghost_owner_[g] = owner;
+    ghost_peer_offset_[g] = ghost_gid_[g] - partition_.begin(owner);
+    per_peer[owner] += sizeof(double);
+  }
+  for (const auto& [peer, bytes] : per_peer) {
+    max_recv_bytes_ = std::max(max_recv_bytes_, bytes);
+  }
+
+  xbuf_.resize(static_cast<std::size_t>(local_.cols));
+}
+
+void DistCsr::gather_ghosts(par::Communicator& comm,
+                            std::span<const double> x_local) const {
+  assert(static_cast<ord>(x_local.size()) == n_local());
+  std::memcpy(xbuf_.data(), x_local.data(), x_local.size_bytes());
+  if (comm.size() > 1) {
+    comm.exchange_begin(x_local);
+    const std::size_t nlocal = static_cast<std::size_t>(n_local());
+    for (std::size_t g = 0; g < ghost_gid_.size(); ++g) {
+      xbuf_[nlocal + g] =
+          comm.peer_buffer(ghost_owner_[g])[static_cast<std::size_t>(
+              ghost_peer_offset_[g])];
+    }
+    comm.exchange_end(max_recv_bytes_);
+  }
+}
+
+void DistCsr::spmv(par::Communicator& comm, std::span<const double> x_local,
+                   std::span<double> y_local, util::PhaseTimers* timers) const {
+  assert(static_cast<ord>(y_local.size()) == n_local());
+  if (timers) timers->start("spmv/comm");
+  gather_ghosts(comm, x_local);
+  if (timers) {
+    timers->stop("spmv/comm");
+    timers->start("spmv/local");
+  }
+  spmv_rows(local_, 0, local_.rows, xbuf_, y_local);
+  if (timers) timers->stop("spmv/local");
+}
+
+void DistCsr::spmv_local_only(std::span<const double> x_local,
+                              std::span<double> y_local) const {
+  std::memcpy(xbuf_.data(), x_local.data(), x_local.size_bytes());
+  spmv_rows(local_, 0, local_.rows, xbuf_, y_local);
+}
+
+}  // namespace tsbo::sparse

@@ -1,0 +1,61 @@
+#pragma once
+// Distributed CSR with halo exchange (Tpetra-style import).
+//
+// Each rank owns a contiguous block of rows (1-D block row format); the
+// off-rank vector entries its rows touch are "ghosts" gathered by a
+// neighbor exchange before every product.  This is the paper's standard
+// (non-communication-avoiding) matrix-powers substrate: SpMV applied s
+// times in sequence, each with neighborhood communication (Section III).
+
+#include "par/communicator.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/partition.hpp"
+#include "util/timer.hpp"
+
+#include <span>
+#include <vector>
+
+namespace tsbo::sparse {
+
+class DistCsr {
+ public:
+  /// Builds rank `rank`'s piece of `global` (the global matrix is only
+  /// read, not retained).  All ranks must use the same partition.
+  DistCsr(const CsrMatrix& global, const RowPartition& partition, int rank);
+
+  [[nodiscard]] ord n_global() const { return partition_.n(); }
+  [[nodiscard]] ord n_local() const { return local_.rows; }
+  [[nodiscard]] ord n_ghost() const { return static_cast<ord>(ghost_gid_.size()); }
+  [[nodiscard]] ord row_begin() const { return partition_.begin(rank_); }
+  [[nodiscard]] const RowPartition& partition() const { return partition_; }
+  [[nodiscard]] const CsrMatrix& local_matrix() const { return local_; }
+  /// Global nnz summed over ranks (identical on all ranks).
+  [[nodiscard]] offset nnz_local() const { return local_.nnz(); }
+
+  /// y_local = A x: gathers ghosts via one neighbor-exchange round on
+  /// `comm`, then multiplies the local rows.  `timers` (optional)
+  /// receives "spmv/comm" and "spmv/local" phases.
+  void spmv(par::Communicator& comm, std::span<const double> x_local,
+            std::span<double> y_local, util::PhaseTimers* timers = nullptr) const;
+
+  /// Local-only product assuming ghosts are already in place (used by
+  /// preconditioners that reuse a gathered halo).
+  void spmv_local_only(std::span<const double> x_local,
+                       std::span<double> y_local) const;
+
+  /// Performs just the halo gather into the internal buffer.
+  void gather_ghosts(par::Communicator& comm,
+                     std::span<const double> x_local) const;
+
+ private:
+  int rank_;
+  RowPartition partition_;
+  CsrMatrix local_;             // columns remapped: [0,nlocal) own, then ghosts
+  std::vector<ord> ghost_gid_;  // sorted global ids of ghost columns
+  std::vector<int> ghost_owner_;
+  std::vector<ord> ghost_peer_offset_;  // gid - peer row_begin
+  std::size_t max_recv_bytes_ = 0;      // largest per-peer pull
+  mutable std::vector<double> xbuf_;    // [x_local | ghosts]
+};
+
+}  // namespace tsbo::sparse

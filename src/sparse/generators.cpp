@@ -1,0 +1,276 @@
+#include "sparse/generators.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace tsbo::sparse {
+
+double hash01(std::uint64_t id, std::uint64_t seed) {
+  // SplitMix64 finalizer over (id, seed).
+  std::uint64_t x = id * 0x9e3779b97f4a7c15ull + seed * 0xbf58476d1ce4e5b9ull + 1;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+namespace {
+
+struct TripletSink {
+  std::vector<Triplet> t;
+  void add(ord r, ord c, double v) { t.push_back({r, c, v}); }
+};
+
+}  // namespace
+
+CsrMatrix laplace2d_5pt(ord nx, ord ny) {
+  const ord n = nx * ny;
+  TripletSink s;
+  s.t.reserve(static_cast<std::size_t>(n) * 5);
+  for (ord y = 0; y < ny; ++y) {
+    for (ord x = 0; x < nx; ++x) {
+      const ord i = y * nx + x;
+      s.add(i, i, 4.0);
+      if (x > 0) s.add(i, i - 1, -1.0);
+      if (x < nx - 1) s.add(i, i + 1, -1.0);
+      if (y > 0) s.add(i, i - nx, -1.0);
+      if (y < ny - 1) s.add(i, i + nx, -1.0);
+    }
+  }
+  return csr_from_triplets(n, n, std::move(s.t));
+}
+
+CsrMatrix laplace2d_9pt(ord nx, ord ny) {
+  const ord n = nx * ny;
+  TripletSink s;
+  s.t.reserve(static_cast<std::size_t>(n) * 9);
+  for (ord y = 0; y < ny; ++y) {
+    for (ord x = 0; x < nx; ++x) {
+      const ord i = y * nx + x;
+      s.add(i, i, 8.0);
+      for (ord dy = -1; dy <= 1; ++dy) {
+        for (ord dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          const ord xx = x + dx, yy = y + dy;
+          if (xx < 0 || xx >= nx || yy < 0 || yy >= ny) continue;
+          s.add(i, yy * nx + xx, -1.0);
+        }
+      }
+    }
+  }
+  return csr_from_triplets(n, n, std::move(s.t));
+}
+
+CsrMatrix laplace3d_7pt(ord nx, ord ny, ord nz) {
+  const ord n = nx * ny * nz;
+  TripletSink s;
+  s.t.reserve(static_cast<std::size_t>(n) * 7);
+  for (ord z = 0; z < nz; ++z) {
+    for (ord y = 0; y < ny; ++y) {
+      for (ord x = 0; x < nx; ++x) {
+        const ord i = (z * ny + y) * nx + x;
+        s.add(i, i, 6.0);
+        if (x > 0) s.add(i, i - 1, -1.0);
+        if (x < nx - 1) s.add(i, i + 1, -1.0);
+        if (y > 0) s.add(i, i - nx, -1.0);
+        if (y < ny - 1) s.add(i, i + nx, -1.0);
+        if (z > 0) s.add(i, i - nx * ny, -1.0);
+        if (z < nz - 1) s.add(i, i + nx * ny, -1.0);
+      }
+    }
+  }
+  return csr_from_triplets(n, n, std::move(s.t));
+}
+
+CsrMatrix laplace3d_27pt(ord nx, ord ny, ord nz) {
+  const ord n = nx * ny * nz;
+  TripletSink s;
+  s.t.reserve(static_cast<std::size_t>(n) * 27);
+  for (ord z = 0; z < nz; ++z) {
+    for (ord y = 0; y < ny; ++y) {
+      for (ord x = 0; x < nx; ++x) {
+        const ord i = (z * ny + y) * nx + x;
+        s.add(i, i, 26.0);
+        for (ord dz = -1; dz <= 1; ++dz) {
+          for (ord dy = -1; dy <= 1; ++dy) {
+            for (ord dx = -1; dx <= 1; ++dx) {
+              if (dx == 0 && dy == 0 && dz == 0) continue;
+              const ord xx = x + dx, yy = y + dy, zz = z + dz;
+              if (xx < 0 || xx >= nx || yy < 0 || yy >= ny || zz < 0 ||
+                  zz >= nz) {
+                continue;
+              }
+              s.add(i, (zz * ny + yy) * nx + xx, -1.0);
+            }
+          }
+        }
+      }
+    }
+  }
+  return csr_from_triplets(n, n, std::move(s.t));
+}
+
+CsrMatrix convection_diffusion3d(ord nx, ord ny, ord nz, double wx, double wy,
+                                 double wz) {
+  const ord n = nx * ny * nz;
+  TripletSink s;
+  s.t.reserve(static_cast<std::size_t>(n) * 7);
+  // Diffusion 7-pt plus first-order upwind convection: for wind w > 0
+  // the upwind neighbor is i-1, contributing (-w) off-diagonal and (+w)
+  // to the diagonal.
+  const double ax = std::abs(wx), ay = std::abs(wy), az = std::abs(wz);
+  for (ord z = 0; z < nz; ++z) {
+    for (ord y = 0; y < ny; ++y) {
+      for (ord x = 0; x < nx; ++x) {
+        const ord i = (z * ny + y) * nx + x;
+        s.add(i, i, 6.0 + ax + ay + az);
+        const double wxm = wx > 0 ? wx : 0.0, wxp = wx < 0 ? -wx : 0.0;
+        const double wym = wy > 0 ? wy : 0.0, wyp = wy < 0 ? -wy : 0.0;
+        const double wzm = wz > 0 ? wz : 0.0, wzp = wz < 0 ? -wz : 0.0;
+        if (x > 0) s.add(i, i - 1, -1.0 - wxm);
+        if (x < nx - 1) s.add(i, i + 1, -1.0 - wxp);
+        if (y > 0) s.add(i, i - nx, -1.0 - wym);
+        if (y < ny - 1) s.add(i, i + nx, -1.0 - wyp);
+        if (z > 0) s.add(i, i - nx * ny, -1.0 - wzm);
+        if (z < nz - 1) s.add(i, i + nx * ny, -1.0 - wzp);
+      }
+    }
+  }
+  return csr_from_triplets(n, n, std::move(s.t));
+}
+
+CsrMatrix elasticity3d(ord nx, ord ny, ord nz, bool wide, double coupling) {
+  const ord nodes = nx * ny * nz;
+  const ord n = 3 * nodes;
+  TripletSink s;
+  const int reach = wide ? 27 : 7;
+  s.t.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(reach) * 3);
+
+  auto node_id = [&](ord x, ord y, ord z) { return (z * ny + y) * nx + x; };
+
+  for (ord z = 0; z < nz; ++z) {
+    for (ord y = 0; y < ny; ++y) {
+      for (ord x = 0; x < nx; ++x) {
+        const ord nid = node_id(x, y, z);
+        int degree = 0;
+        for (ord dz = -1; dz <= 1; ++dz) {
+          for (ord dy = -1; dy <= 1; ++dy) {
+            for (ord dx = -1; dx <= 1; ++dx) {
+              if (dx == 0 && dy == 0 && dz == 0) continue;
+              if (!wide && (std::abs(dx) + std::abs(dy) + std::abs(dz)) != 1) {
+                continue;
+              }
+              const ord xx = x + dx, yy = y + dy, zz = z + dz;
+              if (xx < 0 || xx >= nx || yy < 0 || yy >= ny || zz < 0 ||
+                  zz >= nz) {
+                continue;
+              }
+              const ord mid = node_id(xx, yy, zz);
+              ++degree;
+              // Neighbor coupling: full 3x3 block.  Diagonal of the
+              // block is the Laplacian stencil; off-diagonals mix
+              // displacement components (shear-like terms).
+              for (int c = 0; c < 3; ++c) {
+                for (int d = 0; d < 3; ++d) {
+                  const double v = (c == d) ? -1.0 : -coupling * 0.25;
+                  s.add(3 * nid + c, 3 * mid + d, v);
+                }
+              }
+            }
+          }
+        }
+        // Node-diagonal 3x3 block: dominant enough to keep the operator
+        // positive definite in its symmetric version.
+        for (int c = 0; c < 3; ++c) {
+          for (int d = 0; d < 3; ++d) {
+            const double v =
+                (c == d) ? static_cast<double>(degree) + 1.0 : coupling;
+            s.add(3 * nid + c, 3 * nid + d, v);
+          }
+        }
+      }
+    }
+  }
+  return csr_from_triplets(n, n, std::move(s.t));
+}
+
+CsrMatrix heterogeneous2d(ord nx, ord ny, bool nine_point, double decades,
+                          std::uint64_t seed) {
+  const ord n = nx * ny;
+  TripletSink s;
+  s.t.reserve(static_cast<std::size_t>(n) * (nine_point ? 9 : 5));
+
+  // Lognormal cell conductivity; edges use the harmonic mean of the two
+  // cells they join (standard finite-volume treatment of jumps).
+  auto kcell = [&](ord x, ord y) {
+    return std::pow(10.0, decades * (hash01(static_cast<std::uint64_t>(y) * nx + x,
+                                            seed) -
+                                     0.5));
+  };
+  auto kedge = [&](ord x0, ord y0, ord x1, ord y1) {
+    const double a = kcell(x0, y0), b = kcell(x1, y1);
+    return 2.0 * a * b / (a + b);
+  };
+
+  for (ord y = 0; y < ny; ++y) {
+    for (ord x = 0; x < nx; ++x) {
+      const ord i = y * nx + x;
+      double diag = 0.0;
+      for (ord dy = -1; dy <= 1; ++dy) {
+        for (ord dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          if (!nine_point && dx != 0 && dy != 0) continue;
+          const ord xx = x + dx, yy = y + dy;
+          if (xx < 0 || xx >= nx || yy < 0 || yy >= ny) continue;
+          // Diagonal stencil legs are weighted half (9-pt consistency).
+          const double w = (dx != 0 && dy != 0) ? 0.5 : 1.0;
+          const double k = w * kedge(x, y, xx, yy);
+          s.add(i, yy * nx + xx, -k);
+          diag += k;
+        }
+      }
+      // +1 keeps Dirichlet-like definiteness at the boundary.
+      s.add(i, i, diag + 1e-8 + 1.0 * kcell(x, y) * 1e-2);
+    }
+  }
+  return csr_from_triplets(n, n, std::move(s.t));
+}
+
+CsrMatrix anisotropic3d(ord nx, ord ny, ord nz, double eps_y, double eps_z) {
+  const ord n = nx * ny * nz;
+  TripletSink s;
+  s.t.reserve(static_cast<std::size_t>(n) * 7);
+  for (ord z = 0; z < nz; ++z) {
+    for (ord y = 0; y < ny; ++y) {
+      for (ord x = 0; x < nx; ++x) {
+        const ord i = (z * ny + y) * nx + x;
+        s.add(i, i, 2.0 + 2.0 * eps_y + 2.0 * eps_z);
+        if (x > 0) s.add(i, i - 1, -1.0);
+        if (x < nx - 1) s.add(i, i + 1, -1.0);
+        if (y > 0) s.add(i, i - nx, -eps_y);
+        if (y < ny - 1) s.add(i, i + nx, -eps_y);
+        if (z > 0) s.add(i, i - nx * ny, -eps_z);
+        if (z < nz - 1) s.add(i, i + nx * ny, -eps_z);
+      }
+    }
+  }
+  return csr_from_triplets(n, n, std::move(s.t));
+}
+
+void apply_diagonal_spread(CsrMatrix& a, double decades, std::uint64_t seed) {
+  assert(a.rows == a.cols);
+  std::vector<double> d(static_cast<std::size_t>(a.rows));
+  for (ord i = 0; i < a.rows; ++i) {
+    d[static_cast<std::size_t>(i)] = std::pow(
+        10.0, decades * (hash01(static_cast<std::uint64_t>(i), seed) - 0.5));
+  }
+  for (ord i = 0; i < a.rows; ++i) {
+    for (offset k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      const std::size_t kk = static_cast<std::size_t>(k);
+      a.values[kk] *= d[static_cast<std::size_t>(i)] *
+                      d[static_cast<std::size_t>(a.col_idx[kk])];
+    }
+  }
+}
+
+}  // namespace tsbo::sparse

@@ -1,0 +1,61 @@
+#pragma once
+// Structured sparse matrix generators.
+//
+// These produce the paper's model problems (2-D/3-D Laplace on 5/9/7/27
+// point stencils, 3-D elasticity) and the parameterized stencils that
+// back the SuiteSparse surrogates (convection-diffusion, heterogeneous
+// coefficients, anisotropy, diagonal spread).  All generators are
+// deterministic: random coefficient fields are hashed from node ids, so
+// repeated calls (and calls from different ranks) agree exactly.
+
+#include "sparse/csr.hpp"
+
+namespace tsbo::sparse {
+
+/// 2-D Laplace, 5-point stencil (4 on diagonal, -1 on N/S/E/W),
+/// Dirichlet boundaries.  n = nx * ny.  Paper Table II workload.
+CsrMatrix laplace2d_5pt(ord nx, ord ny);
+
+/// 2-D Laplace, 9-point stencil (8 on diagonal, -1 on all 8 neighbors).
+/// Paper Table III workload.
+CsrMatrix laplace2d_9pt(ord nx, ord ny);
+
+/// 3-D Laplace, 7-point stencil.  Paper Table IV "Laplace3D".
+CsrMatrix laplace3d_7pt(ord nx, ord ny, ord nz);
+
+/// 3-D Laplace, 27-point stencil (26 on diagonal, -1 on neighbors).
+CsrMatrix laplace3d_27pt(ord nx, ord ny, ord nz);
+
+/// 3-D convection-diffusion, 7-point with first-order upwinding of the
+/// wind field (wx, wy, wz): nonsymmetric.  atmosmodl surrogate.
+CsrMatrix convection_diffusion3d(ord nx, ord ny, ord nz, double wx, double wy,
+                                 double wz);
+
+/// 3-D linear-elasticity-like operator: 3 dofs/node; per-component
+/// stencil + symmetric cross-component coupling of strength `coupling`.
+/// `wide` selects 27-point (true) vs 7-point (false) per-component
+/// stencils.  Paper Table IV "Elasticity3D" (narrow) and the ML_Geer
+/// surrogate (wide).
+CsrMatrix elasticity3d(ord nx, ord ny, ord nz, bool wide = false,
+                       double coupling = 0.3);
+
+/// 2-D heterogeneous diffusion: 5- or 9-point with lognormal cell
+/// conductivities spanning `decades` orders of magnitude (harmonic
+/// averaging on edges).  ecology2 / thermal2 surrogates.
+CsrMatrix heterogeneous2d(ord nx, ord ny, bool nine_point, double decades,
+                          std::uint64_t seed);
+
+/// 3-D anisotropic diffusion: 7-point with coefficients (1, eps_y,
+/// eps_z).  Small eps makes the operator extremely ill-conditioned
+/// (HTC surrogate).
+CsrMatrix anisotropic3d(ord nx, ord ny, ord nz, double eps_y, double eps_z);
+
+/// Applies D A D with d_i = 10^(decades * (h(i) - 0.5)) for a hashed
+/// uniform h: spreads the spectrum across `decades` orders of magnitude
+/// (Ga41As41H72 surrogate).  Deterministic in `seed`.
+void apply_diagonal_spread(CsrMatrix& a, double decades, std::uint64_t seed);
+
+/// Deterministic hash of (id, seed) to [0, 1).  Exposed for tests.
+double hash01(std::uint64_t id, std::uint64_t seed);
+
+}  // namespace tsbo::sparse

@@ -1,0 +1,79 @@
+#include "sparse/mm_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tsbo::sparse {
+
+CsrMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("mm_io: empty stream");
+  }
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket" || object != "matrix" ||
+      format != "coordinate" || field != "real") {
+    throw std::runtime_error("mm_io: unsupported header: " + line);
+  }
+  const bool symmetric = symmetry == "symmetric";
+  if (!symmetric && symmetry != "general") {
+    throw std::runtime_error("mm_io: unsupported symmetry: " + symmetry);
+  }
+
+  // Skip comments.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  long rows = 0, cols = 0, nnz = 0;
+  {
+    std::istringstream sizes(line);
+    if (!(sizes >> rows >> cols >> nnz)) {
+      throw std::runtime_error("mm_io: bad size line: " + line);
+    }
+  }
+
+  std::vector<Triplet> t;
+  t.reserve(static_cast<std::size_t>(symmetric ? 2 * nnz : nnz));
+  for (long k = 0; k < nnz; ++k) {
+    long i = 0, j = 0;
+    double v = 0.0;
+    if (!(in >> i >> j >> v)) {
+      throw std::runtime_error("mm_io: truncated entry list");
+    }
+    t.push_back({static_cast<ord>(i - 1), static_cast<ord>(j - 1), v});
+    if (symmetric && i != j) {
+      t.push_back({static_cast<ord>(j - 1), static_cast<ord>(i - 1), v});
+    }
+  }
+  return csr_from_triplets(static_cast<ord>(rows), static_cast<ord>(cols),
+                           std::move(t));
+}
+
+CsrMatrix read_matrix_market_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("mm_io: cannot open " + path);
+  return read_matrix_market(f);
+}
+
+void write_matrix_market(std::ostream& out, const CsrMatrix& a) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << a.rows << " " << a.cols << " " << a.nnz() << "\n";
+  out.precision(17);
+  for (ord i = 0; i < a.rows; ++i) {
+    for (offset k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      out << (i + 1) << " " << (a.col_idx[static_cast<std::size_t>(k)] + 1)
+          << " " << a.values[static_cast<std::size_t>(k)] << "\n";
+    }
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const CsrMatrix& a) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("mm_io: cannot open " + path);
+  write_matrix_market(f, a);
+}
+
+}  // namespace tsbo::sparse

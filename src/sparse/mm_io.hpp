@@ -1,0 +1,26 @@
+#pragma once
+// MatrixMarket coordinate I/O.
+//
+// Lets users drop in the real SuiteSparse matrices (the paper's
+// evaluation set) in place of the built-in surrogates.  Supports
+// `matrix coordinate real {general|symmetric}`.
+
+#include "sparse/csr.hpp"
+
+#include <iosfwd>
+#include <string>
+
+namespace tsbo::sparse {
+
+/// Parses a MatrixMarket stream.  Symmetric files are expanded to full
+/// storage.  Throws std::runtime_error on malformed input.
+CsrMatrix read_matrix_market(std::istream& in);
+
+/// Reads a .mtx file from disk.
+CsrMatrix read_matrix_market_file(const std::string& path);
+
+/// Writes general coordinate format.
+void write_matrix_market(std::ostream& out, const CsrMatrix& a);
+void write_matrix_market_file(const std::string& path, const CsrMatrix& a);
+
+}  // namespace tsbo::sparse

@@ -1,0 +1,27 @@
+#include "sparse/partition.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tsbo::sparse {
+
+RowPartition::RowPartition(ord n, int nranks) : n_(n) {
+  assert(n >= 0 && nranks >= 1);
+  begin_.resize(static_cast<std::size_t>(nranks) + 1);
+  for (int r = 0; r <= nranks; ++r) {
+    if (r == nranks) {
+      begin_[static_cast<std::size_t>(r)] = n;
+    } else {
+      begin_[static_cast<std::size_t>(r)] =
+          static_cast<ord>(par::block_row_range(n, nranks, r).begin);
+    }
+  }
+}
+
+int RowPartition::owner(ord row) const {
+  assert(row >= 0 && row < n_);
+  const auto it = std::upper_bound(begin_.begin(), begin_.end(), row);
+  return static_cast<int>(it - begin_.begin()) - 1;
+}
+
+}  // namespace tsbo::sparse

@@ -1,0 +1,32 @@
+#pragma once
+// 1-D block row partitioning (paper Section VII: matrices and vectors
+// are distributed among MPI processes in 1-D block row format).
+
+#include "par/spmd.hpp"
+#include "sparse/csr.hpp"
+
+#include <vector>
+
+namespace tsbo::sparse {
+
+/// Row partition of n rows over p ranks: contiguous blocks, remainder
+/// to the lowest ranks (Tpetra default).
+class RowPartition {
+ public:
+  RowPartition(ord n, int nranks);
+
+  [[nodiscard]] ord n() const { return n_; }
+  [[nodiscard]] int nranks() const { return static_cast<int>(begin_.size()) - 1; }
+  [[nodiscard]] ord begin(int rank) const { return begin_[static_cast<std::size_t>(rank)]; }
+  [[nodiscard]] ord end(int rank) const { return begin_[static_cast<std::size_t>(rank) + 1]; }
+  [[nodiscard]] ord local_rows(int rank) const { return end(rank) - begin(rank); }
+
+  /// Owning rank of a global row (binary search).
+  [[nodiscard]] int owner(ord row) const;
+
+ private:
+  ord n_;
+  std::vector<ord> begin_;  // size nranks + 1
+};
+
+}  // namespace tsbo::sparse

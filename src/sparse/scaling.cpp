@@ -1,0 +1,49 @@
+#include "sparse/scaling.hpp"
+
+#include <cmath>
+
+namespace tsbo::sparse {
+
+std::vector<double> col_max_abs(const CsrMatrix& a) {
+  std::vector<double> m(static_cast<std::size_t>(a.cols), 0.0);
+  for (std::size_t k = 0; k < a.values.size(); ++k) {
+    const auto j = static_cast<std::size_t>(a.col_idx[k]);
+    const double v = std::abs(a.values[k]);
+    if (v > m[j]) m[j] = v;
+  }
+  return m;
+}
+
+std::vector<double> row_max_abs(const CsrMatrix& a) {
+  std::vector<double> m(static_cast<std::size_t>(a.rows), 0.0);
+  for (ord i = 0; i < a.rows; ++i) {
+    for (offset k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      const double v = std::abs(a.values[static_cast<std::size_t>(k)]);
+      if (v > m[static_cast<std::size_t>(i)]) m[static_cast<std::size_t>(i)] = v;
+    }
+  }
+  return m;
+}
+
+EquilibrationScales equilibrate_max(CsrMatrix& a) {
+  EquilibrationScales s;
+  s.col_scale = col_max_abs(a);
+  for (double& v : s.col_scale) {
+    if (v == 0.0) v = 1.0;
+  }
+  for (std::size_t k = 0; k < a.values.size(); ++k) {
+    a.values[k] /= s.col_scale[static_cast<std::size_t>(a.col_idx[k])];
+  }
+  s.row_scale = row_max_abs(a);
+  for (double& v : s.row_scale) {
+    if (v == 0.0) v = 1.0;
+  }
+  for (ord i = 0; i < a.rows; ++i) {
+    for (offset k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      a.values[static_cast<std::size_t>(k)] /= s.row_scale[static_cast<std::size_t>(i)];
+    }
+  }
+  return s;
+}
+
+}  // namespace tsbo::sparse

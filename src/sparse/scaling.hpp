@@ -1,0 +1,25 @@
+#pragma once
+// Matrix equilibration as the paper prescribes (Section VI): "we scaled
+// the columns and then rows of the matrices by the maximum nonzero
+// entries in the columns and rows (hence, all the resulting matrices
+// are non-symmetric)."
+
+#include "sparse/csr.hpp"
+
+namespace tsbo::sparse {
+
+struct EquilibrationScales {
+  std::vector<double> col_scale;  // applied first
+  std::vector<double> row_scale;  // applied second
+};
+
+/// In-place max-scaling: first every column is divided by its max
+/// absolute nonzero, then every row by its max absolute nonzero.
+/// Returns the scale factors that were applied.
+EquilibrationScales equilibrate_max(CsrMatrix& a);
+
+/// Max absolute value per column / per row (helpers, also for tests).
+std::vector<double> col_max_abs(const CsrMatrix& a);
+std::vector<double> row_max_abs(const CsrMatrix& a);
+
+}  // namespace tsbo::sparse

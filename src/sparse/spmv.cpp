@@ -1,0 +1,42 @@
+#include "sparse/spmv.hpp"
+
+#include <cassert>
+
+namespace tsbo::sparse {
+
+void spmv(const CsrMatrix& a, std::span<const double> x, std::span<double> y) {
+  assert(static_cast<ord>(x.size()) == a.cols);
+  assert(static_cast<ord>(y.size()) == a.rows);
+  spmv_rows(a, 0, a.rows, x, y);
+}
+
+void spmv(double alpha, const CsrMatrix& a, std::span<const double> x,
+          double beta, std::span<double> y) {
+  assert(static_cast<ord>(x.size()) == a.cols);
+  assert(static_cast<ord>(y.size()) == a.rows);
+  for (ord i = 0; i < a.rows; ++i) {
+    double s = 0.0;
+    for (offset k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      s += a.values[static_cast<std::size_t>(k)] *
+           x[static_cast<std::size_t>(a.col_idx[static_cast<std::size_t>(k)])];
+    }
+    y[static_cast<std::size_t>(i)] =
+        alpha * s + beta * y[static_cast<std::size_t>(i)];
+  }
+}
+
+void spmv_rows(const CsrMatrix& a, ord begin, ord end,
+               std::span<const double> x, std::span<double> y) {
+  assert(begin >= 0 && end <= a.rows);
+  const ord* col = a.col_idx.data();
+  const double* val = a.values.data();
+  for (ord i = begin; i < end; ++i) {
+    double s = 0.0;
+    for (offset k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      s += val[k] * x[static_cast<std::size_t>(col[k])];
+    }
+    y[static_cast<std::size_t>(i)] = s;
+  }
+}
+
+}  // namespace tsbo::sparse

@@ -1,0 +1,22 @@
+#pragma once
+// Sparse matrix-vector products.
+
+#include "sparse/csr.hpp"
+
+#include <span>
+
+namespace tsbo::sparse {
+
+/// y = A x
+void spmv(const CsrMatrix& a, std::span<const double> x, std::span<double> y);
+
+/// y = alpha * A x + beta * y
+void spmv(double alpha, const CsrMatrix& a, std::span<const double> x,
+          double beta, std::span<double> y);
+
+/// Rows [begin, end) only: y[begin..end) = A(begin..end, :) x.
+/// Building block for threaded and rank-local products.
+void spmv_rows(const CsrMatrix& a, ord begin, ord end,
+               std::span<const double> x, std::span<double> y);
+
+}  // namespace tsbo::sparse

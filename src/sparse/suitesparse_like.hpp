@@ -1,0 +1,38 @@
+#pragma once
+// Synthetic surrogates for the paper's SuiteSparse matrices.
+//
+// The offline build environment cannot download the SuiteSparse
+// collection, so every matrix the paper evaluates is replaced by a
+// generator matched to its published character: dimension class,
+// symmetry, nnz/row, and spectrum behaviour (see DESIGN.md Section 5).
+// A MatrixMarket reader (mm_io.hpp) allows substituting the real
+// matrices when available.
+
+#include "sparse/csr.hpp"
+
+#include <string>
+#include <vector>
+
+namespace tsbo::sparse {
+
+struct Surrogate {
+  std::string name;        // paper's matrix name
+  std::string character;   // one-line description from the paper
+  bool symmetric = false;  // before the paper's max-scaling
+  CsrMatrix matrix;
+};
+
+/// Names accepted by make_surrogate, in the order the paper lists them.
+std::vector<std::string> surrogate_names();
+
+/// Subset used in Fig. 9 (the MPK conditioning study).
+std::vector<std::string> fig9_surrogate_names();
+
+/// Subset used in Table IV (the per-iteration timing study).
+std::vector<std::string> table4_surrogate_names();
+
+/// Builds the named surrogate with approximately `target_n` rows
+/// (grid dimensions are derived from it).  Throws on unknown names.
+Surrogate make_surrogate(const std::string& name, ord target_n);
+
+}  // namespace tsbo::sparse

@@ -1,0 +1,133 @@
+#include "synth/synthetic.hpp"
+
+#include "dense/blas3.hpp"
+#include "dense/householder.hpp"
+#include "util/random.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace tsbo::synth {
+
+using dense::index_t;
+using dense::Matrix;
+
+namespace {
+
+/// Applies the reflector (I - 2 u u^T) (unit u) to every column of m.
+void apply_reflector(Matrix& m, const std::vector<double>& u) {
+  const index_t n = m.rows();
+  assert(static_cast<index_t>(u.size()) == n);
+  for (index_t j = 0; j < m.cols(); ++j) {
+    double* col = m.col(j);
+    double w = 0.0;
+    for (index_t i = 0; i < n; ++i) w += u[static_cast<std::size_t>(i)] * col[i];
+    w *= 2.0;
+    for (index_t i = 0; i < n; ++i) col[i] -= w * u[static_cast<std::size_t>(i)];
+  }
+}
+
+}  // namespace
+
+Matrix random_orthonormal(index_t n, index_t s, std::uint64_t seed) {
+  if (s > n) throw std::invalid_argument("random_orthonormal: s > n");
+  util::Xoshiro256 rng(seed);
+
+  // Householder QR of a Gaussian matrix is the gold standard but costs
+  // O(n s^2); past a work threshold switch to a product of a few dense
+  // random reflectors applied to identity columns — still *exactly*
+  // orthonormal, random enough for conditioning studies.
+  const double work = static_cast<double>(n) * s * s;
+  if (work <= 64.0 * 1024 * 1024) {
+    Matrix g(n, s);
+    util::fill_normal(rng, g.data());
+    auto [q, r] = dense::householder_qr(g.view());
+    return q;
+  }
+
+  Matrix q(n, s);
+  for (index_t j = 0; j < s; ++j) q(j, j) = 1.0;
+  constexpr int kReflectors = 4;
+  std::vector<double> u(static_cast<std::size_t>(n));
+  for (int k = 0; k < kReflectors; ++k) {
+    double norm2_u = 0.0;
+    for (double& v : u) {
+      v = rng.normal();
+      norm2_u += v * v;
+    }
+    const double inv = 1.0 / std::sqrt(norm2_u);
+    for (double& v : u) v *= inv;
+    apply_reflector(q, u);
+  }
+  return q;
+}
+
+Matrix logscaled(index_t n, index_t s, double kappa, std::uint64_t seed) {
+  if (kappa < 1.0) throw std::invalid_argument("logscaled: kappa < 1");
+  Matrix x = random_orthonormal(n, s, seed * 2 + 1);
+  Matrix y = random_orthonormal(s, s, seed * 2 + 2);
+
+  // sigma_k log-spaced in [1/kappa, 1].
+  std::vector<double> sigma(static_cast<std::size_t>(s));
+  for (index_t k = 0; k < s; ++k) {
+    const double t = s == 1 ? 0.0 : static_cast<double>(k) / (s - 1);
+    sigma[static_cast<std::size_t>(k)] = std::pow(kappa, -t);
+  }
+
+  // V = (X * Sigma) * Y^T.
+  for (index_t k = 0; k < s; ++k) {
+    double* col = x.col(k);
+    for (index_t i = 0; i < n; ++i) col[i] *= sigma[static_cast<std::size_t>(k)];
+  }
+  Matrix v(n, s);
+  dense::gemm_nt(1.0, x.view(), y.view(), 0.0, v.view());
+  return v;
+}
+
+std::vector<double> glued_panel_singular_values(const GluedSpec& spec, int j) {
+  assert(j >= 0 && j < spec.panels);
+  const index_t s = spec.panel_cols;
+  // Panel j singular values log-spaced in [top_j / kappa_panel, top_j]
+  // with top_j = growth^{-j}: every panel has kappa exactly
+  // kappa_panel, the global max stays 1 (panel 0), and the global min
+  // after j+1 panels is growth^{-j}/kappa_panel, i.e. cumulative
+  // kappa(V_{1:j+1}) = growth^j * kappa_panel.
+  const double top = std::pow(spec.growth, -static_cast<double>(j));
+  std::vector<double> sv(static_cast<std::size_t>(s));
+  for (index_t k = 0; k < s; ++k) {
+    const double t = s == 1 ? 0.0 : static_cast<double>(k) / (s - 1);
+    sv[static_cast<std::size_t>(k)] = top * std::pow(spec.kappa_panel, -t);
+  }
+  return sv;
+}
+
+Matrix glued(const GluedSpec& spec, std::uint64_t seed) {
+  if (spec.n <= 0 || spec.panels <= 0 || spec.panel_cols <= 0) {
+    throw std::invalid_argument("glued: empty spec");
+  }
+  const index_t total = spec.panel_cols * spec.panels;
+  if (total > spec.n) throw std::invalid_argument("glued: more cols than rows");
+
+  Matrix x = random_orthonormal(spec.n, total, seed * 3 + 1);
+  Matrix v(spec.n, total);
+
+  for (int j = 0; j < spec.panels; ++j) {
+    const index_t c0 = spec.panel_cols * j;
+    const std::vector<double> sv = glued_panel_singular_values(spec, j);
+    Matrix y = random_orthonormal(spec.panel_cols, spec.panel_cols,
+                                  seed * 3 + 100 + static_cast<std::uint64_t>(j));
+    // panel_j = X(:, c0:c0+s) * diag(sv) * Y^T
+    Matrix xs(spec.n, spec.panel_cols);
+    dense::copy(x.view().columns(c0, spec.panel_cols), xs.view());
+    for (index_t k = 0; k < spec.panel_cols; ++k) {
+      double* col = xs.col(k);
+      for (index_t i = 0; i < spec.n; ++i) col[i] *= sv[static_cast<std::size_t>(k)];
+    }
+    auto panel = v.view().columns(c0, spec.panel_cols);
+    dense::gemm_nt(1.0, xs.view(), y.view(), 0.0, panel);
+  }
+  return v;
+}
+
+}  // namespace tsbo::synth

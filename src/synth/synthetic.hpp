@@ -1,0 +1,53 @@
+#pragma once
+// Synthetic dense test matrices for the paper's numerical studies.
+//
+// Fig. 6 uses "logscaled" matrices: V = X Sigma Y^T with random
+// orthonormal X, Y and log-spaced singular values, so kappa(V) is set
+// exactly.  Figs. 7-8 use "glued" matrices (Smoktunowicz et al. /
+// BlockStab tradition): panels with individually prescribed condition
+// numbers whose concatenation has a prescribed (possibly growing)
+// condition number.  We construct them as V = X * blockdiag_j(Sigma_j
+// Y_j^T): X has orthonormal columns shared across panels and each panel
+// gets its own singular values, so panel j has exactly kappa_panel and
+// the union of all Sigma_j entries fixes the cumulative kappa.
+
+#include "dense/matrix.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace tsbo::synth {
+
+/// n x s matrix with exactly orthonormal columns.  For large n*s^2 the
+/// matrix is built as a product of `reflectors` random Householder
+/// reflectors applied to the first s identity columns (exact
+/// orthonormality, O(reflectors * n * s) cost); small cases use full
+/// Householder QR of a Gaussian matrix.
+dense::Matrix random_orthonormal(dense::index_t n, dense::index_t s,
+                                 std::uint64_t seed);
+
+/// Logscaled matrix of Fig. 6: V = X Sigma Y^T, singular values
+/// log-spaced in [1/kappa, 1].
+dense::Matrix logscaled(dense::index_t n, dense::index_t s, double kappa,
+                        std::uint64_t seed);
+
+/// Specification of a glued matrix.
+struct GluedSpec {
+  dense::index_t n = 0;           // rows
+  int panels = 0;                 // number of panels
+  dense::index_t panel_cols = 0;  // columns per panel
+  double kappa_panel = 1e7;       // condition number of every panel
+  /// Cumulative growth: kappa(V_{1:j}) = growth^{j-1} * kappa_panel.
+  /// growth = 1 gives the Fig. 7 matrix (uniform kappa); growth = 2
+  /// gives the Fig. 8 matrix (2^{j-1} * 1e7).
+  double growth = 1.0;
+};
+
+/// Builds the glued matrix (panels stacked left to right).
+dense::Matrix glued(const GluedSpec& spec, std::uint64_t seed);
+
+/// The exact singular values the construction assigns to panel j
+/// (descending) — used by tests to verify the generator itself.
+std::vector<double> glued_panel_singular_values(const GluedSpec& spec, int j);
+
+}  // namespace tsbo::synth

@@ -1,0 +1,65 @@
+#include "util/cli.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace tsbo::util {
+
+Cli::Cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("Cli: expected --key[=value], got: " + arg);
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      kv_.emplace_back(arg, "");
+    } else {
+      kv_.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const {
+  for (const auto& [k, v] : kv_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+std::string Cli::get(const std::string& key, const std::string& fallback) const {
+  for (const auto& [k, v] : kv_) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+int Cli::get_int(const std::string& key, int fallback) const {
+  return has(key) ? std::stoi(get(key, "")) : fallback;
+}
+
+long Cli::get_long(const std::string& key, long fallback) const {
+  return has(key) ? std::stol(get(key, "")) : fallback;
+}
+
+double Cli::get_double(const std::string& key, double fallback) const {
+  return has(key) ? std::stod(get(key, "")) : fallback;
+}
+
+std::vector<int> Cli::get_int_list(const std::string& key,
+                                   std::vector<int> fallback) const {
+  if (!has(key)) return fallback;
+  std::vector<int> out;
+  std::stringstream ss(get(key, ""));
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::stoi(item));
+  }
+  if (out.empty()) {
+    throw std::invalid_argument("Cli: empty integer list for --" + key);
+  }
+  return out;
+}
+
+}  // namespace tsbo::util

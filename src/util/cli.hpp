@@ -1,0 +1,33 @@
+#pragma once
+// Minimal command-line option parsing for bench/example binaries.
+//
+// Every harness accepts "--key=value" overrides so that paper
+// experiments can be re-run at different scales without recompiling,
+// e.g.  bench_table03 --nx=1024 --restarts=4 --ranks=1,2,4,8
+
+#include <string>
+#include <vector>
+
+namespace tsbo::util {
+
+/// Parses "--key=value" and bare "--flag" arguments.  Unknown
+/// positional arguments throw; this keeps harness invocations honest.
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] int get_int(const std::string& key, int fallback) const;
+  [[nodiscard]] long get_long(const std::string& key, long fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  /// Comma-separated integer list ("1,2,4,8").
+  [[nodiscard]] std::vector<int> get_int_list(const std::string& key,
+                                              std::vector<int> fallback) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> kv_;
+};
+
+}  // namespace tsbo::util

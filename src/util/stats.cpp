@@ -1,0 +1,4 @@
+#include "util/stats.hpp"
+
+// Header-only accumulator; translation unit kept so the module has a
+// stable home if richer statistics (variance, quantiles) are added.

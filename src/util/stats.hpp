@@ -1,0 +1,32 @@
+#pragma once
+// Min/mean/max accumulators for the paper's multi-seed studies.
+
+#include <cstddef>
+#include <limits>
+
+namespace tsbo::util {
+
+/// Streaming min/mean/max of a sequence of samples (e.g. orthogonality
+/// error over 10 random seeds, paper Fig. 6).
+class MinMeanMax {
+ public:
+  void add(double x) {
+    min_ = x < min_ ? x : min_;
+    max_ = x > max_ ? x : max_;
+    sum_ += x;
+    ++n_;
+  }
+
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  [[nodiscard]] std::size_t count() const { return n_; }
+
+ private:
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double sum_ = 0.0;
+  std::size_t n_ = 0;
+};
+
+}  // namespace tsbo::util

@@ -1,0 +1,92 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace tsbo::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::add(const std::string& cell) {
+  if (rows_.empty()) rows_.emplace_back();
+  rows_.back().push_back(cell);
+  return *this;
+}
+
+Table& Table::add(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return add(os.str());
+}
+
+Table& Table::add(int v) { return add(std::to_string(v)); }
+Table& Table::add(long v) { return add(std::to_string(v)); }
+Table& Table::add(unsigned long v) { return add(std::to_string(v)); }
+
+Table& Table::separator() {
+  separators_.push_back(rows_.size());
+  return *this;
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& r) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < r.size() ? r[c] : std::string();
+      line += " " + cell + std::string(width[c] - cell.size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  auto render_sep = [&]() {
+    std::string line = "+";
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      line += std::string(width[c] + 2, '-') + "+";
+    }
+    return line + "\n";
+  };
+
+  std::string out = render_sep() + render_row(header_) + render_sep();
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    out += render_row(rows_[i]);
+    if (std::find(separators_.begin(), separators_.end(), i + 1) !=
+        separators_.end()) {
+      out += render_sep();
+    }
+  }
+  out += render_sep();
+  return out;
+}
+
+void Table::print() const { std::fputs(str().c_str(), stdout); }
+
+std::string speedup_str(double baseline, double value, int precision) {
+  if (value <= 0.0) return "-";
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << (baseline / value) << "x";
+  return os.str();
+}
+
+std::string sci(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", digits, v);
+  return buf;
+}
+
+}  // namespace tsbo::util

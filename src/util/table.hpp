@@ -1,0 +1,51 @@
+#pragma once
+// ASCII table rendering for paper-style benchmark output.
+//
+// Every bench binary prints rows in the same layout as the paper's
+// tables (e.g. Table III: "# nodes | # iters | SpMV | Ortho | Total |
+// speedups"), so a reader can diff shapes side by side.
+
+#include <string>
+#include <vector>
+
+namespace tsbo::util {
+
+/// Column-aligned ASCII table.  Cells are strings; numeric helpers
+/// format with fixed precision.  Rendering pads to the widest cell.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row.  Cells are appended with add().
+  Table& row();
+
+  Table& add(const std::string& cell);
+  Table& add(const char* cell) { return add(std::string(cell)); }
+  /// Fixed-point formatted double.
+  Table& add(double v, int precision = 2);
+  Table& add(int v);
+  Table& add(long v);
+  Table& add(unsigned long v);
+
+  /// Inserts a horizontal separator line after the current row.
+  Table& separator();
+
+  /// Renders the table; every line is terminated by '\n'.
+  [[nodiscard]] std::string str() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> separators_;  // separator after rows_[i]
+};
+
+/// "2.6x"-style speedup formatting used throughout the paper's tables.
+std::string speedup_str(double baseline, double value, int precision = 1);
+
+/// Scientific notation with the given significant digits ("1.2e-14").
+std::string sci(double v, int digits = 2);
+
+}  // namespace tsbo::util

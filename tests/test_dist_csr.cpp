@@ -1,0 +1,159 @@
+// Distributed CSR: partition, halo exchange, distributed SpMV.
+
+#include "par/spmd.hpp"
+#include "sparse/dist_csr.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/spmv.hpp"
+#include "sparse/suitesparse_like.hpp"
+#include "util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace {
+
+using namespace tsbo;
+using sparse::ord;
+
+TEST(RowPartition, OwnersAreConsistent) {
+  const sparse::RowPartition p(100, 7);
+  EXPECT_EQ(p.nranks(), 7);
+  ord total = 0;
+  for (int r = 0; r < 7; ++r) {
+    total += p.local_rows(r);
+    for (ord row = p.begin(r); row < p.end(r); ++row) {
+      EXPECT_EQ(p.owner(row), r);
+    }
+  }
+  EXPECT_EQ(total, 100);
+  EXPECT_EQ(p.owner(0), 0);
+  EXPECT_EQ(p.owner(99), 6);
+}
+
+class DistSpmvRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistSpmvRanks, MatchesSequentialOnLaplace) {
+  const int p = GetParam();
+  const auto a = sparse::laplace2d_9pt(23, 17);
+  std::vector<double> x(static_cast<std::size_t>(a.rows));
+  util::Xoshiro256 rng(5);
+  util::fill_normal(rng, x);
+  std::vector<double> y_ref(static_cast<std::size_t>(a.rows));
+  sparse::spmv(a, x, y_ref);
+
+  std::vector<double> y(static_cast<std::size_t>(a.rows), 0.0);
+  par::spmd_run(p, [&](par::Communicator& comm) {
+    const sparse::RowPartition part(a.rows, comm.size());
+    const sparse::DistCsr dist(a, part, comm.rank());
+    const auto begin = static_cast<std::size_t>(part.begin(comm.rank()));
+    const auto nloc = static_cast<std::size_t>(dist.n_local());
+    std::vector<double> y_local(nloc);
+    dist.spmv(comm, std::span<const double>(x.data() + begin, nloc), y_local);
+    std::copy(y_local.begin(), y_local.end(), y.begin() + static_cast<std::ptrdiff_t>(begin));
+  });
+
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(y[i], y_ref[i], 1e-12) << "row " << i;
+  }
+}
+
+TEST_P(DistSpmvRanks, MatchesSequentialOnWideStencil) {
+  // 27-pt stencil: ghosts span whole planes; elasticity: 3 dofs/node.
+  const int p = GetParam();
+  for (const bool elastic : {false, true}) {
+    const auto a = elastic ? sparse::elasticity3d(5, 5, 5, true, 0.3)
+                           : sparse::laplace3d_27pt(6, 6, 6);
+    std::vector<double> x(static_cast<std::size_t>(a.rows));
+    util::Xoshiro256 rng(11);
+    util::fill_normal(rng, x);
+    std::vector<double> y_ref(static_cast<std::size_t>(a.rows));
+    sparse::spmv(a, x, y_ref);
+
+    std::vector<double> y(static_cast<std::size_t>(a.rows), 0.0);
+    par::spmd_run(p, [&](par::Communicator& comm) {
+      const sparse::RowPartition part(a.rows, comm.size());
+      const sparse::DistCsr dist(a, part, comm.rank());
+      const auto begin = static_cast<std::size_t>(part.begin(comm.rank()));
+      const auto nloc = static_cast<std::size_t>(dist.n_local());
+      std::vector<double> y_local(nloc);
+      dist.spmv(comm, std::span<const double>(x.data() + begin, nloc), y_local);
+      std::copy(y_local.begin(), y_local.end(),
+                y.begin() + static_cast<std::ptrdiff_t>(begin));
+    });
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      EXPECT_NEAR(y[i], y_ref[i], 1e-11) << (elastic ? "elastic" : "27pt") << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, DistSpmvRanks, ::testing::Values(1, 2, 3, 4, 6));
+
+TEST(DistCsr, GhostCountMatchesStencilOverlap) {
+  // 1-D block rows of a 2-D 5-pt grid: each interior rank needs one
+  // row-strip (nx values) from each side.
+  const ord nx = 16, ny = 12;
+  const auto a = sparse::laplace2d_5pt(nx, ny);
+  par::spmd_run(4, [&](par::Communicator& comm) {
+    const sparse::RowPartition part(a.rows, comm.size());
+    const sparse::DistCsr dist(a, part, comm.rank());
+    const int r = comm.rank();
+    const ord expected = (r == 0 || r == 3) ? nx : 2 * nx;
+    EXPECT_EQ(dist.n_ghost(), expected) << "rank " << r;
+  });
+}
+
+TEST(DistCsr, RepeatedSpmvReusesBuffers) {
+  const auto a = sparse::laplace2d_5pt(20, 20);
+  par::spmd_run(3, [&](par::Communicator& comm) {
+    const sparse::RowPartition part(a.rows, comm.size());
+    const sparse::DistCsr dist(a, part, comm.rank());
+    const auto nloc = static_cast<std::size_t>(dist.n_local());
+    std::vector<double> x(nloc, 1.0), y(nloc);
+    for (int rep = 0; rep < 5; ++rep) {
+      dist.spmv(comm, x, y);
+      // Laplacian times constant vector: zero in grid interior rows.
+      // Just verify it's finite and consistent across reps.
+      for (const double v : y) EXPECT_TRUE(std::isfinite(v));
+    }
+  });
+}
+
+TEST(DistCsr, P2pRoundsCounted) {
+  const auto a = sparse::laplace2d_5pt(12, 12);
+  par::spmd_run(2, [&](par::Communicator& comm) {
+    const sparse::RowPartition part(a.rows, comm.size());
+    const sparse::DistCsr dist(a, part, comm.rank());
+    comm.reset_stats();
+    const auto nloc = static_cast<std::size_t>(dist.n_local());
+    std::vector<double> x(nloc, 1.0), y(nloc);
+    dist.spmv(comm, x, y);
+    dist.spmv(comm, x, y);
+    EXPECT_EQ(comm.stats().p2p_rounds, 2u);
+    EXPECT_EQ(comm.stats().allreduces, 0u);  // SpMV is reduce-free
+  });
+}
+
+TEST(DistCsr, SurrogateMatrixDistributes) {
+  const auto s = sparse::make_surrogate("atmosmodl", 3000);
+  std::vector<double> x(static_cast<std::size_t>(s.matrix.rows));
+  util::Xoshiro256 rng(3);
+  util::fill_normal(rng, x);
+  std::vector<double> y_ref(static_cast<std::size_t>(s.matrix.rows));
+  sparse::spmv(s.matrix, x, y_ref);
+
+  par::spmd_run(4, [&](par::Communicator& comm) {
+    const sparse::RowPartition part(s.matrix.rows, comm.size());
+    const sparse::DistCsr dist(s.matrix, part, comm.rank());
+    const auto begin = static_cast<std::size_t>(part.begin(comm.rank()));
+    const auto nloc = static_cast<std::size_t>(dist.n_local());
+    std::vector<double> y_local(nloc);
+    dist.spmv(comm, std::span<const double>(x.data() + begin, nloc), y_local);
+    for (std::size_t i = 0; i < nloc; ++i) {
+      EXPECT_NEAR(y_local[i], y_ref[begin + i], 1e-11);
+    }
+  });
+}
+
+}  // namespace

@@ -1,0 +1,192 @@
+// Stencil generators and SuiteSparse surrogates.
+
+#include "sparse/generators.hpp"
+#include "sparse/scaling.hpp"
+#include "sparse/suitesparse_like.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace tsbo;
+using sparse::CsrMatrix;
+using sparse::ord;
+
+bool is_symmetric(const CsrMatrix& m, double tol) {
+  const auto t = sparse::transpose(m);
+  if (t.row_ptr != m.row_ptr || t.col_idx != m.col_idx) return false;
+  for (std::size_t k = 0; k < m.values.size(); ++k) {
+    if (std::abs(m.values[k] - t.values[k]) > tol) return false;
+  }
+  return true;
+}
+
+/// Interior-row sum is zero for a consistent (Neumann-free) stencil.
+double interior_row_sum(const CsrMatrix& m, ord row) {
+  double s = 0.0;
+  for (auto k = m.row_ptr[row]; k < m.row_ptr[row + 1]; ++k) {
+    s += m.values[static_cast<std::size_t>(k)];
+  }
+  return s;
+}
+
+TEST(Laplace2d, FivePointStructure) {
+  const auto m = sparse::laplace2d_5pt(5, 4);
+  EXPECT_EQ(m.rows, 20);
+  EXPECT_TRUE(is_symmetric(m, 0.0));
+  // Interior point (2,2) -> row 2*5+2 = 12: full 5-point star.
+  EXPECT_DOUBLE_EQ(m.at(12, 12), 4.0);
+  EXPECT_DOUBLE_EQ(m.at(12, 11), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(12, 13), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(12, 7), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(12, 17), -1.0);
+  EXPECT_DOUBLE_EQ(interior_row_sum(m, 12), 0.0);
+  // Corner row has only 2 neighbors.
+  EXPECT_EQ(m.row_ptr[1] - m.row_ptr[0], 3);
+}
+
+TEST(Laplace2d, NinePointStructure) {
+  const auto m = sparse::laplace2d_9pt(5, 5);
+  EXPECT_TRUE(is_symmetric(m, 0.0));
+  EXPECT_DOUBLE_EQ(m.at(12, 12), 8.0);
+  EXPECT_EQ(m.row_ptr[13] - m.row_ptr[12], 9);  // interior: full star
+  EXPECT_DOUBLE_EQ(interior_row_sum(m, 12), 0.0);
+  // nnz/row approaches 9 as the grid grows (boundary fraction shrinks).
+  const auto big = sparse::laplace2d_9pt(40, 40);
+  EXPECT_NEAR(big.nnz_per_row(), 9.0, 0.5);
+}
+
+TEST(Laplace3d, SevenAndTwentySevenPoint) {
+  const auto m7 = sparse::laplace3d_7pt(4, 4, 4);
+  EXPECT_EQ(m7.rows, 64);
+  EXPECT_TRUE(is_symmetric(m7, 0.0));
+  // Center point of 4^3 grid: row (1*4+1)*4+1 = 21 has all 6 neighbors.
+  EXPECT_DOUBLE_EQ(m7.at(21, 21), 6.0);
+  EXPECT_DOUBLE_EQ(interior_row_sum(m7, 21), 0.0);
+
+  const auto m27 = sparse::laplace3d_27pt(4, 4, 4);
+  EXPECT_TRUE(is_symmetric(m27, 0.0));
+  EXPECT_DOUBLE_EQ(m27.at(21, 21), 26.0);
+  EXPECT_EQ(m27.row_ptr[22] - m27.row_ptr[21], 27);
+  EXPECT_DOUBLE_EQ(interior_row_sum(m27, 21), 0.0);
+}
+
+TEST(ConvectionDiffusion, UpwindingBreaksSymmetryKeepsRowSums) {
+  const auto m = sparse::convection_diffusion3d(5, 5, 5, 1.0, 0.5, 0.0);
+  EXPECT_FALSE(is_symmetric(m, 1e-14));
+  // Row sums still vanish in the interior (conservation).
+  const ord center = (2 * 5 + 2) * 5 + 2;
+  EXPECT_NEAR(interior_row_sum(m, center), 0.0, 1e-14);
+  // Upwind neighbor (x-1) carries diffusion + convection.
+  EXPECT_DOUBLE_EQ(m.at(center, center - 1), -2.0);
+  EXPECT_DOUBLE_EQ(m.at(center, center + 1), -1.0);
+}
+
+TEST(Elasticity3d, BlockStructureAndSymmetry) {
+  const auto m = sparse::elasticity3d(3, 3, 3, /*wide=*/false, 0.3);
+  EXPECT_EQ(m.rows, 81);
+  EXPECT_TRUE(is_symmetric(m, 1e-14));
+  // 3 dofs per node; diagonal block coupling present.
+  EXPECT_GT(std::abs(m.at(0, 1)), 0.0);
+  EXPECT_GT(m.at(0, 0), 0.0);
+
+  const auto wide = sparse::elasticity3d(4, 4, 4, /*wide=*/true, 0.3);
+  // Interior node of the wide stencil couples to 27 nodes x 3 dofs.
+  const ord inode = (1 * 4 + 1) * 4 + 1;
+  EXPECT_EQ(wide.row_ptr[3 * inode + 1] - wide.row_ptr[3 * inode], 81);
+}
+
+TEST(Heterogeneous2d, DeterministicAndSpd) {
+  const auto a = sparse::heterogeneous2d(10, 10, false, 3.0, 17);
+  const auto b = sparse::heterogeneous2d(10, 10, false, 3.0, 17);
+  EXPECT_TRUE(sparse::approx_equal(a, b, 0.0));
+  EXPECT_TRUE(is_symmetric(a, 1e-13));
+  const auto c = sparse::heterogeneous2d(10, 10, false, 3.0, 18);
+  EXPECT_FALSE(sparse::approx_equal(a, c, 1e-12));
+  // Diagonal dominance (weak) => positive definiteness for this M-matrix.
+  for (ord i = 0; i < a.rows; ++i) {
+    double offdiag = 0.0;
+    for (auto k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      const auto kk = static_cast<std::size_t>(k);
+      if (a.col_idx[kk] != i) offdiag += std::abs(a.values[kk]);
+    }
+    EXPECT_GE(a.at(i, i), offdiag - 1e-12);
+  }
+}
+
+TEST(Anisotropic3d, SmallEpsMakesNearDecoupledLines) {
+  const auto m = sparse::anisotropic3d(6, 6, 6, 1e-6, 1e-6);
+  const ord center = (2 * 6 + 2) * 6 + 2;
+  EXPECT_DOUBLE_EQ(m.at(center, center - 1), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(center, center - 6), -1e-6);
+  EXPECT_TRUE(is_symmetric(m, 0.0));
+}
+
+TEST(DiagonalSpread, ScalesSymmetrically) {
+  auto m = sparse::laplace2d_5pt(6, 6);
+  sparse::apply_diagonal_spread(m, 4.0, 7);
+  EXPECT_TRUE(is_symmetric(m, 1e-12));
+  // Spread must produce a wide range of diagonal magnitudes.
+  double dmin = 1e300, dmax = 0.0;
+  for (ord i = 0; i < m.rows; ++i) {
+    dmin = std::min(dmin, std::abs(m.at(i, i)));
+    dmax = std::max(dmax, std::abs(m.at(i, i)));
+  }
+  EXPECT_GT(dmax / dmin, 1e2);
+}
+
+TEST(Hash01, DeterministicUniformish) {
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double h = sparse::hash01(static_cast<std::uint64_t>(i), 5);
+    EXPECT_GE(h, 0.0);
+    EXPECT_LT(h, 1.0);
+    sum += h;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+  EXPECT_EQ(sparse::hash01(123, 9), sparse::hash01(123, 9));
+  EXPECT_NE(sparse::hash01(123, 9), sparse::hash01(124, 9));
+}
+
+TEST(Surrogates, AllNamedMatricesBuildWithExpectedCharacter) {
+  for (const auto& name : sparse::surrogate_names()) {
+    const auto s = sparse::make_surrogate(name, 4000);
+    EXPECT_EQ(s.name, name);
+    EXPECT_GT(s.matrix.rows, 1000) << name;
+    EXPECT_LT(s.matrix.rows, 20000) << name;
+    EXPECT_EQ(s.matrix.rows, s.matrix.cols) << name;
+    EXPECT_EQ(is_symmetric(s.matrix, 1e-12), s.symmetric) << name;
+  }
+  EXPECT_THROW(sparse::make_surrogate("not-a-matrix", 1000),
+               std::invalid_argument);
+}
+
+TEST(Surrogates, CharactersMatchPaper) {
+  // nnz/row character: ML_Geer is the heavy one, ecology2 the lightest.
+  const auto geer = sparse::make_surrogate("ML_Geer", 6000);
+  const auto eco = sparse::make_surrogate("ecology2", 6000);
+  EXPECT_GT(geer.matrix.nnz_per_row(), 8 * eco.matrix.nnz_per_row());
+  EXPECT_FALSE(geer.symmetric);
+  EXPECT_TRUE(eco.symmetric);
+
+  // dielFilterV2real surrogate must be indefinite: the quadratic form
+  // changes sign (negative on the constant vector, positive on e_0).
+  const auto diel = sparse::make_surrogate("dielFilterV2real", 4000);
+  double form_ones = 0.0;
+  for (const double v : diel.matrix.values) form_ones += v;
+  EXPECT_LT(form_ones, 0.0);
+  EXPECT_GT(diel.matrix.at(0, 0) != 0.0 ? diel.matrix.at(0, 0)
+                                        : diel.matrix.at(1, 1),
+            0.0);
+}
+
+TEST(Surrogates, PaperScalingMakesNonsymmetric) {
+  auto s = sparse::make_surrogate("ecology2", 3000);
+  ASSERT_TRUE(is_symmetric(s.matrix, 1e-12));
+  sparse::equilibrate_max(s.matrix);
+  EXPECT_FALSE(is_symmetric(s.matrix, 1e-12));  // the paper's Section VI note
+}
+
+}  // namespace

@@ -1,0 +1,74 @@
+// Measurement helpers: distributed gather, orthogonality error,
+// condition numbers.
+
+#include "dense/svd.hpp"
+#include "ortho/measures.hpp"
+#include "par/spmd.hpp"
+#include "synth/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace tsbo;
+using dense::index_t;
+using dense::Matrix;
+
+TEST(GatherMultivector, ReassemblesRowBlocks) {
+  const index_t n = 103, s = 4;
+  const Matrix v = synth::logscaled(n, s, 100.0, 3);
+  for (const int p : {1, 2, 3, 5}) {
+    Matrix gathered;
+    par::spmd_run(p, [&](par::Communicator& comm) {
+      const auto range = par::block_row_range(n, comm.size(), comm.rank());
+      const auto local = v.view().block(static_cast<index_t>(range.begin), 0,
+                                        static_cast<index_t>(range.size()), s);
+      Matrix g = ortho::gather_multivector(&comm, local, 0);
+      if (comm.rank() == 0) gathered = std::move(g);
+    });
+    ASSERT_EQ(gathered.rows(), n) << p;
+    EXPECT_EQ(dense::max_abs_diff(gathered.view(), v.view()), 0.0) << p;
+  }
+}
+
+TEST(Measures, DistributedOrthogonalityErrorMatchesSequential) {
+  const index_t n = 500, s = 6;
+  Matrix q = synth::random_orthonormal(n, s, 7);
+  // Perturb one column to create a measurable error.
+  for (index_t i = 0; i < n; ++i) q(i, 2) += 1e-5 * q(i, 3);
+
+  ortho::OrthoContext seq;
+  const double ref = ortho::orthogonality_error(seq, q.view());
+  EXPECT_GT(ref, 1e-6);
+
+  par::spmd_run(3, [&](par::Communicator& comm) {
+    const auto range = par::block_row_range(n, comm.size(), comm.rank());
+    const auto local = q.view().block(static_cast<index_t>(range.begin), 0,
+                                      static_cast<index_t>(range.size()), s);
+    ortho::OrthoContext ctx;
+    ctx.comm = &comm;
+    const double got = ortho::orthogonality_error(ctx, local);
+    EXPECT_NEAR(got, ref, 1e-12 + 1e-8 * ref);
+  });
+}
+
+TEST(Measures, DistributedConditionNumberMatchesSequential) {
+  const index_t n = 800, s = 5;
+  const Matrix v = synth::logscaled(n, s, 1e8, 9);
+  const double ref = dense::cond_2(v.view());
+
+  par::spmd_run(4, [&](par::Communicator& comm) {
+    const auto range = par::block_row_range(n, comm.size(), comm.rank());
+    const auto local = v.view().block(static_cast<index_t>(range.begin), 0,
+                                      static_cast<index_t>(range.size()), s);
+    ortho::OrthoContext ctx;
+    ctx.comm = &comm;
+    const double got = ortho::condition_number(ctx, local);
+    // Every rank receives the broadcast value.
+    EXPECT_NEAR(std::log10(got), std::log10(ref), 1e-6);
+  });
+}
+
+}  // namespace

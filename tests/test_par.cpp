@@ -1,0 +1,230 @@
+// SPMD runtime: thread pool, barrier, collectives, cost model.
+
+#include "par/spmd.hpp"
+#include "par/thread_pool.hpp"
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace {
+
+using namespace tsbo;
+
+TEST(ThreadPool, CoversRangeExactlyOnce) {
+  par::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.parallel_for(hits.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SmallRangeRunsInline) {
+  par::ThreadPool pool(8);
+  int count = 0;
+  pool.parallel_for(3, [&](std::size_t b, std::size_t e) {
+    count += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(count, 3);
+}
+
+TEST(ThreadPool, ReusableAcrossManyCalls) {
+  par::ThreadPool pool(3);
+  for (int rep = 0; rep < 50; ++rep) {
+    std::atomic<long> sum{0};
+    pool.parallel_for(1000, [&](std::size_t b, std::size_t e) {
+      long local = 0;
+      for (std::size_t i = b; i < e; ++i) local += static_cast<long>(i);
+      sum.fetch_add(local);
+    });
+    EXPECT_EQ(sum.load(), 999L * 1000 / 2);
+  }
+}
+
+TEST(BlockRowRange, PartitionsExactlyWithRemainder) {
+  const long n = 103;
+  const int p = 4;
+  long total = 0;
+  long prev_end = 0;
+  for (int r = 0; r < p; ++r) {
+    const auto range = par::block_row_range(n, p, r);
+    EXPECT_EQ(range.begin, prev_end);
+    prev_end = range.end;
+    total += range.size();
+    // Remainder rows go to the lowest ranks.
+    EXPECT_TRUE(range.size() == 26 || range.size() == 25);
+  }
+  EXPECT_EQ(total, n);
+  EXPECT_EQ(prev_end, n);
+}
+
+class SpmdRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpmdRanks, AllreduceSumIsDeterministicAndCorrect) {
+  const int p = GetParam();
+  std::vector<std::vector<double>> results(static_cast<std::size_t>(p));
+  par::spmd_run(p, [&](par::Communicator& comm) {
+    std::vector<double> v = {1.0 * comm.rank(), 2.0, -1.0 * comm.rank()};
+    comm.allreduce_sum(v);
+    results[static_cast<std::size_t>(comm.rank())] = v;
+  });
+  const double rank_sum = p * (p - 1) / 2.0;
+  for (int r = 0; r < p; ++r) {
+    EXPECT_DOUBLE_EQ(results[static_cast<std::size_t>(r)][0], rank_sum);
+    EXPECT_DOUBLE_EQ(results[static_cast<std::size_t>(r)][1], 2.0 * p);
+    EXPECT_DOUBLE_EQ(results[static_cast<std::size_t>(r)][2], -rank_sum);
+    // Bit-identical across ranks (deterministic reduction order).
+    EXPECT_EQ(results[static_cast<std::size_t>(r)],
+              results[0]);
+  }
+}
+
+TEST_P(SpmdRanks, AllreduceMax) {
+  const int p = GetParam();
+  std::vector<double> out(static_cast<std::size_t>(p));
+  par::spmd_run(p, [&](par::Communicator& comm) {
+    out[static_cast<std::size_t>(comm.rank())] =
+        comm.allreduce_max_scalar(static_cast<double>(comm.rank() % 3));
+  });
+  for (const double v : out) EXPECT_DOUBLE_EQ(v, std::min(2, p - 1));
+}
+
+TEST_P(SpmdRanks, BroadcastFromEveryRoot) {
+  const int p = GetParam();
+  for (int root = 0; root < p; ++root) {
+    std::vector<double> seen(static_cast<std::size_t>(p));
+    par::spmd_run(p, [&](par::Communicator& comm) {
+      std::vector<double> v = {comm.rank() == root ? 42.5 : -1.0};
+      comm.broadcast(v, root);
+      seen[static_cast<std::size_t>(comm.rank())] = v[0];
+    });
+    for (const double v : seen) EXPECT_DOUBLE_EQ(v, 42.5);
+  }
+}
+
+TEST_P(SpmdRanks, GatherConcatenatesInRankOrder) {
+  const int p = GetParam();
+  std::vector<double> gathered;
+  par::spmd_run(p, [&](par::Communicator& comm) {
+    // Rank r contributes r+1 values of value r.
+    std::vector<double> mine(static_cast<std::size_t>(comm.rank()) + 1,
+                             static_cast<double>(comm.rank()));
+    auto all = comm.gather(mine, 0);
+    if (comm.rank() == 0) gathered = all;
+  });
+  std::size_t idx = 0;
+  for (int r = 0; r < p; ++r) {
+    for (int i = 0; i <= r; ++i) {
+      ASSERT_LT(idx, gathered.size());
+      EXPECT_DOUBLE_EQ(gathered[idx++], static_cast<double>(r));
+    }
+  }
+  EXPECT_EQ(idx, gathered.size());
+}
+
+TEST_P(SpmdRanks, ExchangePublishesPeerBuffers) {
+  const int p = GetParam();
+  std::vector<double> ok(static_cast<std::size_t>(p), 0.0);
+  par::spmd_run(p, [&](par::Communicator& comm) {
+    std::vector<double> mine = {100.0 + comm.rank()};
+    comm.exchange_begin(mine);
+    bool good = true;
+    for (int peer = 0; peer < comm.size(); ++peer) {
+      const auto buf = comm.peer_buffer(peer);
+      good = good && buf.size() == 1 && buf[0] == 100.0 + peer;
+    }
+    comm.exchange_end(sizeof(double));
+    ok[static_cast<std::size_t>(comm.rank())] = good ? 1.0 : 0.0;
+  });
+  for (const double v : ok) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, SpmdRanks, ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(Spmd, ExceptionsPropagateToCaller) {
+  EXPECT_THROW(
+      par::spmd_run(3,
+                    [&](par::Communicator& comm) {
+                      // Every rank must throw: a single-rank throw would
+                      // deadlock peers blocked in a barrier by design
+                      // (same as MPI).
+                      if (comm.rank() >= 0) throw std::runtime_error("boom");
+                    }),
+      std::runtime_error);
+}
+
+TEST(Spmd, CommStatsCountOperations) {
+  par::spmd_run(2, [&](par::Communicator& comm) {
+    comm.reset_stats();
+    double v = 1.0;
+    comm.allreduce_sum(std::span<double>(&v, 1));
+    comm.allreduce_sum(std::span<double>(&v, 1));
+    std::vector<double> b = {1.0};
+    comm.broadcast(b, 0);
+    EXPECT_EQ(comm.stats().allreduces, 2u);
+    EXPECT_EQ(comm.stats().broadcasts, 1u);
+    EXPECT_EQ(comm.stats().bytes_allreduced, 2 * sizeof(double));
+  });
+}
+
+TEST(Spmd, StatsSubtractGivesWindow) {
+  par::CommStats a, b;
+  a.allreduces = 10;
+  a.injected_seconds = 2.0;
+  b.allreduces = 4;
+  b.injected_seconds = 0.5;
+  const auto d = par::subtract(a, b);
+  EXPECT_EQ(d.allreduces, 6u);
+  EXPECT_DOUBLE_EQ(d.injected_seconds, 1.5);
+}
+
+TEST(NetworkModel, CostsScaleWithLogRanks) {
+  const auto m = par::NetworkModel::cluster();
+  EXPECT_EQ(m.allreduce_seconds(1, 64), 0.0);
+  const double c2 = m.allreduce_seconds(2, 64);
+  const double c16 = m.allreduce_seconds(16, 64);
+  EXPECT_GT(c2, 0.0);
+  EXPECT_NEAR(c16 / c2, 4.0, 1e-9);  // ceil(log2 16) / ceil(log2 2)
+  EXPECT_EQ(par::NetworkModel::off().allreduce_seconds(16, 1 << 20), 0.0);
+}
+
+TEST(NetworkModel, InjectedLatencyIsObservable) {
+  // With the cluster model, 100 all-reduces across 4 ranks must take at
+  // least 100 * 2 stages * alpha seconds of wall time.
+  const auto model = par::NetworkModel::cluster();
+  const double expect_min = 100 * model.allreduce_seconds(4, 8) * 0.9;
+  util::WallTimer t;
+  par::spmd_run(4, model, [&](par::Communicator& comm) {
+    double v = comm.rank();
+    for (int i = 0; i < 100; ++i) comm.allreduce_sum(std::span<double>(&v, 1));
+    EXPECT_GE(comm.stats().injected_seconds, expect_min);
+  });
+  EXPECT_GE(t.seconds(), expect_min);
+}
+
+TEST(PhaseTimers, AccumulateAndMerge) {
+  util::PhaseTimers t;
+  t.add("a", 1.0);
+  t.add("a", 0.5);
+  t.add("b", 2.0);
+  EXPECT_DOUBLE_EQ(t.seconds("a"), 1.5);
+  EXPECT_EQ(t.count("a"), 2u);
+  EXPECT_DOUBLE_EQ(t.seconds("missing"), 0.0);
+
+  util::PhaseTimers u;
+  u.add("a", 3.0);
+  u.add("c", 0.1);
+  t.merge_max(u);
+  EXPECT_DOUBLE_EQ(t.seconds("a"), 3.0);
+  EXPECT_DOUBLE_EQ(t.seconds("b"), 2.0);
+  EXPECT_DOUBLE_EQ(t.seconds("c"), 0.1);
+
+  EXPECT_THROW(t.stop("never-started"), std::logic_error);
+}
+
+}  // namespace

@@ -1,0 +1,149 @@
+// Randomized (sketched) CholQR — the paper's future-work direction.
+
+#include "dense/blas3.hpp"
+#include "dense/svd.hpp"
+#include "ortho/intra.hpp"
+#include "ortho/randomized.hpp"
+#include "par/spmd.hpp"
+#include "synth/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace tsbo;
+using dense::index_t;
+using dense::Matrix;
+
+TEST(Sketch, PreservesNormsApproximately) {
+  // Sparse sign embeddings are (1 +- eps) subspace embeddings whp:
+  // sketched column norms stay within a modest factor of the originals.
+  const index_t n = 20000, s = 5;
+  const Matrix v = synth::logscaled(n, s, 1e3, 3);
+  ortho::SketchConfig cfg;
+  const index_t k = cfg.rows_per_col * s;
+  Matrix sk(k, s);
+  ortho::apply_sketch(v.view(), 0, k, cfg, sk.view());
+  for (index_t j = 0; j < s; ++j) {
+    double orig = 0.0, sketched = 0.0;
+    for (index_t i = 0; i < n; ++i) orig += v(i, j) * v(i, j);
+    for (index_t i = 0; i < k; ++i) sketched += sk(i, j) * sk(i, j);
+    const double ratio = sketched / orig;
+    EXPECT_GT(ratio, 0.2) << j;
+    EXPECT_LT(ratio, 5.0) << j;
+  }
+}
+
+TEST(Sketch, PartitionIndependent) {
+  // Sketching rank-local blocks and summing equals sketching globally:
+  // the embedding is hashed from global row ids.
+  const index_t n = 5000, s = 4;
+  const Matrix v = synth::logscaled(n, s, 100.0, 7);
+  ortho::SketchConfig cfg;
+  const index_t k = cfg.rows_per_col * s;
+
+  Matrix global(k, s);
+  ortho::apply_sketch(v.view(), 0, k, cfg, global.view());
+
+  Matrix summed(k, s);
+  for (const auto range : {std::make_pair(0, 1700), std::make_pair(1700, 3400),
+                           std::make_pair(3400, 5000)}) {
+    const auto rows = static_cast<index_t>(range.second - range.first);
+    ortho::apply_sketch(
+        v.view().block(static_cast<index_t>(range.first), 0, rows, s),
+        static_cast<index_t>(range.first), k, cfg, summed.view());
+  }
+  EXPECT_LT(dense::max_abs_diff(global.view(), summed.view()), 1e-12);
+}
+
+class RandomizedKappa : public ::testing::TestWithParam<double> {};
+
+TEST_P(RandomizedKappa, StableFarBeyondCholQr2Range) {
+  // CholQR2 requires kappa < eps^{-1/2} ~ 6.7e7; the sketched variant
+  // is stable for any numerically full-rank input (like shifted
+  // CholQR3, but with 2 reduces instead of 3).
+  const double kappa = GetParam();
+  const index_t n = 20000, s = 5;
+  const Matrix v0 = synth::logscaled(n, s, kappa, 11);
+  Matrix v = dense::copy_of(v0.view());
+  Matrix r(s, s);
+  ortho::OrthoContext ctx;
+  ctx.policy = ortho::BreakdownPolicy::kThrow;
+  ortho::randomized_cholqr(ctx, v.view(), r.view(), 0);
+
+  EXPECT_LT(dense::orthogonality_error(v.view()), 1e-12) << kappa;
+  // Q R == V.
+  Matrix qr(n, s);
+  dense::gemm_nn(1.0, v.view(), r.view(), 0.0, qr.view());
+  EXPECT_LT(dense::max_abs_diff(qr.view(), v0.view()),
+            1e-10 * dense::frobenius_norm(v0.view()))
+      << kappa;
+}
+
+INSTANTIATE_TEST_SUITE_P(KappaSweep, RandomizedKappa,
+                         ::testing::Values(1e2, 1e6, 1e9, 1e12));
+
+TEST(Randomized, DistributedMatchesSequentialAndCostsTwoReduces) {
+  const index_t n = 6000, s = 5;
+  const Matrix v0 = synth::logscaled(n, s, 1e8, 13);
+
+  Matrix v_seq = dense::copy_of(v0.view());
+  Matrix r_seq(s, s);
+  ortho::OrthoContext seq;
+  ortho::randomized_cholqr(seq, v_seq.view(), r_seq.view(), 0);
+
+  par::spmd_run(3, [&](par::Communicator& comm) {
+    const auto range = par::block_row_range(n, comm.size(), comm.rank());
+    Matrix local = dense::copy_of(
+        v0.view().block(static_cast<index_t>(range.begin), 0,
+                        static_cast<index_t>(range.size()), s));
+    Matrix r(s, s);
+    ortho::OrthoContext ctx;
+    ctx.comm = &comm;
+    comm.reset_stats();
+    ortho::randomized_cholqr(ctx, local.view(), r.view(),
+                             static_cast<index_t>(range.begin));
+    EXPECT_EQ(comm.stats().allreduces, 2u);
+    EXPECT_LT(dense::max_abs_diff(r.view(), r_seq.view()),
+              1e-8 * dense::frobenius_norm(r_seq.view()));
+    const auto seq_block =
+        v_seq.view().block(static_cast<index_t>(range.begin), 0,
+                           static_cast<index_t>(range.size()), s);
+    EXPECT_LT(dense::max_abs_diff(local.view(), seq_block), 1e-8);
+  });
+}
+
+TEST(Randomized, BeatsCholQr2WhereItBreaksDown) {
+  // At kappa = 1e10, plain CholQR2 under kThrow breaks down for most
+  // seeds; randomized CholQR must succeed on every one.
+  const index_t n = 8000, s = 5;
+  int plain_failures = 0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Matrix v0 = synth::logscaled(n, s, 1e10, seed);
+    {
+      Matrix v = dense::copy_of(v0.view());
+      Matrix r(s, s);
+      ortho::OrthoContext ctx;
+      ctx.policy = ortho::BreakdownPolicy::kThrow;
+      try {
+        ortho::cholqr2(ctx, v.view(), r.view());
+      } catch (const ortho::CholeskyBreakdown&) {
+        ++plain_failures;
+      }
+    }
+    {
+      Matrix v = dense::copy_of(v0.view());
+      Matrix r(s, s);
+      ortho::OrthoContext ctx;
+      ctx.policy = ortho::BreakdownPolicy::kThrow;
+      EXPECT_NO_THROW(
+          ortho::randomized_cholqr(ctx, v.view(), r.view(), 0));
+      EXPECT_LT(dense::orthogonality_error(v.view()), 1e-12) << seed;
+    }
+  }
+  EXPECT_GE(plain_failures, 1);
+}
+
+}  // namespace

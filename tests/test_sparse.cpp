@@ -1,0 +1,173 @@
+// CSR assembly, SpMV, transpose, scaling, MatrixMarket I/O.
+
+#include "sparse/csr.hpp"
+#include "sparse/mm_io.hpp"
+#include "sparse/scaling.hpp"
+#include "sparse/spmv.hpp"
+#include "util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace {
+
+using namespace tsbo;
+using sparse::CsrMatrix;
+using sparse::ord;
+using sparse::Triplet;
+
+CsrMatrix small_matrix() {
+  // [ 2 -1  0 ]
+  // [ 0  3  1 ]
+  // [ 4  0  5 ]
+  return sparse::csr_from_triplets(
+      3, 3,
+      {{0, 0, 2.0}, {0, 1, -1.0}, {1, 1, 3.0}, {1, 2, 1.0}, {2, 0, 4.0}, {2, 2, 5.0}});
+}
+
+TEST(Csr, FromTripletsSortsAndSumsDuplicates) {
+  const auto m = sparse::csr_from_triplets(
+      2, 2, {{1, 1, 1.0}, {0, 0, 2.0}, {1, 1, 3.0}, {0, 1, -1.0}});
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 4.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 0.0);
+  // Column indices strictly increasing within rows.
+  for (ord i = 0; i < m.rows; ++i) {
+    for (auto k = m.row_ptr[i] + 1; k < m.row_ptr[i + 1]; ++k) {
+      EXPECT_LT(m.col_idx[static_cast<std::size_t>(k - 1)],
+                m.col_idx[static_cast<std::size_t>(k)]);
+    }
+  }
+}
+
+TEST(Csr, EmptyRowsGetValidPointers) {
+  const auto m = sparse::csr_from_triplets(4, 4, {{0, 0, 1.0}, {3, 3, 1.0}});
+  EXPECT_EQ(m.row_ptr[1], 1);
+  EXPECT_EQ(m.row_ptr[2], 1);
+  EXPECT_EQ(m.row_ptr[3], 1);
+  EXPECT_EQ(m.nnz(), 2);
+}
+
+TEST(Csr, OutOfRangeTripletThrows) {
+  EXPECT_THROW(sparse::csr_from_triplets(2, 2, {{2, 0, 1.0}}),
+               std::out_of_range);
+}
+
+TEST(Csr, TransposeTwiceIsIdentity) {
+  const auto m = small_matrix();
+  const auto tt = sparse::transpose(sparse::transpose(m));
+  EXPECT_TRUE(sparse::approx_equal(m, tt, 0.0));
+  const auto t = sparse::transpose(m);
+  EXPECT_DOUBLE_EQ(t.at(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(t.at(1, 0), -1.0);
+}
+
+TEST(Csr, ExtractRowsKeepsGlobalColumns) {
+  const auto m = small_matrix();
+  const auto sub = sparse::extract_rows(m, 1, 3);
+  EXPECT_EQ(sub.rows, 2);
+  EXPECT_EQ(sub.cols, 3);
+  EXPECT_DOUBLE_EQ(sub.at(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(sub.at(1, 0), 4.0);
+}
+
+TEST(Spmv, MatchesDenseProduct) {
+  const auto m = small_matrix();
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y(3);
+  sparse::spmv(m, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[1], 9.0);
+  EXPECT_DOUBLE_EQ(y[2], 19.0);
+}
+
+TEST(Spmv, AlphaBetaForm) {
+  const auto m = small_matrix();
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y = {1.0, 1.0, 1.0};
+  sparse::spmv(2.0, m, x, -1.0, y);
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[1], 17.0);
+  EXPECT_DOUBLE_EQ(y[2], 37.0);
+}
+
+TEST(Spmv, RowRangeSlices) {
+  const auto m = small_matrix();
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y(3, -7.0);
+  sparse::spmv_rows(m, 1, 2, x, y);
+  EXPECT_DOUBLE_EQ(y[0], -7.0);  // untouched
+  EXPECT_DOUBLE_EQ(y[1], 9.0);
+  EXPECT_DOUBLE_EQ(y[2], -7.0);
+}
+
+TEST(Scaling, MaxEquilibrationNormalizesRows) {
+  auto m = small_matrix();
+  const auto scales = sparse::equilibrate_max(m);
+  // After column-then-row max scaling every row's max |entry| is 1.
+  const auto rmax = sparse::row_max_abs(m);
+  for (const double v : rmax) EXPECT_NEAR(v, 1.0, 1e-15);
+  // All entries bounded by 1 in magnitude.
+  for (const double v : m.values) EXPECT_LE(std::abs(v), 1.0 + 1e-15);
+  EXPECT_EQ(scales.col_scale.size(), 3u);
+  EXPECT_EQ(scales.row_scale.size(), 3u);
+}
+
+TEST(Scaling, ReconstructsOriginal) {
+  auto m = small_matrix();
+  const auto orig = m;
+  const auto s = sparse::equilibrate_max(m);
+  // A = diag(row_scale) * A_scaled * diag(col_scale)
+  for (ord i = 0; i < m.rows; ++i) {
+    for (auto k = m.row_ptr[i]; k < m.row_ptr[i + 1]; ++k) {
+      const auto kk = static_cast<std::size_t>(k);
+      const double rebuilt = m.values[kk] *
+                             s.row_scale[static_cast<std::size_t>(i)] *
+                             s.col_scale[static_cast<std::size_t>(m.col_idx[kk])];
+      EXPECT_NEAR(rebuilt, orig.values[kk], 1e-14);
+    }
+  }
+}
+
+TEST(MatrixMarket, RoundTripGeneral) {
+  const auto m = small_matrix();
+  std::stringstream ss;
+  sparse::write_matrix_market(ss, m);
+  const auto back = sparse::read_matrix_market(ss);
+  EXPECT_TRUE(sparse::approx_equal(m, back, 1e-15));
+}
+
+TEST(MatrixMarket, SymmetricExpansion) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate real symmetric\n"
+     << "% a comment line\n"
+     << "3 3 4\n"
+     << "1 1 2.0\n2 1 -1.0\n3 3 5.0\n3 2 0.5\n";
+  const auto m = sparse::read_matrix_market(ss);
+  EXPECT_EQ(m.nnz(), 6);  // two off-diagonals mirrored
+  EXPECT_DOUBLE_EQ(m.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 0.5);
+}
+
+TEST(MatrixMarket, RejectsGarbage) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n";
+  EXPECT_THROW(sparse::read_matrix_market(ss), std::runtime_error);
+  std::stringstream empty;
+  EXPECT_THROW(sparse::read_matrix_market(empty), std::runtime_error);
+}
+
+TEST(Csr, DenseRowExtraction) {
+  const auto m = small_matrix();
+  const auto row = sparse::dense_row(m, 2);
+  EXPECT_DOUBLE_EQ(row[0], 4.0);
+  EXPECT_DOUBLE_EQ(row[1], 0.0);
+  EXPECT_DOUBLE_EQ(row[2], 5.0);
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+// Synthetic test-matrix factory: the generators behind Figs. 6-8.
+
+#include "dense/svd.hpp"
+#include "synth/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace tsbo;
+using dense::index_t;
+using dense::Matrix;
+
+TEST(RandomOrthonormal, SmallPathIsExactlyOrthonormal) {
+  const Matrix q = synth::random_orthonormal(200, 7, 3);
+  EXPECT_LT(dense::orthogonality_error(q.view()), 1e-13);
+}
+
+TEST(RandomOrthonormal, ReflectorPathIsExactlyOrthonormal) {
+  // Large enough to trigger the reflector-product fast path.
+  const Matrix q = synth::random_orthonormal(300000, 20, 3);
+  EXPECT_LT(dense::orthogonality_error(q.view()), 1e-12);
+}
+
+TEST(RandomOrthonormal, SeedsDiffer) {
+  const Matrix a = synth::random_orthonormal(50, 3, 1);
+  const Matrix b = synth::random_orthonormal(50, 3, 2);
+  EXPECT_GT(dense::max_abs_diff(a.view(), b.view()), 1e-3);
+  const Matrix c = synth::random_orthonormal(50, 3, 1);
+  EXPECT_EQ(dense::max_abs_diff(a.view(), c.view()), 0.0);
+}
+
+class LogscaledKappa : public ::testing::TestWithParam<double> {};
+
+TEST_P(LogscaledKappa, ConditionNumberIsExact) {
+  const double kappa = GetParam();
+  const Matrix v = synth::logscaled(2000, 5, kappa, 7);
+  const double measured = dense::cond_2(v.view());
+  EXPECT_NEAR(std::log10(measured), std::log10(kappa), 0.05)
+      << "target " << kappa << " measured " << measured;
+}
+
+INSTANTIATE_TEST_SUITE_P(KappaSweep, LogscaledKappa,
+                         ::testing::Values(1e1, 1e4, 1e7, 1e10, 1e13));
+
+TEST(Logscaled, RejectsBadKappa) {
+  EXPECT_THROW(synth::logscaled(10, 2, 0.5, 1), std::invalid_argument);
+}
+
+TEST(Glued, PanelConditionNumbersAreUniform) {
+  synth::GluedSpec spec;
+  spec.n = 3000;
+  spec.panels = 6;
+  spec.panel_cols = 5;
+  spec.kappa_panel = 1e6;
+  spec.growth = 1.0;
+  const Matrix v = synth::glued(spec, 11);
+
+  for (int j = 0; j < spec.panels; ++j) {
+    const auto panel = v.view().columns(spec.panel_cols * j, spec.panel_cols);
+    EXPECT_NEAR(std::log10(dense::cond_2(panel)), 6.0, 0.05) << "panel " << j;
+  }
+  // Uniform growth=1: the whole matrix has the same kappa as each panel.
+  EXPECT_NEAR(std::log10(dense::cond_2(v.view())), 6.0, 0.05);
+}
+
+TEST(Glued, CumulativeConditionGrowsGeometrically) {
+  // The Fig. 8 matrix: panel kappa 1e7 fixed, cumulative kappa
+  // 2^{j-1} * 1e7.
+  synth::GluedSpec spec;
+  spec.n = 4000;
+  spec.panels = 8;
+  spec.panel_cols = 5;
+  spec.kappa_panel = 1e7;
+  spec.growth = 2.0;
+  const Matrix v = synth::glued(spec, 13);
+
+  for (int j = 1; j <= spec.panels; ++j) {
+    const auto head = v.view().columns(0, spec.panel_cols * j);
+    const double expected = std::pow(2.0, j - 1) * 1e7;
+    EXPECT_NEAR(std::log10(dense::cond_2(head)), std::log10(expected), 0.08)
+        << "after " << j << " panels";
+    const auto panel = v.view().columns(spec.panel_cols * (j - 1), spec.panel_cols);
+    EXPECT_NEAR(std::log10(dense::cond_2(panel)), 7.0, 0.05);
+  }
+}
+
+TEST(Glued, SingularValueScheduleMatchesSpec) {
+  synth::GluedSpec spec;
+  spec.n = 100;
+  spec.panels = 3;
+  spec.panel_cols = 4;
+  spec.kappa_panel = 1e5;
+  spec.growth = 4.0;
+  for (int j = 0; j < 3; ++j) {
+    const auto sv = synth::glued_panel_singular_values(spec, j);
+    ASSERT_EQ(sv.size(), 4u);
+    EXPECT_NEAR(sv.front(), std::pow(4.0, -j), 1e-12);
+    EXPECT_NEAR(sv.front() / sv.back(), 1e5, 1e-6 * 1e5);
+  }
+}
+
+TEST(Glued, ValidatesSpec) {
+  synth::GluedSpec spec;
+  spec.n = 10;
+  spec.panels = 4;
+  spec.panel_cols = 5;  // 20 cols > 10 rows
+  EXPECT_THROW(synth::glued(spec, 1), std::invalid_argument);
+  spec.panels = 0;
+  EXPECT_THROW(synth::glued(spec, 1), std::invalid_argument);
+}
+
+}  // namespace
