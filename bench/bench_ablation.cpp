@@ -202,6 +202,7 @@ void ablation_randomized() {
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
+  par::configure_from_cli(cli);  // --threads=N / TSBO_NUM_THREADS
   std::printf("# Ablations: paper-discussed extensions (not in its tables)\n\n");
   ablation_basis_times_s(cli);
   ablation_mixed_precision();

@@ -8,6 +8,7 @@
 
 #include "krylov/gmres.hpp"
 #include "krylov/sstep_gmres.hpp"
+#include "par/config.hpp"
 #include "par/spmd.hpp"
 #include "sparse/dist_csr.hpp"
 #include "sparse/spmv.hpp"

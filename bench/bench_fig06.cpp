@@ -23,6 +23,7 @@
 int main(int argc, char** argv) {
   using namespace tsbo;
   util::Cli cli(argc, argv);
+  par::configure_from_cli(cli);  // --threads=N / TSBO_NUM_THREADS
   const auto n = static_cast<dense::index_t>(cli.get_int("n", 100000));
   const auto s = static_cast<dense::index_t>(cli.get_int("s", 5));
   const int seeds = cli.get_int("seeds", 10);

@@ -50,6 +50,7 @@ Matrix sweep(const Matrix& v0, index_t s, Algo&& algo, bool* ok) {
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
+  par::configure_from_cli(cli);  // --threads=N / TSBO_NUM_THREADS
   const auto n = static_cast<index_t>(cli.get_int("n", 50000));
   const int panels = cli.get_int("panels", 6);
   const auto s = static_cast<index_t>(cli.get_int("s", 5));

@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   using dense::Matrix;
 
   util::Cli cli(argc, argv);
+  par::configure_from_cli(cli);  // --threads=N / TSBO_NUM_THREADS
   const auto n = static_cast<index_t>(cli.get_int("n", 20000));
   const auto m = static_cast<index_t>(cli.get_int("m", 180));
   const auto bs = static_cast<index_t>(cli.get_int("bs", 60));

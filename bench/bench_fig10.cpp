@@ -20,6 +20,7 @@ namespace tsbo::bench {
 inline int run_breakdown_figure(int argc, char** argv, const char* figure,
                                 int scheme, const char* scheme_name) {
   util::Cli cli(argc, argv);
+  par::configure_from_cli(cli);  // --threads=N / TSBO_NUM_THREADS
   const int nx = cli.get_int("nx", 192);
   const std::vector<int> rank_list =
       cli.get_int_list("ranks", {1, 2, 4, 8, 16});

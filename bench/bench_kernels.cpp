@@ -1,25 +1,39 @@
-// Supporting micro-kernel benchmarks (google-benchmark).
+// Kernel-layer throughput harness: serial vs. threaded GFLOP/s for the
+// hot kernels of the two-stage orthogonalization path.
 //
-// These quantify the two local-performance effects the paper's
+// Sweeps the thread count over the paper-scale shapes the speedup
 // argument rests on:
-//   1. BLAS-3 block inner products reuse the streamed panel: the fused
-//      Gram [Q,V]^T V at block size bs = 60 sustains far higher
-//      throughput than 60 BLAS-1 dots or s = 5 panels (why the second
-//      stage runs at block size bs).
-//   2. CholQR's factor+TRSM cost is trivial next to HHQR's
-//      reflector-by-reflector sweeps (why BCGS2 uses CholQR2).
-// Plus SpMV throughput for context.
+//   * gemm_tn  — the Gram / block-dot product C = A^T B at m = 1e5 and
+//                panel widths s (one-stage) through bs (second stage);
+//   * gemm_nn  — the panel update V -= Q R at the same shapes;
+//   * spmv     — 9-point 2-D Laplace stencil;
+//   * dot      — BLAS-1 baseline for context.
+// Every configuration is run twice and compared bitwise (the kernel
+// layer's fixed-chunk reductions must make repeated runs identical),
+// and against the 1-thread result (which must also match bitwise).
+//
+//   bench_kernels [--m=100000] [--s=10,20,30] [--nx=512] [--reps=5]
+//                 [--threads=<list>] [--json=BENCH_kernels.json]
+//
+// --threads defaults to a power-of-two sweep 1..hardware_concurrency.
+// The JSON output gives future PRs a perf trajectory to regress against.
 
 #include "dense/blas1.hpp"
 #include "dense/blas3.hpp"
-#include "ortho/intra.hpp"
+#include "par/config.hpp"
 #include "sparse/generators.hpp"
 #include "sparse/spmv.hpp"
-#include "synth/synthetic.hpp"
+#include "util/cli.hpp"
 #include "util/random.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
 
-#include <benchmark/benchmark.h>
-
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace {
@@ -35,102 +49,197 @@ Matrix random_matrix(index_t rows, index_t cols, std::uint64_t seed) {
   return m;
 }
 
-/// Block dot product C = A^T B at varying block size: the data-reuse
-/// story behind the two-stage second stage.
-void BM_BlockDot(benchmark::State& state) {
-  const index_t n = 1 << 18;
-  const auto cols = static_cast<index_t>(state.range(0));
-  const Matrix a = random_matrix(n, cols, 1);
-  const Matrix b = random_matrix(n, cols, 2);
-  Matrix c(cols, cols);
-  for (auto _ : state) {
-    dense::gemm_tn(1.0, a.view(), b.view(), 0.0, c.view());
-    benchmark::DoNotOptimize(c.col(0));
-  }
-  state.SetItemsProcessed(state.iterations() * 2 * static_cast<long>(n) *
-                          cols * cols);
-}
-BENCHMARK(BM_BlockDot)->Arg(1)->Arg(5)->Arg(20)->Arg(60)->Unit(benchmark::kMillisecond);
+struct Measurement {
+  std::string kernel;
+  std::string shape;
+  int threads = 1;
+  double seconds = 0.0;   // best of reps
+  double gflops = 0.0;
+  bool deterministic = false;   // repeated runs bit-identical
+  bool matches_serial = false;  // bit-identical to the 1-thread result
+};
 
-/// The same work done as independent BLAS-1 dots (standard GMRES).
-void BM_ColumnwiseDots(benchmark::State& state) {
-  const index_t n = 1 << 18;
-  const auto cols = static_cast<index_t>(state.range(0));
-  const Matrix a = random_matrix(n, cols, 3);
-  const Matrix b = random_matrix(n, cols, 4);
-  std::vector<double> out(static_cast<std::size_t>(cols) * cols);
-  for (auto _ : state) {
-    for (index_t i = 0; i < cols; ++i) {
-      for (index_t j = 0; j < cols; ++j) {
-        out[static_cast<std::size_t>(i) * cols + j] = dense::dot(
-            std::span<const double>(a.col(i), static_cast<std::size_t>(n)),
-            std::span<const double>(b.col(j), static_cast<std::size_t>(n)));
-      }
-    }
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.SetItemsProcessed(state.iterations() * 2 * static_cast<long>(n) *
-                          cols * cols);
-}
-BENCHMARK(BM_ColumnwiseDots)->Arg(5)->Arg(20)->Unit(benchmark::kMillisecond);
+/// One benchmarked kernel: run() fills `out` from fixed inputs.
+struct Case {
+  std::string kernel;
+  std::string shape;
+  double flops = 0.0;
+  std::function<void(std::vector<double>& out)> run;
+};
 
-/// Panel update V -= Q R at growing basis width.
-void BM_BlockUpdate(benchmark::State& state) {
-  const index_t n = 1 << 18;
-  const auto q = static_cast<index_t>(state.range(0));
-  const Matrix qm = random_matrix(n, q, 5);
-  const Matrix r = random_matrix(q, 5, 6);
-  Matrix v = random_matrix(n, 5, 7);
-  for (auto _ : state) {
-    dense::gemm_nn(-1.0, qm.view(), r.view(), 1.0, v.view());
-    benchmark::DoNotOptimize(v.col(0));
-  }
-  state.SetItemsProcessed(state.iterations() * 2 * static_cast<long>(n) * q * 5);
+bool bits_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
 }
-BENCHMARK(BM_BlockUpdate)->Arg(5)->Arg(30)->Arg(60)->Unit(benchmark::kMillisecond);
 
-/// CholQR vs HHQR on the same panel (single rank).
-void BM_CholQR(benchmark::State& state) {
-  const index_t n = 1 << 17;
-  const auto s = static_cast<index_t>(state.range(0));
-  const Matrix v0 = synth::logscaled(n, s, 100.0, 8);
-  for (auto _ : state) {
-    Matrix v = dense::copy_of(v0.view());
-    Matrix r(s, s);
-    ortho::OrthoContext ctx;
-    ortho::cholqr(ctx, v.view(), r.view());
-    benchmark::DoNotOptimize(v.col(0));
-  }
+std::vector<int> default_thread_sweep() {
+  const int hw = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  std::vector<int> sweep;
+  for (int t = 1; t < hw; t *= 2) sweep.push_back(t);
+  sweep.push_back(hw);
+  return sweep;
 }
-BENCHMARK(BM_CholQR)->Arg(5)->Arg(20)->Arg(60)->Unit(benchmark::kMillisecond);
-
-void BM_HHQR(benchmark::State& state) {
-  const index_t n = 1 << 17;
-  const auto s = static_cast<index_t>(state.range(0));
-  const Matrix v0 = synth::logscaled(n, s, 100.0, 9);
-  for (auto _ : state) {
-    Matrix v = dense::copy_of(v0.view());
-    Matrix r(s, s);
-    ortho::OrthoContext ctx;
-    ortho::hhqr(ctx, v.view(), r.view());
-    benchmark::DoNotOptimize(v.col(0));
-  }
-}
-BENCHMARK(BM_HHQR)->Arg(5)->Arg(20)->Unit(benchmark::kMillisecond);
-
-void BM_SpMV(benchmark::State& state) {
-  const auto nx = static_cast<sparse::ord>(state.range(0));
-  const auto a = sparse::laplace2d_9pt(nx, nx);
-  std::vector<double> x(static_cast<std::size_t>(a.rows), 1.0);
-  std::vector<double> y(static_cast<std::size_t>(a.rows));
-  for (auto _ : state) {
-    sparse::spmv(a, x, y);
-    benchmark::DoNotOptimize(y.data());
-  }
-  state.SetItemsProcessed(state.iterations() * 2 * a.nnz());
-}
-BENCHMARK(BM_SpMV)->Arg(128)->Arg(512)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  par::configure_from_cli(cli);
+  const auto m = static_cast<index_t>(cli.get_int("m", 100000));
+  const std::vector<int> widths = cli.get_int_list("s", {10, 20, 30});
+  const auto nx = static_cast<sparse::ord>(cli.get_int("nx", 512));
+  const int reps = cli.get_int("reps", 5);
+  std::vector<int> threads = cli.get_int_list("threads", default_thread_sweep());
+  // The serial run is the bitwise reference and speedup baseline, so
+  // force it to lead the sweep.
+  if (std::find(threads.begin(), threads.end(), 1) != threads.begin()) {
+    threads.erase(std::remove(threads.begin(), threads.end(), 1), threads.end());
+    threads.insert(threads.begin(), 1);
+  }
+  const std::string json_path = cli.get("json", "BENCH_kernels.json");
+
+  std::printf(
+      "# Kernel-layer thread sweep: gemm_tn / gemm_nn (m = %d), spmv "
+      "(%d x %d 9-pt Laplace), dot\n"
+      "# threads:", m, nx, nx);
+  for (const int t : threads) std::printf(" %d", t);
+  std::printf("  (reps = %d, best-of)\n\n", reps);
+
+  std::vector<Case> cases;
+  for (const int s : widths) {
+    const auto sc = static_cast<index_t>(s);
+    Matrix a = random_matrix(m, sc, 1);
+    Matrix b = random_matrix(m, sc, 2);
+    cases.push_back(Case{
+        "gemm_tn", std::to_string(m) + "x" + std::to_string(s),
+        2.0 * m * s * s,
+        [a = std::move(a), b = std::move(b), m, sc](std::vector<double>& out) {
+          out.assign(static_cast<std::size_t>(sc) * sc, 0.0);
+          dense::MatrixView c{out.data(), sc, sc, sc};
+          dense::gemm_tn(1.0, a.view(), b.view(), 0.0, c);
+        }});
+  }
+  for (const int s : widths) {
+    const auto sc = static_cast<index_t>(s);
+    Matrix q = random_matrix(m, sc, 3);
+    Matrix r = random_matrix(sc, sc, 4);
+    Matrix v0 = random_matrix(m, sc, 5);
+    cases.push_back(Case{
+        "gemm_nn", std::to_string(m) + "x" + std::to_string(s),
+        2.0 * m * s * s,
+        [q = std::move(q), r = std::move(r), v0 = std::move(v0), m,
+         sc](std::vector<double>& out) {
+          out.assign(v0.data().begin(), v0.data().end());
+          dense::MatrixView v{out.data(), m, sc, m};
+          dense::gemm_nn(-1.0, q.view(), r.view(), 1.0, v);
+        }});
+  }
+  {
+    sparse::CsrMatrix a = sparse::laplace2d_9pt(nx, nx);
+    const double flops = 2.0 * static_cast<double>(a.nnz());
+    std::vector<double> x(static_cast<std::size_t>(a.rows), 1.0);
+    cases.push_back(Case{
+        "spmv", std::to_string(a.rows) + " rows",
+        flops,
+        [a = std::move(a), x = std::move(x)](std::vector<double>& out) {
+          out.assign(x.size(), 0.0);
+          sparse::spmv(a, x, out);
+        }});
+  }
+  {
+    Matrix a = random_matrix(m, 2, 6);
+    cases.push_back(Case{
+        "dot", std::to_string(m),
+        2.0 * m,
+        [a = std::move(a), m](std::vector<double>& out) {
+          out.assign(1, 0.0);
+          const std::span<const double> x(a.col(0), static_cast<std::size_t>(m));
+          const std::span<const double> y(a.col(1), static_cast<std::size_t>(m));
+          out[0] = dense::dot(x, y);
+        }});
+  }
+
+  util::Table table({"kernel", "shape", "threads", "best (ms)", "GFLOP/s",
+                     "speedup", "bitwise"});
+  std::vector<Measurement> results;
+
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    const Case& bench = cases[ci];
+    std::vector<double> serial_out;
+    double serial_seconds = 0.0;
+    for (const int t : threads) {
+      par::set_num_threads(static_cast<unsigned>(t));
+      std::vector<double> out1, out2;
+      bench.run(out1);  // warm-up + reference
+      bench.run(out2);
+      Measurement meas;
+      meas.kernel = bench.kernel;
+      meas.shape = bench.shape;
+      meas.threads = t;
+      meas.deterministic = bits_equal(out1, out2);
+      if (t == threads.front()) serial_out = out1;
+      meas.matches_serial = bits_equal(out1, serial_out);
+
+      double best = -1.0;
+      for (int rep = 0; rep < reps; ++rep) {
+        util::WallTimer timer;
+        bench.run(out2);
+        const double sec = timer.seconds();
+        if (best < 0.0 || sec < best) best = sec;
+      }
+      meas.seconds = best;
+      meas.gflops = best > 0.0 ? bench.flops / best * 1e-9 : 0.0;
+      if (t == threads.front()) serial_seconds = best;
+
+      table.row()
+          .add(meas.kernel)
+          .add(meas.shape)
+          .add(t)
+          .add(best * 1e3, 3)
+          .add(meas.gflops, 2)
+          .add(util::speedup_str(serial_seconds, best))
+          .add(meas.deterministic && meas.matches_serial ? "ok" : "MISMATCH");
+      results.push_back(meas);
+    }
+    if (ci + 1 < cases.size()) table.separator();
+  }
+  par::set_num_threads(0);  // restore auto
+  table.print();
+
+  bool all_ok = true;
+  for (const Measurement& meas : results) {
+    all_ok = all_ok && meas.deterministic && meas.matches_serial;
+  }
+  std::printf("\n# bitwise determinism (repeat + vs serial): %s\n",
+              all_ok ? "ok" : "MISMATCH");
+
+  if (json_path != "none") {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"kernels\",\n  \"m\": %d,\n", m);
+    std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"results\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const Measurement& meas = results[i];
+      std::fprintf(f,
+                   "    {\"kernel\": \"%s\", \"shape\": \"%s\", \"threads\": "
+                   "%d, \"seconds\": %.9e, \"gflops\": %.4f, "
+                   "\"deterministic\": %s, \"matches_serial\": %s}%s\n",
+                   meas.kernel.c_str(), meas.shape.c_str(), meas.threads,
+                   meas.seconds, meas.gflops,
+                   meas.deterministic ? "true" : "false",
+                   meas.matches_serial ? "true" : "false",
+                   i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("# wrote %s\n", json_path.c_str());
+  }
+  return all_ok ? 0 : 1;
+}

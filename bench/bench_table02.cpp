@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   using namespace tsbo;
   using namespace tsbo::bench;
   util::Cli cli(argc, argv);
+  par::configure_from_cli(cli);  // --threads=N / TSBO_NUM_THREADS
   const int nx = cli.get_int("nx", 160);
   const int ranks = cli.get_int("ranks", 4);
   const int restarts = cli.get_int("restarts", 8);

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   using namespace tsbo;
   using namespace tsbo::bench;
   util::Cli cli(argc, argv);
+  par::configure_from_cli(cli);  // --threads=N / TSBO_NUM_THREADS
   const int nx = cli.get_int("nx", 192);
   const std::vector<int> rank_list =
       cli.get_int_list("ranks", {1, 2, 4, 8, 16});

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   using namespace tsbo;
   using namespace tsbo::bench;
   util::Cli cli(argc, argv);
+  par::configure_from_cli(cli);  // --threads=N / TSBO_NUM_THREADS
   const int n = cli.get_int("n", 60000);
   const int ranks = cli.get_int("ranks", 8);
   const int restarts = cli.get_int("restarts", 2);

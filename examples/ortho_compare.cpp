@@ -4,6 +4,7 @@
 //
 //   ./example_ortho_compare [--n=20000] [--panels=6] [--s=5] [--kappa=1e7]
 
+#include "par/config.hpp"
 #include "dense/svd.hpp"
 #include "ortho/block_gs.hpp"
 #include "ortho/intra.hpp"
@@ -22,6 +23,7 @@ int main(int argc, char** argv) {
   using dense::Matrix;
 
   util::Cli cli(argc, argv);
+  par::configure_from_cli(cli);  // --threads=N / TSBO_NUM_THREADS
   const auto n = static_cast<index_t>(cli.get_int("n", 20000));
   const int panels = cli.get_int("panels", 6);
   const auto s = static_cast<index_t>(cli.get_int("s", 5));

@@ -6,6 +6,7 @@
 //
 //   ./example_poisson3d [--n=32] [--ranks=4] [--rtol=1e-8]
 
+#include "par/config.hpp"
 #include "krylov/sstep_gmres.hpp"
 #include "par/spmd.hpp"
 #include "precond/chebyshev.hpp"
@@ -24,6 +25,7 @@
 int main(int argc, char** argv) {
   using namespace tsbo;
   util::Cli cli(argc, argv);
+  par::configure_from_cli(cli);  // --threads=N / TSBO_NUM_THREADS
   const int side = cli.get_int("n", 32);
   const int nranks = cli.get_int("ranks", 4);
   const double rtol = cli.get_double("rtol", 1e-8);

@@ -4,6 +4,7 @@
 //
 //   ./example_quickstart [--nx=128] [--ranks=4] [--rtol=1e-6]
 
+#include "par/config.hpp"
 #include "krylov/gmres.hpp"
 #include "krylov/sstep_gmres.hpp"
 #include "par/spmd.hpp"
@@ -18,6 +19,7 @@
 int main(int argc, char** argv) {
   using namespace tsbo;
   util::Cli cli(argc, argv);
+  par::configure_from_cli(cli);  // --threads=N / TSBO_NUM_THREADS
   const int nx = cli.get_int("nx", 128);
   const int nranks = cli.get_int("ranks", 4);
   const double rtol = cli.get_double("rtol", 1e-6);

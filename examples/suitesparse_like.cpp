@@ -6,6 +6,7 @@
 //   ./example_suitesparse_like [--matrix=ecology2] [--n=40000] [--ranks=4]
 //   ./example_suitesparse_like --file=/path/to/real_matrix.mtx
 
+#include "par/config.hpp"
 #include "krylov/gmres.hpp"
 #include "krylov/sstep_gmres.hpp"
 #include "par/spmd.hpp"
@@ -22,6 +23,7 @@
 int main(int argc, char** argv) {
   using namespace tsbo;
   util::Cli cli(argc, argv);
+  par::configure_from_cli(cli);  // --threads=N / TSBO_NUM_THREADS
   const int nranks = cli.get_int("ranks", 4);
 
   sparse::CsrMatrix a;

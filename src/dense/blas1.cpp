@@ -1,26 +1,81 @@
 #include "dense/blas1.hpp"
 
+#include "par/config.hpp"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <vector>
 
 namespace tsbo::dense {
 
-double dot(std::span<const double> x, std::span<const double> y) {
-  assert(x.size() == y.size());
+namespace {
+
+// Per-chunk kernels: each processes [begin, end) with a fixed
+// accumulation order, so the chunked drivers below are deterministic
+// for any thread count (see par/config.hpp).
+
+double dot_range(const double* x, const double* y, std::size_t begin,
+                 std::size_t end) {
   // Four partial accumulators break the serial dependence chain and let
   // the compiler vectorize; they also slightly improve rounding.
   double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-  std::size_t i = 0;
-  const std::size_t n4 = x.size() - x.size() % 4;
+  std::size_t i = begin;
+  const std::size_t n4 = begin + (end - begin) / 4 * 4;
   for (; i < n4; i += 4) {
     s0 += x[i] * y[i];
     s1 += x[i + 1] * y[i + 1];
     s2 += x[i + 2] * y[i + 2];
     s3 += x[i + 3] * y[i + 3];
   }
-  for (; i < x.size(); ++i) s0 += x[i] * y[i];
+  for (; i < end; ++i) s0 += x[i] * y[i];
   return (s0 + s1) + (s2 + s3);
+}
+
+double sumsq_range(const double* x, std::size_t begin, std::size_t end) {
+  return dot_range(x, x, begin, end);
+}
+
+double amax_range(const double* x, std::size_t begin, std::size_t end) {
+  double m = 0.0;
+  for (std::size_t i = begin; i < end; ++i) m = std::max(m, std::abs(x[i]));
+  return m;
+}
+
+/// Runs `range_fn` over the fixed chunks of [0, n) and combines the
+/// per-chunk partials in ascending chunk order with `combine`.
+template <typename RangeFn, typename Combine>
+double chunked_reduce(std::size_t n, const RangeFn& range_fn,
+                      const Combine& combine) {
+  if (n <= par::kReduceChunk) return range_fn(0, n);
+  const std::size_t nchunks = par::reduce_chunk_count(n);
+  std::vector<double> partials(nchunks, 0.0);
+  par::for_reduce_chunks(
+      n, [&](std::size_t ci, std::size_t b, std::size_t e) {
+        partials[ci] = range_fn(b, e);
+      });
+  double acc = partials[0];
+  for (std::size_t ci = 1; ci < nchunks; ++ci) acc = combine(acc, partials[ci]);
+  return acc;
+}
+
+}  // namespace
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  return chunked_reduce(
+      x.size(),
+      [&](std::size_t b, std::size_t e) {
+        return dot_range(x.data(), y.data(), b, e);
+      },
+      [](double a, double b) { return a + b; });
+}
+
+double sumsq(std::span<const double> x) {
+  return chunked_reduce(
+      x.size(),
+      [&](std::size_t b, std::size_t e) { return sumsq_range(x.data(), b, e); },
+      [](double a, double b) { return a + b; });
 }
 
 double nrm2(std::span<const double> x) {
@@ -28,33 +83,48 @@ double nrm2(std::span<const double> x) {
   // produces (Krylov vectors can overflow the naive sum of squares).
   double m = amax(x);
   if (m == 0.0 || !std::isfinite(m)) return m;
-  double s = 0.0;
   const double inv = 1.0 / m;
-  for (double v : x) {
-    const double t = v * inv;
-    s += t * t;
-  }
+  const double s = chunked_reduce(
+      x.size(),
+      [&](std::size_t b, std::size_t e) {
+        double acc = 0.0;
+        for (std::size_t i = b; i < e; ++i) {
+          const double t = x[i] * inv;
+          acc += t * t;
+        }
+        return acc;
+      },
+      [](double a, double b) { return a + b; });
   return m * std::sqrt(s);
 }
 
 void axpy(double alpha, std::span<const double> x, std::span<double> y) {
   assert(x.size() == y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  par::parallel_for_grained(x.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) y[i] += alpha * x[i];
+  });
 }
 
 void scal(double alpha, std::span<double> x) {
-  for (double& v : x) v *= alpha;
+  par::parallel_for_grained(x.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) x[i] *= alpha;
+  });
 }
 
 void vcopy(std::span<const double> x, std::span<double> y) {
   assert(x.size() == y.size());
-  std::copy(x.begin(), x.end(), y.begin());
+  par::parallel_for_grained(x.size(), [&](std::size_t b, std::size_t e) {
+    std::copy(x.begin() + static_cast<std::ptrdiff_t>(b),
+              x.begin() + static_cast<std::ptrdiff_t>(e),
+              y.begin() + static_cast<std::ptrdiff_t>(b));
+  });
 }
 
 double amax(std::span<const double> x) {
-  double m = 0.0;
-  for (double v : x) m = std::max(m, std::abs(v));
-  return m;
+  return chunked_reduce(
+      x.size(),
+      [&](std::size_t b, std::size_t e) { return amax_range(x.data(), b, e); },
+      [](double a, double b) { return std::max(a, b); });
 }
 
 }  // namespace tsbo::dense

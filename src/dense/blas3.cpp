@@ -1,96 +1,133 @@
 #include "dense/blas3.hpp"
 
+#include "par/config.hpp"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <vector>
 
 namespace tsbo::dense {
 
 namespace {
 // Row-block height: a 256 x ncols tile of the tall operand stays in L1/L2
-// while all columns of the small operand are applied to it.
+// while all columns of the small operand are applied to it.  Divides
+// par::kReduceChunk, so reduction chunks are whole numbers of tiles.
 constexpr index_t kRowBlock = 256;
+static_assert(par::kReduceChunk % static_cast<std::size_t>(kRowBlock) == 0);
+
+/// Shared GEMM prologue: C := beta * C.  beta == 0 overwrites (clearing
+/// NaN/Inf) rather than multiplying.  Threaded over rows for tall C.
+void scale_columns(double beta, MatrixView c) {
+  if (beta == 1.0 || c.rows == 0 || c.cols == 0) return;
+  par::parallel_for_grained(
+      static_cast<std::size_t>(c.rows), [&](std::size_t b, std::size_t e) {
+        const auto nb = static_cast<index_t>(e - b);
+        for (index_t j = 0; j < c.cols; ++j) {
+          double* cj = c.col(j) + static_cast<index_t>(b);
+          if (beta == 0.0) {
+            std::fill_n(cj, nb, 0.0);
+          } else {
+            for (index_t i = 0; i < nb; ++i) cj[i] *= beta;
+          }
+        }
+      });
+}
+
 }  // namespace
 
 void gemm_nn(double alpha, ConstMatrixView a, ConstMatrixView b, double beta,
              MatrixView c) {
   assert(a.rows == c.rows && a.cols == b.rows && b.cols == c.cols);
   const index_t m = a.rows, k = a.cols, n = b.cols;
-  if (beta != 1.0) {
-    for (index_t j = 0; j < n; ++j) {
-      double* cj = c.col(j);
-      if (beta == 0.0) {
-        std::fill_n(cj, m, 0.0);
-      } else {
-        for (index_t i = 0; i < m; ++i) cj[i] *= beta;
-      }
-    }
-  }
+  scale_columns(beta, c);
   if (alpha == 0.0 || k == 0) return;
 
-  for (index_t i0 = 0; i0 < m; i0 += kRowBlock) {
-    const index_t ib = std::min(kRowBlock, m - i0);
-    for (index_t j = 0; j < n; ++j) {
-      double* cj = c.col(j) + i0;
-      // Unroll the accumulation over pairs of inner columns: halves the
-      // number of passes over the C tile.
-      index_t l = 0;
-      for (; l + 1 < k; l += 2) {
-        const double b0 = alpha * b(l, j);
-        const double b1 = alpha * b(l + 1, j);
-        const double* a0 = a.col(l) + i0;
-        const double* a1 = a.col(l + 1) + i0;
-        for (index_t i = 0; i < ib; ++i) cj[i] += b0 * a0[i] + b1 * a1[i];
-      }
-      for (; l < k; ++l) {
-        const double b0 = alpha * b(l, j);
-        const double* a0 = a.col(l) + i0;
-        for (index_t i = 0; i < ib; ++i) cj[i] += b0 * a0[i];
-      }
-    }
-  }
+  // Output rows are disjoint across threads, and the accumulation order
+  // along k for each (i, j) is fixed, so any row partition is exact.
+  par::parallel_for_tiles(
+      static_cast<std::size_t>(m), static_cast<std::size_t>(kRowBlock),
+      [&](std::size_t rb, std::size_t re) {
+        const auto r0lo = static_cast<index_t>(rb);
+        const auto r0hi = static_cast<index_t>(re);
+        for (index_t i0 = r0lo; i0 < r0hi; i0 += kRowBlock) {
+          const index_t ib = std::min(kRowBlock, r0hi - i0);
+          for (index_t j = 0; j < n; ++j) {
+            double* cj = c.col(j) + i0;
+            // Unroll the accumulation over pairs of inner columns: halves
+            // the number of passes over the C tile.
+            index_t l = 0;
+            for (; l + 1 < k; l += 2) {
+              const double b0 = alpha * b(l, j);
+              const double b1 = alpha * b(l + 1, j);
+              const double* a0 = a.col(l) + i0;
+              const double* a1 = a.col(l + 1) + i0;
+              for (index_t i = 0; i < ib; ++i) cj[i] += b0 * a0[i] + b1 * a1[i];
+            }
+            for (; l < k; ++l) {
+              const double b0 = alpha * b(l, j);
+              const double* a0 = a.col(l) + i0;
+              for (index_t i = 0; i < ib; ++i) cj[i] += b0 * a0[i];
+            }
+          }
+        }
+      });
 }
 
 void gemm_tn(double alpha, ConstMatrixView a, ConstMatrixView b, double beta,
              MatrixView c) {
   assert(a.cols == c.rows && a.rows == b.rows && b.cols == c.cols);
   const index_t m = a.rows, p = a.cols, n = b.cols;
-  if (beta != 1.0) {
-    for (index_t j = 0; j < n; ++j) {
-      double* cj = c.col(j);
-      if (beta == 0.0) {
-        std::fill_n(cj, p, 0.0);
-      } else {
-        for (index_t i = 0; i < p; ++i) cj[i] *= beta;
-      }
-    }
-  }
-  if (alpha == 0.0 || m == 0) return;
+  scale_columns(beta, c);
+  if (alpha == 0.0 || m == 0 || p == 0 || n == 0) return;
 
-  for (index_t r0 = 0; r0 < m; r0 += kRowBlock) {
-    const index_t rb = std::min(kRowBlock, m - r0);
-    for (index_t j = 0; j < n; ++j) {
-      const double* bj = b.col(j) + r0;
-      double* cj = c.col(j);
-      index_t i = 0;
-      // Two output dot-products per pass share the streamed bj tile.
-      for (; i + 1 < p; i += 2) {
-        const double* a0 = a.col(i) + r0;
-        const double* a1 = a.col(i + 1) + r0;
-        double s0 = 0.0, s1 = 0.0;
-        for (index_t r = 0; r < rb; ++r) {
-          s0 += a0[r] * bj[r];
-          s1 += a1[r] * bj[r];
+  // Deterministic chunked reduction over the long row dimension: one
+  // p x n partial Gram block per fixed chunk (bounds depend only on m),
+  // combined in ascending chunk order below.
+  const std::size_t pn =
+      static_cast<std::size_t>(p) * static_cast<std::size_t>(n);
+  const std::size_t nchunks =
+      par::reduce_chunk_count(static_cast<std::size_t>(m));
+  std::vector<double> partials(nchunks * pn, 0.0);
+  par::for_reduce_chunks(
+      static_cast<std::size_t>(m),
+      [&](std::size_t ci, std::size_t rb, std::size_t re) {
+        double* part = partials.data() + ci * pn;  // column-major p x n
+        const auto rlo = static_cast<index_t>(rb);
+        const auto rhi = static_cast<index_t>(re);
+        for (index_t r0 = rlo; r0 < rhi; r0 += kRowBlock) {
+          const index_t nb = std::min(kRowBlock, rhi - r0);
+          for (index_t j = 0; j < n; ++j) {
+            const double* bj = b.col(j) + r0;
+            double* pj = part + static_cast<std::size_t>(j) * p;
+            index_t i = 0;
+            // Two output dot-products per pass share the streamed bj tile.
+            for (; i + 1 < p; i += 2) {
+              const double* a0 = a.col(i) + r0;
+              const double* a1 = a.col(i + 1) + r0;
+              double s0 = 0.0, s1 = 0.0;
+              for (index_t r = 0; r < nb; ++r) {
+                s0 += a0[r] * bj[r];
+                s1 += a1[r] * bj[r];
+              }
+              pj[i] += s0;
+              pj[i + 1] += s1;
+            }
+            for (; i < p; ++i) {
+              const double* a0 = a.col(i) + r0;
+              double s0 = 0.0;
+              for (index_t r = 0; r < nb; ++r) s0 += a0[r] * bj[r];
+              pj[i] += s0;
+            }
+          }
         }
-        cj[i] += alpha * s0;
-        cj[i + 1] += alpha * s1;
-      }
-      for (; i < p; ++i) {
-        const double* a0 = a.col(i) + r0;
-        double s0 = 0.0;
-        for (index_t r = 0; r < rb; ++r) s0 += a0[r] * bj[r];
-        cj[i] += alpha * s0;
-      }
+      });
+  for (std::size_t ci = 0; ci < nchunks; ++ci) {
+    const double* part = partials.data() + ci * pn;
+    for (index_t j = 0; j < n; ++j) {
+      double* cj = c.col(j);
+      const double* pj = part + static_cast<std::size_t>(j) * p;
+      for (index_t i = 0; i < p; ++i) cj[i] += alpha * pj[i];
     }
   }
 }
@@ -99,25 +136,22 @@ void gemm_nt(double alpha, ConstMatrixView a, ConstMatrixView b, double beta,
              MatrixView c) {
   assert(a.rows == c.rows && a.cols == b.cols && b.rows == c.cols);
   const index_t m = a.rows, k = a.cols, n = b.rows;
-  if (beta != 1.0) {
-    for (index_t j = 0; j < n; ++j) {
-      double* cj = c.col(j);
-      if (beta == 0.0) {
-        std::fill_n(cj, m, 0.0);
-      } else {
-        for (index_t i = 0; i < m; ++i) cj[i] *= beta;
-      }
-    }
-  }
+  scale_columns(beta, c);
   if (alpha == 0.0 || k == 0) return;
-  for (index_t j = 0; j < n; ++j) {
-    double* cj = c.col(j);
-    for (index_t l = 0; l < k; ++l) {
-      const double blj = alpha * b(j, l);
-      const double* al = a.col(l);
-      for (index_t i = 0; i < m; ++i) cj[i] += blj * al[i];
-    }
-  }
+  par::parallel_for_tiles(
+      static_cast<std::size_t>(m), static_cast<std::size_t>(kRowBlock),
+      [&](std::size_t rb, std::size_t re) {
+        const auto rlo = static_cast<index_t>(rb);
+        const auto nb = static_cast<index_t>(re - rb);
+        for (index_t j = 0; j < n; ++j) {
+          double* cj = c.col(j) + rlo;
+          for (index_t l = 0; l < k; ++l) {
+            const double blj = alpha * b(j, l);
+            const double* al = a.col(l) + rlo;
+            for (index_t i = 0; i < nb; ++i) cj[i] += blj * al[i];
+          }
+        }
+      });
 }
 
 void trsm_right_upper(ConstMatrixView u, MatrixView b) {
@@ -126,20 +160,27 @@ void trsm_right_upper(ConstMatrixView u, MatrixView b) {
   // Row-tiled: the i0-tile of all s columns stays in cache through the
   // whole triangular sweep.  An untiled sweep re-streams the tall panel
   // O(s) times, which dominates at the two-stage big-panel width.
-  for (index_t i0 = 0; i0 < n; i0 += kRowBlock) {
-    const index_t ib = std::min(kRowBlock, n - i0);
-    for (index_t j = 0; j < s; ++j) {
-      double* bj = b.col(j) + i0;
-      for (index_t l = 0; l < j; ++l) {
-        const double ulj = u(l, j);
-        if (ulj == 0.0) continue;
-        const double* bl = b.col(l) + i0;
-        for (index_t i = 0; i < ib; ++i) bj[i] -= ulj * bl[i];
-      }
-      const double inv = 1.0 / u(j, j);
-      for (index_t i = 0; i < ib; ++i) bj[i] *= inv;
-    }
-  }
+  // Rows never interact in B := B U^{-1}, so tiles run in parallel.
+  par::parallel_for_tiles(
+      static_cast<std::size_t>(n), static_cast<std::size_t>(kRowBlock),
+      [&](std::size_t rb, std::size_t re) {
+        const auto rlo = static_cast<index_t>(rb);
+        const auto rhi = static_cast<index_t>(re);
+        for (index_t i0 = rlo; i0 < rhi; i0 += kRowBlock) {
+          const index_t ib = std::min(kRowBlock, rhi - i0);
+          for (index_t j = 0; j < s; ++j) {
+            double* bj = b.col(j) + i0;
+            for (index_t l = 0; l < j; ++l) {
+              const double ulj = u(l, j);
+              if (ulj == 0.0) continue;
+              const double* bl = b.col(l) + i0;
+              for (index_t i = 0; i < ib; ++i) bj[i] -= ulj * bl[i];
+            }
+            const double inv = 1.0 / u(j, j);
+            for (index_t i = 0; i < ib; ++i) bj[i] *= inv;
+          }
+        }
+      });
 }
 
 void trmm_right_upper(ConstMatrixView u, MatrixView b) {
@@ -147,20 +188,26 @@ void trmm_right_upper(ConstMatrixView u, MatrixView b) {
   const index_t n = b.rows, s = b.cols;
   // Row-tiled like trsm_right_upper; columns processed right-to-left
   // within a tile so each source column is still unmodified when read.
-  for (index_t i0 = 0; i0 < n; i0 += kRowBlock) {
-    const index_t ib = std::min(kRowBlock, n - i0);
-    for (index_t j = s - 1; j >= 0; --j) {
-      double* bj = b.col(j) + i0;
-      const double ujj = u(j, j);
-      for (index_t i = 0; i < ib; ++i) bj[i] *= ujj;
-      for (index_t l = 0; l < j; ++l) {
-        const double ulj = u(l, j);
-        if (ulj == 0.0) continue;
-        const double* bl = b.col(l) + i0;
-        for (index_t i = 0; i < ib; ++i) bj[i] += ulj * bl[i];
-      }
-    }
-  }
+  par::parallel_for_tiles(
+      static_cast<std::size_t>(n), static_cast<std::size_t>(kRowBlock),
+      [&](std::size_t rb, std::size_t re) {
+        const auto rlo = static_cast<index_t>(rb);
+        const auto rhi = static_cast<index_t>(re);
+        for (index_t i0 = rlo; i0 < rhi; i0 += kRowBlock) {
+          const index_t ib = std::min(kRowBlock, rhi - i0);
+          for (index_t j = s - 1; j >= 0; --j) {
+            double* bj = b.col(j) + i0;
+            const double ujj = u(j, j);
+            for (index_t i = 0; i < ib; ++i) bj[i] *= ujj;
+            for (index_t l = 0; l < j; ++l) {
+              const double ulj = u(l, j);
+              if (ulj == 0.0) continue;
+              const double* bl = b.col(l) + i0;
+              for (index_t i = 0; i < ib; ++i) bj[i] += ulj * bl[i];
+            }
+          }
+        }
+      });
 }
 
 void syrk_tn(ConstMatrixView a, MatrixView c) {
@@ -178,11 +225,23 @@ void syrk_tn(ConstMatrixView a, MatrixView c) {
 }
 
 double frobenius_norm(ConstMatrixView a) {
+  // One chunked reduction over the row dimension covering all columns
+  // per chunk: a single pool dispatch, deterministic because the chunk
+  // bounds are fixed and partials combine in ascending order.
+  const auto m = static_cast<std::size_t>(a.rows);
+  const std::size_t nchunks = par::reduce_chunk_count(m);
+  if (a.cols == 0 || nchunks == 0) return 0.0;
+  std::vector<double> partials(nchunks, 0.0);
+  par::for_reduce_chunks(m, [&](std::size_t ci, std::size_t b, std::size_t e) {
+    double acc = 0.0;
+    for (index_t j = 0; j < a.cols; ++j) {
+      const double* col = a.col(j);
+      for (std::size_t i = b; i < e; ++i) acc += col[i] * col[i];
+    }
+    partials[ci] = acc;
+  });
   double s = 0.0;
-  for (index_t j = 0; j < a.cols; ++j) {
-    const double* col = a.col(j);
-    for (index_t i = 0; i < a.rows; ++i) s += col[i] * col[i];
-  }
+  for (const double p : partials) s += p;
   return std::sqrt(s);
 }
 

@@ -6,7 +6,10 @@
 // size of s+1 (one-stage) or bs+1 (two-stage second stage), and larger
 // block sizes mean more reuse of the streamed tall operand per pass.
 // The kernels below are row-blocked so that the panel tile stays in
-// cache while the tall matrix streams through once.
+// cache while the tall matrix streams through once, and threaded over
+// row tiles via par::ThreadPool.  Reductions (gemm_tn, frobenius_norm)
+// follow the fixed-chunk deterministic scheme of par/config.hpp, so
+// results are bit-identical at any thread count.
 
 #include "dense/matrix.hpp"
 

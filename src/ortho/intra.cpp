@@ -87,14 +87,23 @@ void hhqr(OrthoContext& ctx, MatrixView v, MatrixView r) {
     if (ctx.timers) ctx.timers->stop("ortho/reduce");
   };
 
+  // The panel sweeps below run on the threaded BLAS-1 kernels; their
+  // chunked reductions are deterministic, so every rank's local partial
+  // is reproducible at any thread count.
+  auto tail = [nloc](const double* col, index_t lo) {
+    return std::span<const double>(col + lo, static_cast<std::size_t>(nloc - lo));
+  };
+  auto tail_mut = [nloc](double* col, index_t lo) {
+    return std::span<double>(col + lo, static_cast<std::size_t>(nloc - lo));
+  };
+
   if (ctx.timers) ctx.timers->start("ortho/hhqr");
   for (index_t j = 0; j < s; ++j) {
     double* colj = v.col(j);
     // Fused reduce: [ sum of squares below and incl. pivot, pivot value ].
     // Pivot row j lives on rank 0 (block layout, row j global == local).
-    double nrm2_local = 0.0;
     const index_t lo = owns_pivots ? j : 0;
-    for (index_t i = lo; i < nloc; ++i) nrm2_local += colj[i] * colj[i];
+    const double nrm2_local = dense::sumsq(tail(colj, lo));
     double msg[2] = {nrm2_local, owns_pivots ? colj[j] : 0.0};
     timed_reduce(std::span<double>(msg, 2));
     const double normx = std::sqrt(msg[0]);
@@ -110,23 +119,20 @@ void hhqr(OrthoContext& ctx, MatrixView v, MatrixView r) {
     tau[static_cast<std::size_t>(j)] = -v0 / beta;
     const double inv_v0 = 1.0 / v0;
     // Scale my part of the reflector; pivot entry becomes implicit 1.
-    for (index_t i = lo; i < nloc; ++i) colj[i] *= inv_v0;
+    dense::scal(inv_v0, tail_mut(colj, lo));
     if (owns_pivots) colj[j] = 1.0;
 
-    // w = tau * v^T V(:, j+1:s) — one reduce of (s - j - 1) values.
+    // w = v^T V(:, j+1:s) as one fused GEMM (single reduce, single
+    // stream of the reflector) followed by the rank-1 trailing update.
     const index_t rest = s - j - 1;
-    std::vector<double> w(static_cast<std::size_t>(rest), 0.0);
-    for (index_t c = 0; c < rest; ++c) {
-      const double* colc = v.col(j + 1 + c);
-      double acc = 0.0;
-      for (index_t i = lo; i < nloc; ++i) acc += colj[i] * colc[i];
-      w[static_cast<std::size_t>(c)] = acc;
-    }
-    if (rest > 0) timed_reduce(w);
-    for (index_t c = 0; c < rest; ++c) {
-      double* colc = v.col(j + 1 + c);
-      const double wc = tau[static_cast<std::size_t>(j)] * w[static_cast<std::size_t>(c)];
-      for (index_t i = lo; i < nloc; ++i) colc[i] -= wc * colj[i];
+    if (rest > 0) {
+      const ConstMatrixView vj{colj + lo, nloc - lo, 1, v.ld};
+      MatrixView trailing = v.block(lo, j + 1, nloc - lo, rest);
+      dense::Matrix w(1, rest);
+      dense::gemm_tn(1.0, vj, trailing, 0.0, w.view());
+      timed_reduce(w.data());
+      dense::gemm_nn(-tau[static_cast<std::size_t>(j)], vj, w.view(), 1.0,
+                     trailing);
     }
     // R(j, j) = beta; R(j, c) for c > j now sits in row j on rank 0 but
     // will be collected after the loop (rows 0..s-1 of v on rank 0).
@@ -169,19 +175,12 @@ void hhqr(OrthoContext& ctx, MatrixView v, MatrixView r) {
     if (tj == 0.0) continue;
     const double* colj = v.col(j);
     const index_t lo = owns_pivots ? j : 0;
-    std::vector<double> w(static_cast<std::size_t>(s), 0.0);
-    for (index_t c = 0; c < s; ++c) {
-      const double* qc = q.col(c);
-      double acc = 0.0;
-      for (index_t i = lo; i < nloc; ++i) acc += colj[i] * qc[i];
-      w[static_cast<std::size_t>(c)] = acc;
-    }
-    timed_reduce(w);
-    for (index_t c = 0; c < s; ++c) {
-      double* qc = q.col(c);
-      const double wc = tj * w[static_cast<std::size_t>(c)];
-      for (index_t i = lo; i < nloc; ++i) qc[i] -= wc * colj[i];
-    }
+    const ConstMatrixView vj{colj + lo, nloc - lo, 1, v.ld};
+    MatrixView qtail = q.view().block(lo, 0, nloc - lo, s);
+    dense::Matrix w(1, s);
+    dense::gemm_tn(1.0, vj, qtail, 0.0, w.view());
+    timed_reduce(w.data());
+    dense::gemm_nn(-tj, vj, w.view(), 1.0, qtail);
   }
   dense::copy(q.view(), v);
   if (ctx.timers) ctx.timers->stop("ortho/hhqr");

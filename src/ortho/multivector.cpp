@@ -1,5 +1,6 @@
 #include "ortho/multivector.hpp"
 
+#include "dense/blas1.hpp"
 #include "dense/blas3.hpp"
 #include "dense/dd.hpp"
 
@@ -137,8 +138,9 @@ void chol_factor(OrthoContext& ctx, MatrixView g, const std::string& what) {
 }
 
 double global_norm(OrthoContext& ctx, std::span<const double> x) {
-  double s = 0.0;
-  for (const double v : x) s += v * v;
+  // Deterministic threaded local sum; ranks then combine via the
+  // (deterministic) all-reduce, keeping the factor replicated exactly.
+  double s = dense::sumsq(x);
   if (ctx.comm) {
     time_start(ctx, "ortho/reduce");
     s = ctx.comm->allreduce_sum_scalar(s);

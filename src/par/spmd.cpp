@@ -1,5 +1,7 @@
 #include "par/spmd.hpp"
 
+#include "par/config.hpp"
+
 #include <algorithm>
 #include <cassert>
 #include <exception>
@@ -42,6 +44,10 @@ void spmd_run(int nranks, const NetworkModel& model,
     threads.emplace_back([&, r] {
       if (pin) pin_to_core(static_cast<unsigned>(r));
       try {
+        // Rank threads model MPI processes pinned one-per-core: kernel
+        // calls inside a rank stay serial so rank-scaling benchmarks
+        // measure rank parallelism, not nested node-level threading.
+        ScopedSerial serial;
         Communicator comm(ctx, r);
         fn(comm);
       } catch (...) {

@@ -39,7 +39,7 @@ void ThreadPool::parallel_for(
 
   {
     std::lock_guard lock(mutex_);
-    job_ = Job{&fn, n, chunk, 0, nchunks};
+    job_ = Job{&fn, n, chunk, 0, nchunks, nullptr};
     has_job_ = true;
     ++generation_;
   }
@@ -55,7 +55,12 @@ void ThreadPool::parallel_for(
       end = std::min(begin + job_.chunk, job_.n);
       job_.next = end;
     }
-    fn(begin, end);
+    try {
+      fn(begin, end);
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!job_.error) job_.error = std::current_exception();
+    }
     std::lock_guard lock(mutex_);
     if (--job_.remaining == 0) {
       has_job_ = false;
@@ -64,8 +69,14 @@ void ThreadPool::parallel_for(
     }
   }
 
-  std::unique_lock lock(mutex_);
-  cv_done_.wait(lock, [this] { return !has_job_; });
+  std::exception_ptr error;
+  {
+    std::unique_lock lock(mutex_);
+    cv_done_.wait(lock, [this] { return !has_job_; });
+    error = job_.error;
+    job_.error = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::worker_loop() {
@@ -88,7 +99,14 @@ void ThreadPool::worker_loop() {
         end = std::min(begin + job_.chunk, job_.n);
         job_.next = end;
       }
-      (*fn)(begin, end);
+      try {
+        (*fn)(begin, end);
+      } catch (...) {
+        std::lock_guard lock(mutex_);
+        if (has_job_ && job_.fn == fn && !job_.error) {
+          job_.error = std::current_exception();
+        }
+      }
       std::lock_guard lock(mutex_);
       if (has_job_ && job_.fn == fn && --job_.remaining == 0) {
         has_job_ = false;

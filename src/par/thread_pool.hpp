@@ -9,6 +9,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -28,7 +29,10 @@ class ThreadPool {
   [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
   /// Runs fn(begin, end) over a partition of [0, n) across the workers
-  /// and the calling thread; blocks until all chunks complete.
+  /// and the calling thread; blocks until all chunks complete.  If any
+  /// chunk throws, the first exception (in completion order) is
+  /// rethrown on the calling thread after all chunks have finished; the
+  /// pool stays usable.
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 
@@ -44,6 +48,7 @@ class ThreadPool {
     std::size_t chunk = 0;
     std::size_t next = 0;       // next chunk start (guarded by mutex)
     std::size_t remaining = 0;  // unfinished chunks
+    std::exception_ptr error;   // first exception thrown by a chunk
   };
 
   std::vector<std::thread> workers_;

@@ -1,8 +1,43 @@
 #include "sparse/spmv.hpp"
 
+#include "par/config.hpp"
+
 #include <cassert>
 
 namespace tsbo::sparse {
+
+namespace {
+
+// Pointer-based row kernels shared by every public entry point.  Each
+// row's accumulation order is fixed by the CSR layout, so any row
+// partition across threads reproduces the serial bits exactly.
+
+inline void spmv_range(const CsrMatrix& a, ord begin, ord end,
+                       const double* x, double* y) {
+  const offset* rp = a.row_ptr.data();
+  const ord* col = a.col_idx.data();
+  const double* val = a.values.data();
+  for (ord i = begin; i < end; ++i) {
+    double s = 0.0;
+    for (offset k = rp[i]; k < rp[i + 1]; ++k) s += val[k] * x[col[k]];
+    y[i] = s;
+  }
+}
+
+inline void spmv_range_scaled(double alpha, const CsrMatrix& a, ord begin,
+                              ord end, const double* x, double beta,
+                              double* y) {
+  const offset* rp = a.row_ptr.data();
+  const ord* col = a.col_idx.data();
+  const double* val = a.values.data();
+  for (ord i = begin; i < end; ++i) {
+    double s = 0.0;
+    for (offset k = rp[i]; k < rp[i + 1]; ++k) s += val[k] * x[col[k]];
+    y[i] = alpha * s + beta * y[i];
+  }
+}
+
+}  // namespace
 
 void spmv(const CsrMatrix& a, std::span<const double> x, std::span<double> y) {
   assert(static_cast<ord>(x.size()) == a.cols);
@@ -14,29 +49,23 @@ void spmv(double alpha, const CsrMatrix& a, std::span<const double> x,
           double beta, std::span<double> y) {
   assert(static_cast<ord>(x.size()) == a.cols);
   assert(static_cast<ord>(y.size()) == a.rows);
-  for (ord i = 0; i < a.rows; ++i) {
-    double s = 0.0;
-    for (offset k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
-      s += a.values[static_cast<std::size_t>(k)] *
-           x[static_cast<std::size_t>(a.col_idx[static_cast<std::size_t>(k)])];
-    }
-    y[static_cast<std::size_t>(i)] =
-        alpha * s + beta * y[static_cast<std::size_t>(i)];
-  }
+  par::parallel_for_grained(
+      static_cast<std::size_t>(a.rows), [&](std::size_t b, std::size_t e) {
+        spmv_range_scaled(alpha, a, static_cast<ord>(b), static_cast<ord>(e),
+                          x.data(), beta, y.data());
+      });
 }
 
 void spmv_rows(const CsrMatrix& a, ord begin, ord end,
                std::span<const double> x, std::span<double> y) {
   assert(begin >= 0 && end <= a.rows);
-  const ord* col = a.col_idx.data();
-  const double* val = a.values.data();
-  for (ord i = begin; i < end; ++i) {
-    double s = 0.0;
-    for (offset k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
-      s += val[k] * x[static_cast<std::size_t>(col[k])];
-    }
-    y[static_cast<std::size_t>(i)] = s;
-  }
+  if (end <= begin) return;
+  par::parallel_for_grained(
+      static_cast<std::size_t>(end - begin),
+      [&](std::size_t b, std::size_t e) {
+        spmv_range(a, begin + static_cast<ord>(b), begin + static_cast<ord>(e),
+                   x.data(), y.data());
+      });
 }
 
 }  // namespace tsbo::sparse

@@ -1,5 +1,11 @@
 #pragma once
 // Sparse matrix-vector products.
+//
+// All entry points share one pointer-based row kernel and are threaded
+// over disjoint row ranges via par::ThreadPool; per-row accumulation
+// order is fixed by the CSR layout, so results are bit-identical at any
+// thread count.  SPMD rank threads always take the serial path (see
+// par::ScopedSerial); other concurrent callers degrade automatically.
 
 #include "sparse/csr.hpp"
 

@@ -1,0 +1,313 @@
+// Thread-parallel kernel layer: parallel-vs-serial bitwise equality for
+// the deterministic chunked kernels, plus ThreadPool stress tests.
+
+#include "dense/blas1.hpp"
+#include "dense/blas2.hpp"
+#include "dense/blas3.hpp"
+#include "par/config.hpp"
+#include "par/thread_pool.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/spmv.hpp"
+#include "util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace tsbo;
+using dense::index_t;
+using dense::Matrix;
+
+/// Thread counts the kernels must agree across: serial, even, odd
+/// (exercises remainder chunks), and whatever the host offers.
+std::vector<unsigned> sweep_thread_counts() {
+  return {1u, 2u, 7u, std::max(1u, std::thread::hardware_concurrency())};
+}
+
+/// Restores the global threading config after each test, and lowers the
+/// dispatch grain so modest test sizes actually cross the threshold.
+class ParKernels : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_grain_ = par::parallel_grain();
+    par::set_parallel_grain(512);
+  }
+  void TearDown() override {
+    par::set_num_threads(0);
+    par::set_parallel_grain(saved_grain_);
+  }
+
+ private:
+  std::size_t saved_grain_ = 0;
+};
+
+Matrix random_matrix(index_t rows, index_t cols, std::uint64_t seed) {
+  Matrix m(rows, cols);
+  util::Xoshiro256 rng(seed);
+  util::fill_normal(rng, m.data());
+  return m;
+}
+
+void expect_bitwise_equal(const Matrix& a, const Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (index_t j = 0; j < a.cols(); ++j) {
+    for (index_t i = 0; i < a.rows(); ++i) {
+      ASSERT_EQ(a(i, j), b(i, j)) << "entry (" << i << ", " << j << ")";
+    }
+  }
+}
+
+// Uneven row count: several reduction chunks plus a remainder.
+constexpr index_t kRows = 3 * 4096 + 517;
+
+TEST_F(ParKernels, GemmTnBitwiseAcrossThreadCounts) {
+  const Matrix a = random_matrix(kRows, 7, 1);
+  const Matrix b = random_matrix(kRows, 5, 2);
+  const Matrix c0 = random_matrix(7, 5, 3);
+
+  Matrix ref;
+  for (const unsigned t : sweep_thread_counts()) {
+    par::set_num_threads(t);
+    Matrix c = dense::copy_of(c0.view());
+    dense::gemm_tn(0.5, a.view(), b.view(), -2.0, c.view());
+    if (ref.rows() == 0) {
+      ref = std::move(c);
+    } else {
+      SCOPED_TRACE(testing::Message() << "threads = " << t);
+      expect_bitwise_equal(ref, c);
+    }
+  }
+}
+
+TEST_F(ParKernels, GemmNnBitwiseAcrossThreadCounts) {
+  const Matrix q = random_matrix(kRows, 6, 4);
+  const Matrix r = random_matrix(6, 4, 5);
+  const Matrix v0 = random_matrix(kRows, 4, 6);
+
+  Matrix ref;
+  for (const unsigned t : sweep_thread_counts()) {
+    par::set_num_threads(t);
+    Matrix v = dense::copy_of(v0.view());
+    dense::gemm_nn(-1.0, q.view(), r.view(), 1.0, v.view());
+    if (ref.rows() == 0) {
+      ref = std::move(v);
+    } else {
+      SCOPED_TRACE(testing::Message() << "threads = " << t);
+      expect_bitwise_equal(ref, v);
+    }
+  }
+}
+
+TEST_F(ParKernels, TrsmTrmmBitwiseAcrossThreadCounts) {
+  const Matrix u0 = random_matrix(5, 5, 7);
+  Matrix u(5, 5);
+  for (index_t j = 0; j < 5; ++j) {
+    for (index_t i = 0; i <= j; ++i) u(i, j) = u0(i, j);
+    u(j, j) += 4.0;  // well-conditioned triangle
+  }
+  const Matrix b0 = random_matrix(kRows, 5, 8);
+
+  Matrix ref_solve, ref_mult;
+  for (const unsigned t : sweep_thread_counts()) {
+    par::set_num_threads(t);
+    Matrix bs = dense::copy_of(b0.view());
+    dense::trsm_right_upper(u.view(), bs.view());
+    Matrix bm = dense::copy_of(b0.view());
+    dense::trmm_right_upper(u.view(), bm.view());
+    if (ref_solve.rows() == 0) {
+      ref_solve = std::move(bs);
+      ref_mult = std::move(bm);
+    } else {
+      SCOPED_TRACE(testing::Message() << "trsm threads = " << t);
+      expect_bitwise_equal(ref_solve, bs);
+      SCOPED_TRACE(testing::Message() << "trmm threads = " << t);
+      expect_bitwise_equal(ref_mult, bm);
+    }
+  }
+}
+
+TEST_F(ParKernels, SpmvBitwiseAcrossThreadCounts) {
+  const sparse::CsrMatrix a = sparse::laplace2d_9pt(113, 97);
+  const Matrix xm = random_matrix(a.cols, 1, 9);
+  const std::vector<double> x(xm.data().begin(), xm.data().end());
+
+  std::vector<double> ref, ref_scaled;
+  for (const unsigned t : sweep_thread_counts()) {
+    par::set_num_threads(t);
+    std::vector<double> y(static_cast<std::size_t>(a.rows), 0.0);
+    sparse::spmv(a, x, y);
+    std::vector<double> ys(static_cast<std::size_t>(a.rows), 1.5);
+    sparse::spmv(0.75, a, x, -0.25, ys);
+    if (ref.empty()) {
+      ref = y;
+      ref_scaled = ys;
+    } else {
+      EXPECT_EQ(ref, y) << "threads = " << t;
+      EXPECT_EQ(ref_scaled, ys) << "threads = " << t;
+    }
+  }
+}
+
+TEST_F(ParKernels, SpmvScaledMatchesPlainPlusAxpby) {
+  // The unified pointer-based path: alpha/beta variant must equal
+  // alpha * (A x) + beta * y against the plain product.
+  const sparse::CsrMatrix a = sparse::laplace2d_9pt(41, 37);
+  const Matrix xm = random_matrix(a.cols, 1, 10);
+  const std::vector<double> x(xm.data().begin(), xm.data().end());
+  std::vector<double> ax(static_cast<std::size_t>(a.rows), 0.0);
+  sparse::spmv(a, x, ax);
+  std::vector<double> y(static_cast<std::size_t>(a.rows), 2.0);
+  sparse::spmv(3.0, a, x, -1.0, y);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(y[i], 3.0 * ax[i] - 2.0, 1e-12);
+  }
+}
+
+TEST_F(ParKernels, Blas1ReductionsBitwiseAcrossThreadCounts) {
+  const Matrix a = random_matrix(kRows, 2, 11);
+  const std::span<const double> x(a.col(0), static_cast<std::size_t>(kRows));
+  const std::span<const double> y(a.col(1), static_cast<std::size_t>(kRows));
+
+  par::set_num_threads(1);
+  const double dot1 = dense::dot(x, y);
+  const double nrm1 = dense::nrm2(x);
+  const double sq1 = dense::sumsq(x);
+  const double amax1 = dense::amax(x);
+  for (const unsigned t : sweep_thread_counts()) {
+    par::set_num_threads(t);
+    EXPECT_EQ(dot1, dense::dot(x, y)) << "threads = " << t;
+    EXPECT_EQ(nrm1, dense::nrm2(x)) << "threads = " << t;
+    EXPECT_EQ(sq1, dense::sumsq(x)) << "threads = " << t;
+    EXPECT_EQ(amax1, dense::amax(x)) << "threads = " << t;
+  }
+}
+
+TEST_F(ParKernels, RepeatedRunsAreBitwiseIdentical) {
+  const Matrix a = random_matrix(kRows, 9, 12);
+  const Matrix b = random_matrix(kRows, 9, 13);
+  par::set_num_threads(std::max(2u, std::thread::hardware_concurrency()));
+  Matrix first(9, 9);
+  dense::gemm_tn(1.0, a.view(), b.view(), 0.0, first.view());
+  for (int rep = 0; rep < 5; ++rep) {
+    Matrix c(9, 9);
+    dense::gemm_tn(1.0, a.view(), b.view(), 0.0, c.view());
+    expect_bitwise_equal(first, c);
+  }
+}
+
+TEST_F(ParKernels, GemvBitwiseAcrossThreadCounts) {
+  const Matrix a = random_matrix(kRows, 6, 14);
+  const Matrix xm = random_matrix(6, 1, 15);
+  const std::vector<double> x(xm.data().begin(), xm.data().end());
+
+  std::vector<double> ref;
+  for (const unsigned t : sweep_thread_counts()) {
+    par::set_num_threads(t);
+    std::vector<double> y(static_cast<std::size_t>(kRows), 0.5);
+    dense::gemv(2.0, a.view(), x, -0.5, y);
+    if (ref.empty()) {
+      ref = y;
+    } else {
+      EXPECT_EQ(ref, y) << "threads = " << t;
+    }
+  }
+}
+
+TEST_F(ParKernels, EnvAndExplicitThreadCountPrecedence) {
+  par::set_num_threads(3);
+  EXPECT_EQ(par::num_threads(), 3u);
+  ASSERT_EQ(setenv("TSBO_NUM_THREADS", "5", 1), 0);
+  EXPECT_EQ(par::num_threads(), 3u);  // explicit setting wins until reset
+  par::set_num_threads(0);            // re-resolve: env wins over hardware
+  EXPECT_EQ(par::num_threads(), 5u);
+  ASSERT_EQ(unsetenv("TSBO_NUM_THREADS"), 0);
+  par::set_num_threads(0);
+  EXPECT_GE(par::num_threads(), 1u);
+}
+
+// ---- ThreadPool stress -----------------------------------------------
+
+TEST(ThreadPoolStress, EmptyRangeNeverInvokes) {
+  par::ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolStress, RangeSmallerThanChunkRunsInlineOnce) {
+  par::ThreadPool pool(8);
+  std::atomic<int> calls{0};
+  std::atomic<long> covered{0};
+  pool.parallel_for(5, [&](std::size_t b, std::size_t e) {
+    calls.fetch_add(1);
+    covered.fetch_add(static_cast<long>(e - b));
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(covered.load(), 5);
+}
+
+TEST(ThreadPoolStress, ExceptionPropagatesToCaller) {
+  par::ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100000,
+                        [&](std::size_t b, std::size_t e) {
+                          for (std::size_t i = b; i < e; ++i) {
+                            if (i == 31337) throw std::runtime_error("boom");
+                          }
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolStress, PoolSurvivesExceptionsAndStaysCorrect) {
+  par::ThreadPool pool(4);
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_THROW(pool.parallel_for(
+                     50000, [&](std::size_t, std::size_t) {
+                       throw std::runtime_error("every chunk throws");
+                     }),
+                 std::runtime_error);
+    std::vector<std::atomic<int>> hits(50000);
+    pool.parallel_for(hits.size(), [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+    });
+    long total = 0;
+    for (const auto& h : hits) total += h.load();
+    EXPECT_EQ(total, 50000);
+  }
+}
+
+TEST(ThreadPoolStress, GrainedHelpersHandleConcurrentCallers) {
+  // Kernels invoked from many threads at once (the SPMD pattern) must
+  // fall back to serial execution instead of corrupting the shared
+  // pool, with identical results.
+  par::set_parallel_grain(256);
+  par::set_num_threads(4);
+  const Matrix a = random_matrix(20000, 3, 21);
+  const Matrix b = random_matrix(20000, 3, 22);
+  Matrix expected(3, 3);
+  dense::gemm_tn(1.0, a.view(), b.view(), 0.0, expected.view());
+
+  std::vector<Matrix> results(8);
+  std::vector<std::thread> callers;
+  callers.reserve(results.size());
+  for (auto& out : results) {
+    callers.emplace_back([&a, &b, &out] {
+      out = Matrix(3, 3);
+      dense::gemm_tn(1.0, a.view(), b.view(), 0.0, out.view());
+    });
+  }
+  for (auto& th : callers) th.join();
+  for (const Matrix& c : results) expect_bitwise_equal(expected, c);
+  par::set_num_threads(0);
+  par::set_parallel_grain(0);
+}
+
+}  // namespace
