@@ -3,11 +3,16 @@
 //
 // Sweeps the thread count over the paper-scale shapes the speedup
 // argument rests on:
-//   * gemm_tn  — the Gram / block-dot product C = A^T B at m = 1e5 and
-//                panel widths s (one-stage) through bs (second stage);
-//   * gemm_nn  — the panel update V -= Q R at the same shapes;
-//   * spmv     — 9-point 2-D Laplace stencil;
-//   * dot      — BLAS-1 baseline for context.
+//   * gemm_tn     — the Gram / block-dot product C = A^T B at m = 1e5
+//                   and panel widths s (one-stage) through bs (second
+//                   stage);
+//   * gemm_tn_dd  — the same product with double-double accumulation
+//                   (mixed-precision CholQR Gram).  GFLOP/s counts the
+//                   2*m*s^2 *useful* flops, so the gap to gemm_tn is
+//                   exactly the software-dd overhead;
+//   * gemm_nn     — the panel update V -= Q R at the same shapes;
+//   * spmv        — 9-point 2-D Laplace stencil;
+//   * dot         — BLAS-1 baseline for context.
 // Every configuration is run twice and compared bitwise (the kernel
 // layer's fixed-chunk reductions must make repeated runs identical),
 // and against the 1-thread result (which must also match bitwise).
@@ -20,6 +25,7 @@
 
 #include "dense/blas1.hpp"
 #include "dense/blas3.hpp"
+#include "dense/dd.hpp"
 #include "par/config.hpp"
 #include "sparse/generators.hpp"
 #include "sparse/spmv.hpp"
@@ -101,8 +107,8 @@ int main(int argc, char** argv) {
   const std::string json_path = cli.get("json", "BENCH_kernels.json");
 
   std::printf(
-      "# Kernel-layer thread sweep: gemm_tn / gemm_nn (m = %d), spmv "
-      "(%d x %d 9-pt Laplace), dot\n"
+      "# Kernel-layer thread sweep: gemm_tn / gemm_tn_dd / gemm_nn "
+      "(m = %d), spmv (%d x %d 9-pt Laplace), dot\n"
       "# threads:", m, nx, nx);
   for (const int t : threads) std::printf(" %d", t);
   std::printf("  (reps = %d, best-of)\n\n", reps);
@@ -119,6 +125,23 @@ int main(int argc, char** argv) {
           out.assign(static_cast<std::size_t>(sc) * sc, 0.0);
           dense::MatrixView c{out.data(), sc, sc, sc};
           dense::gemm_tn(1.0, a.view(), b.view(), 0.0, c);
+        }});
+  }
+  for (const int s : widths) {
+    const auto sc = static_cast<index_t>(s);
+    Matrix a = random_matrix(m, sc, 7);
+    Matrix b = random_matrix(m, sc, 8);
+    cases.push_back(Case{
+        "gemm_tn_dd", std::to_string(m) + "x" + std::to_string(s),
+        2.0 * m * s * s,
+        [a = std::move(a), b = std::move(b), sc](std::vector<double>& out) {
+          // hi and lo planes share one buffer so the bitwise checks
+          // cover the full pair-form result.
+          const auto plane = static_cast<std::size_t>(sc) * sc;
+          out.assign(2 * plane, 0.0);
+          dense::MatrixView hi{out.data(), sc, sc, sc};
+          dense::MatrixView lo{out.data() + plane, sc, sc, sc};
+          dense::gemm_tn_dd(a.view(), b.view(), hi, lo);
         }});
   }
   for (const int s : widths) {

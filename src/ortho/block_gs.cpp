@@ -1,6 +1,7 @@
 #include "ortho/block_gs.hpp"
 
 #include "dense/blas3.hpp"
+#include "dense/dd.hpp"
 #include "ortho/intra.hpp"
 
 #include <cassert>
@@ -36,6 +37,7 @@ void bcgs_project(OrthoContext& ctx, ConstMatrixView q, MatrixView v,
 void bcgs2(OrthoContext& ctx, ConstMatrixView q, MatrixView v,
            MatrixView r_prev, MatrixView r_diag, IntraKind intra) {
   assert(r_diag.rows == v.cols && r_diag.cols == v.cols);
+  const int breakdowns_before = ctx.cholesky_breakdowns;
 
   // First inter-block pass.
   bcgs_project(ctx, q, v, r_prev);
@@ -56,8 +58,13 @@ void bcgs2(OrthoContext& ctx, ConstMatrixView q, MatrixView v,
   if (q.cols == 0) return;
 
   // Second inter-block pass + CholQR (paper Fig. 2b lines 10-15).
+  // After a clean first pass kappa(V) = O(1), so the dd Gram buys no
+  // stability here — drop to plain double (see ScopedGramPrecision).
   dense::Matrix t_prev(q.cols, v.cols);
   dense::Matrix t_diag(v.cols, v.cols);
+  ScopedGramPrecision guard(ctx,
+                            ctx.mixed_precision_gram &&
+                                ctx.cholesky_breakdowns != breakdowns_before);
   bcgs_project(ctx, q, v, t_prev.view());
   cholqr(ctx, v, t_diag.view());
   reortho_fixup(t_prev.view(), t_diag.view(), r_prev, r_diag);
@@ -70,22 +77,65 @@ void bcgs_pip(OrthoContext& ctx, ConstMatrixView q, MatrixView v,
   const index_t nq = q.cols;
   const index_t s = v.cols;
 
-  // Single fused reduce: G = [Q, V]^T V (paper Fig. 4a line 1).
-  dense::Matrix g(nq + s, s);
-  fused_gram(ctx, q, v, g.view());
+  if (ctx.mixed_precision_gram) {
+    // Mixed-precision BCGS-PIP: the fused Gram, the Pythagorean update
+    // S = V^T V - r_prev^T r_prev, and the Cholesky all stay in
+    // double-double — the subtraction is exactly where the condition
+    // squaring bites (condition (5)), so rounding any of the three to
+    // double would reintroduce the eps^{-1/2} cliff.  Still one fused
+    // reduce.  r_prev is rounded for the working-precision update
+    // V - Q r_prev; its products re-enter the dd subtraction exactly
+    // via two_prod, keeping S consistent with the update actually
+    // applied.
+    dense::Matrix g_lo(nq + s, s);
+    dense::Matrix g_hi(nq + s, s);
+    fused_gram_dd(ctx, q, v, g_hi.view(), g_lo.view());
+    dense::dd_round(g_hi.view().block(0, 0, nq, s),
+                    g_lo.view().block(0, 0, nq, s), r_prev);
 
-  // r_prev = Q^T V (top block of G).
-  dense::copy(g.view().block(0, 0, nq, s), r_prev);
-
-  // Pythagorean update: S = V^T V - r_prev^T r_prev, then Cholesky
-  // (Fig. 4a line 2).
-  dense::copy(g.view().block(nq, 0, s, s), r_diag);
-  if (nq > 0) {
+    dense::Matrix s_lo(s, s);
+    dense::Matrix s_hi(s, s);
     if (ctx.timers) ctx.timers->start("ortho/chol");
-    dense::gemm_tn(-1.0, r_prev, r_prev, 1.0, r_diag);
+    if (nq > 0) {
+      // r_prev^T r_prev on the threaded pair kernel, then one
+      // elementwise dd subtraction from the V^T V block.
+      dense::Matrix p_lo(s, s);
+      dense::Matrix p_hi(s, s);
+      dense::gemm_tn_dd(r_prev, r_prev, p_hi.view(), p_lo.view());
+      for (index_t j = 0; j < s; ++j) {
+        for (index_t i = 0; i < s; ++i) {
+          const dense::dd acc =
+              dense::dd_sub(dense::dd{g_hi(nq + i, j), g_lo(nq + i, j)},
+                            dense::dd{p_hi(i, j), p_lo(i, j)});
+          s_hi(i, j) = acc.hi;
+          s_lo(i, j) = acc.lo;
+        }
+      }
+    } else {
+      dense::copy(g_hi.view().block(nq, 0, s, s), s_hi.view());
+      dense::copy(g_lo.view().block(nq, 0, s, s), s_lo.view());
+    }
     if (ctx.timers) ctx.timers->stop("ortho/chol");
+    chol_factor_dd(ctx, s_hi.view(), s_lo.view(), "BCGS-PIP");
+    dense::dd_round(s_hi.view(), s_lo.view(), r_diag);
+  } else {
+    // Single fused reduce: G = [Q, V]^T V (paper Fig. 4a line 1).
+    dense::Matrix g(nq + s, s);
+    fused_gram(ctx, q, v, g.view());
+
+    // r_prev = Q^T V (top block of G).
+    dense::copy(g.view().block(0, 0, nq, s), r_prev);
+
+    // Pythagorean update: S = V^T V - r_prev^T r_prev, then Cholesky
+    // (Fig. 4a line 2).
+    dense::copy(g.view().block(nq, 0, s, s), r_diag);
+    if (nq > 0) {
+      if (ctx.timers) ctx.timers->start("ortho/chol");
+      dense::gemm_tn(-1.0, r_prev, r_prev, 1.0, r_diag);
+      if (ctx.timers) ctx.timers->stop("ortho/chol");
+    }
+    chol_factor(ctx, r_diag, "BCGS-PIP");
   }
-  chol_factor(ctx, r_diag, "BCGS-PIP");
 
   // V := (V - Q r_prev) r_diag^{-1} (Fig. 4a lines 3-4).
   block_update(ctx, q, r_prev, v);
@@ -94,9 +144,15 @@ void bcgs_pip(OrthoContext& ctx, ConstMatrixView q, MatrixView v,
 
 void bcgs_pip2(OrthoContext& ctx, ConstMatrixView q, MatrixView v,
                MatrixView r_prev, MatrixView r_diag) {
+  const int breakdowns_before = ctx.cholesky_breakdowns;
   bcgs_pip(ctx, q, v, r_prev, r_diag);
   dense::Matrix t_prev(q.cols, v.cols);
   dense::Matrix t_diag(v.cols, v.cols);
+  // Re-orthogonalization of an O(1)-conditioned panel: plain double
+  // suffices unless the first pass had to shift (see cholqr2).
+  ScopedGramPrecision guard(ctx,
+                            ctx.mixed_precision_gram &&
+                                ctx.cholesky_breakdowns != breakdowns_before);
   bcgs_pip(ctx, q, v, t_prev.view(), t_diag.view());
   reortho_fixup(t_prev.view(), t_diag.view(), r_prev, r_diag);
 }

@@ -13,6 +13,17 @@
 //   bcgs2 (HHQR intra)      O(s)
 //   bcgs_pip                1                           (Fig. 4a)
 //   bcgs_pip2               2                           (Fig. 4b)
+//
+// Conditioning contracts: the Pythagorean variants factor
+// S = V^T V - (Q^T V)^T (Q^T V), which squares the conditioning like
+// CholQR — valid while kappa([Q, V]) < eps^{-1/2} ~ 6.7e7 (paper
+// condition (5)).  With ctx.mixed_precision_gram the fused Gram, the
+// Pythagorean subtraction, and the Cholesky all run in double-double
+// (only R is rounded back for the update/TRSM), extending validity to
+// kappa([Q, V]) up to ~u_dd^{-1/2} ~ 1e15 at the same sync counts.
+// bcgs_pip2 / bcgs2 then deliver O(eps) orthogonality; single-pass
+// bcgs_pip leaves O(kappa^2 eps) (or O(kappa eps_dd)) residual
+// orthogonality and is meant as a stage-1 pre-processing step.
 
 #include "ortho/multivector.hpp"
 

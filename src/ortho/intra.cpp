@@ -2,6 +2,7 @@
 
 #include "dense/blas1.hpp"
 #include "dense/blas3.hpp"
+#include "dense/dd.hpp"
 
 #include <cassert>
 #include <cmath>
@@ -26,6 +27,21 @@ void triangular_accumulate(ConstMatrixView t, MatrixView r) {
 
 void cholqr(OrthoContext& ctx, MatrixView v, MatrixView r) {
   assert(r.rows == v.cols && r.cols == v.cols);
+  if (ctx.mixed_precision_gram) {
+    // Mixed-precision variant: the Gram matrix stays in double-double
+    // from accumulation through the Cholesky factorization (kappa(G) =
+    // kappa(V)^2 can exceed 1/eps long before V is numerically rank
+    // deficient — rounding G to double first would make the
+    // factorization break down regardless of how accurately G was
+    // computed).  Only the factor R is rounded back for the TRSM.
+    dense::Matrix g_lo(v.cols, v.cols);
+    dense::Matrix g_hi(v.cols, v.cols);
+    block_dot_dd(ctx, v, v, g_hi.view(), g_lo.view());
+    chol_factor_dd(ctx, g_hi.view(), g_lo.view(), "CholQR");
+    dense::dd_round(g_hi.view(), g_lo.view(), r);
+    block_scale(ctx, r, v);
+    return;
+  }
   // Gram matrix with one reduce, redundant Cholesky on every rank
   // (deterministic reduction => identical factors), local TRSM.
   block_dot(ctx, v, v, r);
@@ -34,26 +50,52 @@ void cholqr(OrthoContext& ctx, MatrixView v, MatrixView r) {
 }
 
 void cholqr2(OrthoContext& ctx, MatrixView v, MatrixView r) {
+  const int breakdowns_before = ctx.cholesky_breakdowns;
   cholqr(ctx, v, r);
   dense::Matrix t(v.cols, v.cols);
-  cholqr(ctx, v, t.view());
+  {
+    // A clean first pass leaves kappa(Q1) ~ 1 + eps * kappa(V) = O(1),
+    // far below the double cliff, so the re-orthogonalization pass
+    // gains no stability from the 5-10x-cost dd Gram — drop to the
+    // plain path.  A first pass that needed shifted retries leaves
+    // kappa(Q1) unbounded; keep dd for it.
+    ScopedGramPrecision guard(
+        ctx, ctx.mixed_precision_gram &&
+                 ctx.cholesky_breakdowns != breakdowns_before);
+    cholqr(ctx, v, t.view());
+  }
   triangular_accumulate(t.view(), r);
 }
 
 void shifted_cholqr3(OrthoContext& ctx, MatrixView v, MatrixView r) {
   assert(r.rows == v.cols && r.cols == v.cols);
   // First pass: always-shifted Cholesky; the shift of [11] guarantees
-  // success for any numerically full-rank input.
-  block_dot(ctx, v, v, r);
+  // success for any numerically full-rank input.  The shift magnitude
+  // is tied to the *working* precision of V (eps, not u_dd) even on
+  // the mixed-precision path — it guards against rank deficiency of
+  // the double-stored input, which dd accumulation cannot repair.
+  const bool dd = ctx.mixed_precision_gram;
+  const index_t sd = dd ? v.cols : 0;  // pair matrices only on the dd path
+  dense::Matrix g_lo(sd, sd);
+  dense::Matrix g_hi(sd, sd);
+  if (dd) {
+    block_dot_dd(ctx, v, v, g_hi.view(), g_lo.view());
+  } else {
+    block_dot(ctx, v, v, r);
+  }
   if (ctx.timers) ctx.timers->start("ortho/chol");
-  const double shift = 11.0 * (static_cast<double>(v.cols) + 1.0) *
-                       std::numeric_limits<double>::epsilon() *
-                       dense::one_norm(r);
-  const bool ok = dense::potrf_upper_shifted(r, shift).ok();
+  const double shift =
+      11.0 * (static_cast<double>(v.cols) + 1.0) *
+      std::numeric_limits<double>::epsilon() *
+      dense::one_norm(dd ? ConstMatrixView(g_hi.view()) : ConstMatrixView(r));
+  const bool ok =
+      dd ? dense::potrf_upper_dd_shifted(g_hi.view(), g_lo.view(), shift).ok()
+         : dense::potrf_upper_shifted(r, shift).ok();
   if (ctx.timers) ctx.timers->stop("ortho/chol");
   if (!ok) {
     throw CholeskyBreakdown("shifted CholQR: input numerically rank-deficient");
   }
+  if (dd) dense::dd_round(g_hi.view(), g_lo.view(), r);
   block_scale(ctx, r, v);
   dense::Matrix t(v.cols, v.cols);
   cholqr2(ctx, v, t.view());

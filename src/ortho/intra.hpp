@@ -10,6 +10,19 @@
 //   shifted CholQR3   3 reduces    (stability remedy of [11])
 //   HHQR              O(s) reduces (column-wise distributed Householder)
 //   MGS               O(s) reduces (reference)
+//
+// Precision / conditioning contracts (eps ~ 1.1e-16, u_dd = 2^-104):
+//   CholQR    orthogonality ~ kappa(V)^2 * eps; Cholesky breaks down
+//             past kappa(V) ~ eps^{-1/2} ~ 6.7e7 (paper condition (1))
+//   CholQR2   O(eps) orthogonality for kappa(V) < eps^{-1/2}
+//   CholQR/CholQR2 with ctx.mixed_precision_gram: the Gram matrix is
+//             accumulated AND factorized in double-double, extending
+//             the valid range to kappa(V) up to ~u_dd^{-1/2} ~ 1e15
+//             at unchanged synchronization count
+//   shifted CholQR3 / HHQR: O(eps) for any numerically full-rank V
+//   MGS       orthogonality ~ kappa(V) * eps
+// Breakdowns surface per ctx.policy (throw vs shifted retry); see
+// multivector.hpp.
 
 #include "ortho/multivector.hpp"
 

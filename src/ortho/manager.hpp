@@ -20,6 +20,14 @@
 // finalize; note_mpk_start() lets them record what the MPK input
 // actually was (final column -> unit vector; pre-processed column ->
 // its stage-2 transform column).
+//
+// Precision: every manager inherits the conditioning contracts of its
+// building blocks (block_gs.hpp / intra.hpp) — O(eps) final
+// orthogonality while the per-panel condition numbers respect paper
+// conditions (1)/(5)/(9), i.e. kappa < eps^{-1/2} ~ 6.7e7 in plain
+// double, extended to ~1e15 when OrthoContext::mixed_precision_gram
+// keeps the Gram matrices in double-double through their Cholesky
+// factorizations.
 
 #include "ortho/block_gs.hpp"
 

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <functional>
 #include <limits>
 #include <span>
 #include <vector>
@@ -49,6 +50,36 @@ void reduce_sum(OrthoContext& ctx, MatrixView c) {
   time_stop(ctx, "ortho/reduce");
 }
 
+/// Fused dd all-reduce of a pair-form matrix; packs strided views the
+/// same way reduce_sum does for double matrices.
+void reduce_sum_dd(OrthoContext& ctx, MatrixView hi, MatrixView lo) {
+  time_start(ctx, "ortho/reduce");
+  if (ctx.comm) {
+    const std::size_t total =
+        static_cast<std::size_t>(hi.rows) * static_cast<std::size_t>(hi.cols);
+    if (hi.ld == hi.rows && lo.ld == lo.rows) {
+      ctx.comm->allreduce_sum_dd(std::span<double>(hi.data, total),
+                                 std::span<double>(lo.data, total));
+    } else {
+      std::vector<double> packed_hi(total), packed_lo(total);
+      for (dense::index_t j = 0; j < hi.cols; ++j) {
+        std::copy_n(hi.col(j), hi.rows,
+                    packed_hi.data() + static_cast<std::size_t>(j) * hi.rows);
+        std::copy_n(lo.col(j), lo.rows,
+                    packed_lo.data() + static_cast<std::size_t>(j) * lo.rows);
+      }
+      ctx.comm->allreduce_sum_dd(packed_hi, packed_lo);
+      for (dense::index_t j = 0; j < hi.cols; ++j) {
+        std::copy_n(packed_hi.data() + static_cast<std::size_t>(j) * hi.rows,
+                    hi.rows, hi.col(j));
+        std::copy_n(packed_lo.data() + static_cast<std::size_t>(j) * lo.rows,
+                    lo.rows, lo.col(j));
+      }
+    }
+  }
+  time_stop(ctx, "ortho/reduce");
+}
+
 }  // namespace
 
 void block_dot(OrthoContext& ctx, ConstMatrixView a, ConstMatrixView b,
@@ -63,21 +94,43 @@ void block_dot(OrthoContext& ctx, ConstMatrixView a, ConstMatrixView b,
   reduce_sum(ctx, c);
 }
 
+void block_dot_dd(OrthoContext& ctx, ConstMatrixView a, ConstMatrixView b,
+                  MatrixView c_hi, MatrixView c_lo) {
+  time_start(ctx, "ortho/dot");
+  dense::gemm_tn_dd(a, b, c_hi, c_lo);
+  time_stop(ctx, "ortho/dot");
+  reduce_sum_dd(ctx, c_hi, c_lo);
+}
+
 void fused_gram(OrthoContext& ctx, ConstMatrixView q, ConstMatrixView v,
                 MatrixView g) {
   assert(g.rows == q.cols + v.cols && g.cols == v.cols);
   time_start(ctx, "ortho/dot");
   MatrixView top = g.block(0, 0, q.cols, v.cols);
   MatrixView bottom = g.block(q.cols, 0, v.cols, v.cols);
-  if (ctx.mixed_precision_gram) {
-    if (q.cols > 0) dense::gemm_tn_dd(q, v, top);
-    dense::gemm_tn_dd(v, v, bottom);
-  } else {
-    if (q.cols > 0) dense::gemm_tn(1.0, q, v, 0.0, top);
-    dense::gemm_tn(1.0, v, v, 0.0, bottom);
-  }
+  // Always working precision: the mixed-precision BCGS-PIP path goes
+  // through fused_gram_dd, which keeps the pair form alive for the
+  // Pythagorean update and Cholesky (rounding here would reintroduce
+  // the eps^{-1/2} cliff this layer exists to remove).
+  if (q.cols > 0) dense::gemm_tn(1.0, q, v, 0.0, top);
+  dense::gemm_tn(1.0, v, v, 0.0, bottom);
   time_stop(ctx, "ortho/dot");
   reduce_sum(ctx, g);
+}
+
+void fused_gram_dd(OrthoContext& ctx, ConstMatrixView q, ConstMatrixView v,
+                   MatrixView g_hi, MatrixView g_lo) {
+  assert(g_hi.rows == q.cols + v.cols && g_hi.cols == v.cols);
+  assert(g_lo.rows == g_hi.rows && g_lo.cols == g_hi.cols);
+  time_start(ctx, "ortho/dot");
+  if (q.cols > 0) {
+    dense::gemm_tn_dd(q, v, g_hi.block(0, 0, q.cols, v.cols),
+                      g_lo.block(0, 0, q.cols, v.cols));
+  }
+  dense::gemm_tn_dd(v, v, g_hi.block(q.cols, 0, v.cols, v.cols),
+                    g_lo.block(q.cols, 0, v.cols, v.cols));
+  time_stop(ctx, "ortho/dot");
+  reduce_sum_dd(ctx, g_hi, g_lo);
 }
 
 void block_update(OrthoContext& ctx, ConstMatrixView q, ConstMatrixView c,
@@ -94,34 +147,44 @@ void block_scale(OrthoContext& ctx, ConstMatrixView r, MatrixView v) {
   time_stop(ctx, "ortho/trsm");
 }
 
-void chol_factor(OrthoContext& ctx, MatrixView g, const std::string& what) {
+namespace {
+
+/// Shared breakdown-recovery scaffolding for the plain and dd Cholesky
+/// paths.  `factor` attempts the factorization in place;
+/// `retry_shifted(shift)` must restore the matrix and re-factor with
+/// the diagonal shift.  Shifts follow Fukaya et al.: base =
+/// 11 (n+1) u ||G||_1 at the path's unit roundoff u, growing 100x per
+/// attempt — termination is guaranteed since a shift exceeding
+/// ||G||_1 >= |lambda_min(G)| makes G + shift*I positive definite.
+void chol_with_policy(OrthoContext& ctx, const std::string& what,
+                      const char* indefinite_detail,
+                      const char* persist_detail, double gnorm,
+                      double unit_roundoff, index_t n,
+                      const std::function<bool()>& factor,
+                      const std::function<bool(double)>& retry_shifted) {
   time_start(ctx, "ortho/chol");
-  // Keep a pristine copy in case a shifted retry is needed.
-  dense::Matrix saved = dense::copy_of(g);
-  dense::CholResult res = dense::potrf_upper(g);
-  if (!res.ok()) {
+  if (!factor()) {
     ctx.cholesky_breakdowns += 1;
     if (ctx.policy == BreakdownPolicy::kThrow) {
       time_stop(ctx, "ortho/chol");
       throw CholeskyBreakdown("Cholesky breakdown in " + what +
-                              " (Gram matrix numerically indefinite; "
-                              "condition (1)/(5)/(9) violated)");
+                              indefinite_detail);
     }
-    // Shifted retry (Fukaya et al.): shift = c * eps * ||G||_1, growing
-    // by 100x per attempt.  Termination is guaranteed: once the shift
-    // exceeds ||G||_1 >= |lambda_min(G)|, G + shift*I is positive
-    // definite.
-    const double gnorm = dense::one_norm(saved.view());
-    const double base = std::max(
-        11.0 * (static_cast<double>(g.rows) + 1.0) *
-            std::numeric_limits<double>::epsilon() * gnorm,
+    // A non-finite Gram (overflowing basis) defeats the shift logic —
+    // NaN shifts neither factor nor trip the growth bail-out — so fail
+    // loudly instead of retrying forever.
+    if (!std::isfinite(gnorm)) {
+      time_stop(ctx, "ortho/chol");
+      throw CholeskyBreakdown("Cholesky breakdown in " + what +
+                              " (Gram matrix not finite)");
+    }
+    double shift = std::max(
+        11.0 * (static_cast<double>(n) + 1.0) * unit_roundoff * gnorm,
         std::numeric_limits<double>::min());
-    double shift = base;
     bool fixed = false;
     while (true) {
-      dense::copy(saved.view(), g);
       ctx.shift_retries += 1;
-      if (dense::potrf_upper_shifted(g, shift).ok()) {
+      if (retry_shifted(shift)) {
         fixed = true;
         break;
       }
@@ -131,10 +194,47 @@ void chol_factor(OrthoContext& ctx, MatrixView g, const std::string& what) {
     if (!fixed) {
       time_stop(ctx, "ortho/chol");
       throw CholeskyBreakdown("Cholesky breakdown in " + what +
-                              " persists after shifted retries");
+                              persist_detail);
     }
   }
   time_stop(ctx, "ortho/chol");
+}
+
+}  // namespace
+
+void chol_factor(OrthoContext& ctx, MatrixView g, const std::string& what) {
+  // Keep a pristine copy in case a shifted retry is needed.
+  dense::Matrix saved = dense::copy_of(g);
+  chol_with_policy(
+      ctx, what,
+      " (Gram matrix numerically indefinite; condition (1)/(5)/(9) violated)",
+      " persists after shifted retries", dense::one_norm(saved.view()),
+      std::numeric_limits<double>::epsilon(), g.rows,
+      [&] { return dense::potrf_upper(g).ok(); },
+      [&](double shift) {
+        dense::copy(saved.view(), g);
+        return dense::potrf_upper_shifted(g, shift).ok();
+      });
+}
+
+void chol_factor_dd(OrthoContext& ctx, MatrixView g_hi, MatrixView g_lo,
+                    const std::string& what) {
+  dense::Matrix saved_hi = dense::copy_of(g_hi);
+  dense::Matrix saved_lo = dense::copy_of(g_lo);
+  // Shifted retries start at u_dd * ||G||: the Gram entries are exact
+  // to ~m * u_dd, so recovery perturbs ~1e16x less than the double
+  // path's eps * ||G|| base.
+  chol_with_policy(
+      ctx, what,
+      " (Gram matrix indefinite even at dd precision; kappa(V) beyond ~1e15)",
+      " persists after shifted dd retries", dense::one_norm(saved_hi.view()),
+      eft::kUnitRoundoff, g_hi.rows,
+      [&] { return dense::potrf_upper_dd(g_hi, g_lo).ok(); },
+      [&](double shift) {
+        dense::copy(saved_hi.view(), g_hi);
+        dense::copy(saved_lo.view(), g_lo);
+        return dense::potrf_upper_dd_shifted(g_hi, g_lo, shift).ok();
+      });
 }
 
 double global_norm(OrthoContext& ctx, std::span<const double> x) {

@@ -47,8 +47,14 @@ struct OrthoContext {
   par::Communicator* comm = nullptr;   ///< null -> single-rank execution
   util::PhaseTimers* timers = nullptr; ///< optional phase breakdown
   BreakdownPolicy policy = BreakdownPolicy::kThrow;
-  /// Accumulate Gram matrices in double-double (mixed-precision CholQR
-  /// extension, paper related work [26]/[27]).
+  /// Accumulate Gram matrices in double-double AND keep them in
+  /// double-double through the Cholesky factorization (mixed-precision
+  /// CholQR extension, paper related work [26]/[27]).  Contract: with
+  /// this set, CholQR2 / BCGS-PIP deliver O(eps) orthogonality for
+  /// kappa(V) up to ~1e15 (u_dd^{-1/2}) instead of ~1e8 (eps^{-1/2});
+  /// only the triangular factor is rounded back to double, for the
+  /// TRSM.  Costs ~5-10x the plain local Gram flops and 2x the reduce
+  /// payload; the synchronization count is unchanged.
   bool mixed_precision_gram = false;
 
   // Instrumentation (mutated by the kernels).
@@ -58,9 +64,39 @@ struct OrthoContext {
   [[nodiscard]] int nranks() const { return comm ? comm->size() : 1; }
 };
 
+/// Exception-safe override of ctx.mixed_precision_gram for one pass.
+/// The re-orthogonalization passes of the *2 algorithms use it to drop
+/// to plain double once a clean first pass has left kappa(Q) = O(1) —
+/// the dd Gram's 5-10x cost buys no stability there.
+class ScopedGramPrecision {
+ public:
+  ScopedGramPrecision(OrthoContext& ctx, bool value)
+      : ctx_(ctx), saved_(ctx.mixed_precision_gram) {
+    ctx_.mixed_precision_gram = value;
+  }
+  ~ScopedGramPrecision() { ctx_.mixed_precision_gram = saved_; }
+  ScopedGramPrecision(const ScopedGramPrecision&) = delete;
+  ScopedGramPrecision& operator=(const ScopedGramPrecision&) = delete;
+
+ private:
+  OrthoContext& ctx_;
+  bool saved_;
+};
+
 /// C = A^T B followed by a global sum-reduce of C.  One synchronization.
+/// With ctx.mixed_precision_gram the local product is accumulated in
+/// double-double but rounded to double before the reduce — use
+/// block_dot_dd when the downstream consumer (a Cholesky) needs the
+/// extended precision to survive.
 void block_dot(OrthoContext& ctx, ConstMatrixView a, ConstMatrixView b,
                MatrixView c);
+
+/// Pair-form block dot: C = A^T B accumulated in double-double and
+/// returned unrounded as c_hi + c_lo, including across ranks (one
+/// fused dd all-reduce == one synchronization).  Feed the pair into
+/// chol_factor_dd to run mixed-precision CholQR end to end.
+void block_dot_dd(OrthoContext& ctx, ConstMatrixView a, ConstMatrixView b,
+                  MatrixView c_hi, MatrixView c_lo);
 
 /// G = [Q, V]^T V in a single reduce: G is (q + s) x s where q = Q.cols,
 /// s = V.cols.  Rows [0, q) hold Q^T V; rows [q, q+s) hold V^T V.
@@ -68,6 +104,12 @@ void block_dot(OrthoContext& ctx, ConstMatrixView a, ConstMatrixView b,
 /// synchronization (paper Fig. 4a line 1).
 void fused_gram(OrthoContext& ctx, ConstMatrixView q, ConstMatrixView v,
                 MatrixView g);
+
+/// Pair-form fused Gram G = [Q, V]^T V (same layout as fused_gram) in
+/// double-double, one fused dd all-reduce.  Used by the mixed-precision
+/// BCGS-PIP path so the Pythagorean update and Cholesky stay in dd.
+void fused_gram_dd(OrthoContext& ctx, ConstMatrixView q, ConstMatrixView v,
+                   MatrixView g_hi, MatrixView g_lo);
 
 /// V -= Q * C.  Local GEMM; no communication.
 void block_update(OrthoContext& ctx, ConstMatrixView q, ConstMatrixView c,
@@ -81,6 +123,16 @@ void block_scale(OrthoContext& ctx, ConstMatrixView r, MatrixView v);
 /// progressively larger diagonal shifts (never more than 3 attempts);
 /// under kThrow, raises CholeskyBreakdown naming `what`.
 void chol_factor(OrthoContext& ctx, MatrixView g, const std::string& what);
+
+/// Double-double counterpart of chol_factor: factors the pair-form
+/// Gram g_hi + g_lo entirely in dd (valid for kappa(G) up to ~u_dd^{-1}
+/// ~ 2e31, i.e. kappa(V) up to ~1e15) and leaves R in pair form in
+/// g_hi/g_lo; round with dense::dd_round for the working-precision
+/// TRSM.  Under kShift, retries with diagonal shifts sized to
+/// u_dd * ||G|| (not eps * ||G||), so recovery perturbs ~1e16x less
+/// than the double path.
+void chol_factor_dd(OrthoContext& ctx, MatrixView g_hi, MatrixView g_lo,
+                    const std::string& what);
 
 /// ||x||_2 across ranks (one reduce).
 double global_norm(OrthoContext& ctx, std::span<const double> x);

@@ -1,9 +1,11 @@
 #include "par/communicator.hpp"
 
+#include "util/eft.hpp"
 #include "util/timer.hpp"
 
 #include <cassert>
 #include <cstring>
+#include <vector>
 
 namespace tsbo::par {
 
@@ -70,6 +72,41 @@ void Communicator::allreduce_sum(std::span<double> inout) {
     std::memcpy(inout.data(), scratch_.data(), inout.size_bytes());
   }
   inject(ctx_.model_.allreduce_seconds(ctx_.nranks_, inout.size_bytes()));
+}
+
+void Communicator::allreduce_sum_dd(std::span<double> hi,
+                                    std::span<double> lo) {
+  assert(hi.size() == lo.size());
+  const std::size_t n = hi.size();
+  stats_.allreduces += 1;
+  stats_.bytes_allreduced += hi.size_bytes() + lo.size_bytes();
+  if (ctx_.nranks_ > 1) {
+    // Publish one packed [hi..., lo...] buffer per rank; every rank
+    // then folds the pairs in rank order with normalized dd adds, so
+    // all ranks hold the identical extended-precision sum.
+    scratch_.resize(2 * n);
+    std::memcpy(scratch_.data(), hi.data(), hi.size_bytes());
+    std::memcpy(scratch_.data() + n, lo.data(), lo.size_bytes());
+    ctx_.slots_[rank_] = scratch_.data();
+    ctx_.sizes_[rank_] = 2 * n;
+    barrier();
+    scratch2_.resize(2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      eft::dd acc;
+      for (int r = 0; r < ctx_.nranks_; ++r) {
+        assert(ctx_.sizes_[r] == 2 * n);
+        const double* src = static_cast<const double*>(ctx_.slots_[r]);
+        eft::dd_add(acc, eft::dd{src[i], src[n + i]});
+      }
+      scratch2_[i] = acc.hi;
+      scratch2_[n + i] = acc.lo;
+    }
+    barrier();  // all ranks finished reading before buffers are reused
+    std::memcpy(hi.data(), scratch2_.data(), hi.size_bytes());
+    std::memcpy(lo.data(), scratch2_.data() + n, lo.size_bytes());
+  }
+  inject(ctx_.model_.allreduce_seconds(ctx_.nranks_,
+                                       hi.size_bytes() + lo.size_bytes()));
 }
 
 void Communicator::allreduce_max(std::span<double> inout) {

@@ -76,6 +76,16 @@ class Communicator {
   /// In-place max-reduction.
   void allreduce_max(std::span<double> inout);
 
+  /// In-place sum-reduction of pair-form double-double values: element
+  /// i of the global sum is the dd accumulation (util/eft.hpp, rank
+  /// 0..p-1 order) of every rank's hi[i] + lo[i].  Summing the hi and
+  /// lo planes with two plain allreduce_sum calls would re-round each
+  /// partial to double and forfeit the extended precision; this fused
+  /// form keeps the cross-rank Gram reduction at u_dd ~ 4.9e-32 and
+  /// counts as ONE synchronization (it is one fused message of 2x the
+  /// payload, exactly like MPI's MPI_SUM on a paired custom datatype).
+  void allreduce_sum_dd(std::span<double> hi, std::span<double> lo);
+
   /// Convenience scalar all-reduce.
   double allreduce_sum_scalar(double x);
   double allreduce_max_scalar(double x);
@@ -110,7 +120,8 @@ class Communicator {
   SpmdContext& ctx_;
   int rank_;
   int local_sense_ = 0;
-  std::vector<double> scratch_;
+  std::vector<double> scratch_;   // published send buffer / reduce result
+  std::vector<double> scratch2_;  // dd fold result (scratch_ stays published)
   CommStats stats_;
 };
 

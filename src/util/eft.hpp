@@ -1,0 +1,124 @@
+#pragma once
+// Error-free transformations (EFT) and normalized double-double (dd)
+// scalar arithmetic, after Dekker (1971), Knuth TAOCP 4.2.2, and the
+// QD library of Hida, Li and Bailey [15].
+//
+// This header lives in util/ (no dependencies) so that both the dense
+// kernels (dense/dd.hpp) and the SPMD communicator's double-double
+// all-reduce (par/communicator.cpp) share one definition of the
+// arithmetic: the deterministic distributed Gram reduction must apply
+// bit-identical operations on every rank.
+//
+// Precision contract: a *normalized* dd value x = hi + lo satisfies
+// |lo| <= ulp(hi)/2, giving an effective unit roundoff of
+// u_dd = 2^-104 ~ 4.9e-32 (~31 significant decimal digits).  Every
+// routine below returns a normalized result; the renormalization step
+// (quick_two_sum after folding low-order terms) is what the seed
+// implementation omitted and what bounds the accumulated error of long
+// Gram sums — without it the low word drifts out of alignment with the
+// high word and the effective precision decays toward plain double.
+//
+// The EFTs themselves are exact (no rounding error at all):
+//   two_sum : a + b == s + err     in exact arithmetic
+//   two_prod: a * b == p + err     (via IEEE-754 fused multiply-add)
+// dd composite ops (add/sub/mul/div/sqrt) are correct to O(u_dd)
+// relative error, assuming no overflow/underflow of intermediates.
+
+#include <cmath>
+
+namespace tsbo::eft {
+
+/// Effective unit roundoff of normalized double-double: 2^-104.
+inline constexpr double kUnitRoundoff = 0x1p-104;
+
+/// Unevaluated sum hi + lo; normalized when |lo| <= ulp(hi)/2.
+struct dd {
+  double hi = 0.0;
+  double lo = 0.0;
+};
+
+/// EFT for |a| >= |b| (or a == 0): a + b = s + err exactly, 3 flops.
+inline dd quick_two_sum(double a, double b) {
+  const double s = a + b;
+  return {s, b - (s - a)};
+}
+
+/// Branch-free EFT (Knuth): a + b = s + err exactly for any a, b.
+inline dd two_sum(double a, double b) {
+  const double s = a + b;
+  const double bb = s - a;
+  const double err = (a - (s - bb)) + (b - bb);
+  return {s, err};
+}
+
+/// EFT product via FMA: a * b = p + err exactly.
+inline dd two_prod(double a, double b) {
+  const double p = a * b;
+  const double err = std::fma(a, b, -p);
+  return {p, err};
+}
+
+/// x += y (double-double accumulate of a double), renormalized.
+inline void dd_add(dd& x, double y) {
+  const dd s = two_sum(x.hi, y);
+  x = quick_two_sum(s.hi, s.lo + x.lo);
+}
+
+/// x += y (full double-double addition, QD "accurate" variant),
+/// renormalized.
+inline void dd_add(dd& x, const dd& y) {
+  dd s = two_sum(x.hi, y.hi);
+  const dd t = two_sum(x.lo, y.lo);
+  s = quick_two_sum(s.hi, s.lo + t.hi);
+  x = quick_two_sum(s.hi, s.lo + t.lo);
+}
+
+inline dd dd_neg(const dd& a) { return {-a.hi, -a.lo}; }
+
+/// a - b.
+inline dd dd_sub(const dd& a, const dd& b) {
+  dd r = a;
+  dd_add(r, dd_neg(b));
+  return r;
+}
+
+/// a * b for dd a and double b.
+inline dd dd_mul(const dd& a, double b) {
+  dd p = two_prod(a.hi, b);
+  return quick_two_sum(p.hi, p.lo + a.lo * b);
+}
+
+/// a * b (full double-double product; the a.lo * b.lo term is below
+/// u_dd and dropped).
+inline dd dd_mul(const dd& a, const dd& b) {
+  dd p = two_prod(a.hi, b.hi);
+  return quick_two_sum(p.hi, p.lo + (a.hi * b.lo + a.lo * b.hi));
+}
+
+/// a / b via three Newton-style correction terms (QD accurate division).
+inline dd dd_div(const dd& a, const dd& b) {
+  const double q1 = a.hi / b.hi;
+  dd r = dd_sub(a, dd_mul(b, q1));
+  const double q2 = r.hi / b.hi;
+  r = dd_sub(r, dd_mul(b, q2));
+  const double q3 = r.hi / b.hi;
+  dd q = quick_two_sum(q1, q2);
+  dd_add(q, q3);
+  return q;
+}
+
+/// sqrt(a) via one Karp-Markstein correction of the double estimate.
+/// Requires a >= 0; a.hi == 0 returns 0, a.hi < 0 returns quiet NaN.
+inline dd dd_sqrt(const dd& a) {
+  if (a.hi <= 0.0) return {std::sqrt(a.hi), 0.0};
+  const double x = 1.0 / std::sqrt(a.hi);
+  const double ax = a.hi * x;  // ~ sqrt(a) to double precision
+  const dd err = dd_sub(a, two_prod(ax, ax));
+  return quick_two_sum(ax, err.hi * (x * 0.5));
+}
+
+/// Rounds back to working precision (correct rounding of hi + lo for a
+/// normalized input).
+inline double to_double(const dd& x) { return x.hi + x.lo; }
+
+}  // namespace tsbo::eft
