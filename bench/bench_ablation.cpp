@@ -12,17 +12,19 @@
 //  C. Breakdown policy: throw vs shifted retry (Fukaya et al. [11])
 //     when condition (5)/(9) is deliberately violated.
 //
-//   bench_ablation [--nx=96] [--ranks=4]
+//   bench_ablation [--nx=96] [--ranks=4] [--json=ablation.json]
 
 #include "bench_common.hpp"
 
 #include "dense/svd.hpp"
 #include "ortho/intra.hpp"
 #include "ortho/randomized.hpp"
-#include "sparse/generators.hpp"
+#include "par/config.hpp"
 #include "synth/synthetic.hpp"
 #include "util/timer.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 
 namespace {
@@ -30,57 +32,42 @@ namespace {
 using namespace tsbo;
 using namespace tsbo::bench;
 
-void ablation_basis_times_s(const util::Cli& cli) {
-  const int nx = cli.get_int("nx", 96);
-  const int ranks = cli.get_int("ranks", 4);
-  const auto a = sparse::laplace2d_5pt(nx, nx);
-  const auto b = ones_rhs(a);
+void ablation_basis_times_s(const api::SolverOptions& base,
+                            api::ReportLog& log) {
+  const sparse::CsrMatrix a = api::make_matrix(base);
+  const std::vector<double> b = api::ones_rhs(a);
 
   std::printf(
       "## Ablation A: basis polynomial x step size (two-stage, bs = m, "
       "2-D Laplace n=%dx%d, run to rtol 1e-6)\n"
       "## expected: monomial degrades as s grows (shift retries, extra "
       "iterations); Newton/Chebyshev stay clean\n\n",
-      nx, nx);
+      base.nx, base.nx);
 
   util::Table table({"basis", "s", "iters", "converged", "true relres",
                      "breakdowns", "shift retries"});
-  for (const auto basis :
-       {krylov::BasisKind::kMonomial, krylov::BasisKind::kNewton,
-        krylov::BasisKind::kChebyshev}) {
-    const char* name = basis == krylov::BasisKind::kMonomial ? "monomial"
-                       : basis == krylov::BasisKind::kNewton ? "newton"
-                                                             : "chebyshev";
+  for (const char* basis : {"monomial", "newton", "chebyshev"}) {
     for (const int s : {5, 10, 20}) {
-      krylov::SolveResult out;
-      par::spmd_run(ranks, [&](par::Communicator& comm) {
-        const sparse::RowPartition part(a.rows, comm.size());
-        const sparse::DistCsr dist(a, part, comm.rank());
-        const auto begin = static_cast<std::size_t>(part.begin(comm.rank()));
-        const auto nloc = static_cast<std::size_t>(dist.n_local());
-        std::vector<double> x(nloc, 0.0);
-        krylov::SStepGmresConfig cfg;
-        cfg.scheme = krylov::OrthoScheme::kTwoStage;
-        cfg.s = s;
-        cfg.bs = 60;
-        cfg.basis = basis;
-        cfg.lambda_min = 0.01;
-        cfg.lambda_max = 8.0;  // 5-pt Laplace spectrum
-        cfg.rtol = 1e-6;
-        cfg.max_restarts = 200;
-        const auto r = krylov::sstep_gmres(
-            comm, dist, nullptr,
-            std::span<const double>(b.data() + begin, nloc), x, cfg);
-        if (comm.rank() == 0) out = r;
-      });
+      api::SolverOptions opts = api::SolverOptions::parse(
+          // 5-pt Laplace spectrum for the Newton/Chebyshev interval.
+          "solver=sstep ortho=two_stage bs=60 lambda_min=0.01 lambda_max=8 "
+          "rtol=1e-6 max_restarts=200",
+          base);
+      opts.basis = basis;
+      opts.s = s;
+      api::Solver solver(opts);
+      solver.set_matrix_ref(a, base.matrix);
+      solver.set_rhs(b);
+      const api::SolveReport rep = solver.solve();
       table.row()
-          .add(name)
+          .add(basis)
           .add(s)
-          .add(out.iters)
-          .add(out.converged ? "yes" : "no")
-          .add(util::sci(out.true_relres))
-          .add(out.cholesky_breakdowns)
-          .add(out.shift_retries);
+          .add(rep.result.iters)
+          .add(rep.result.converged ? "yes" : "no")
+          .add(util::sci(rep.result.true_relres))
+          .add(rep.result.cholesky_breakdowns)
+          .add(rep.result.shift_retries);
+      log.add(rep);
     }
   }
   table.print();
@@ -204,10 +191,20 @@ void ablation_randomized() {
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   par::configure_from_cli(cli);  // --threads=N / TSBO_NUM_THREADS
+
+  api::SolverOptions base =
+      api::SolverOptions::parse("matrix=laplace2d_5pt");
+  base.nx = cli.get_int("nx", 96);
+  base.ranks = cli.get_int("ranks", 4);
+  const std::string json_path = cli.get("json", "");
+  cli.reject_unknown();
+
   std::printf("# Ablations: paper-discussed extensions (not in its tables)\n\n");
-  ablation_basis_times_s(cli);
+  api::ReportLog log("ablation");
+  ablation_basis_times_s(base, log);
   ablation_mixed_precision();
   ablation_breakdown_policy();
   ablation_randomized();
+  if (log.save(json_path)) std::printf("\n# wrote %s\n", json_path.c_str());
   return 0;
 }

@@ -1,75 +1,31 @@
 #pragma once
-// Shared machinery for the paper-reproduction harnesses.
+// Shared shaping for the paper-reproduction harnesses.
 //
-// Every bench binary prints (a) the experiment's provenance (which
+// Every run is described by an api::SolverOptions spec and executed by
+// the api::Solver facade; what remains here is pure table shaping: the
+// solver columns the paper's tables sweep, expressed as option specs.
+// Each harness prints (a) the experiment's provenance (which
 // table/figure of the paper it regenerates, at what scale), (b) a
-// paper-shaped table of measured values.  Absolute numbers are
-// machine-specific; EXPERIMENTS.md records the expected *shape*.
+// paper-shaped table of measured values, and accepts --json=<path> to
+// dump the underlying SolveReports (api::ReportLog).
 
-#include "krylov/gmres.hpp"
-#include "krylov/sstep_gmres.hpp"
-#include "par/config.hpp"
-#include "par/spmd.hpp"
-#include "sparse/dist_csr.hpp"
-#include "sparse/spmv.hpp"
+#include "api/solver.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
-#include <cstdio>
-#include <functional>
-#include <string>
-#include <vector>
-
 namespace tsbo::bench {
 
-inline par::NetworkModel model_from_cli(const util::Cli& cli) {
-  const std::string net = cli.get("net", "calibrated");
-  if (net == "off") return par::NetworkModel::off();
-  if (net == "ethernet") return par::NetworkModel::ethernet();
-  if (net == "hw") return par::NetworkModel::cluster();
-  return par::NetworkModel::calibrated();
-}
-
-/// RHS such that the solution is the all-ones vector (paper Section
-/// VIII).
-inline std::vector<double> ones_rhs(const sparse::CsrMatrix& a) {
-  std::vector<double> x(static_cast<std::size_t>(a.rows), 1.0);
-  std::vector<double> b(static_cast<std::size_t>(a.rows), 0.0);
-  sparse::spmv(a, x, b);
-  return b;
-}
-
-struct RunSpec {
-  int ranks = 4;
-  par::NetworkModel model = par::NetworkModel::calibrated();
-  /// negative scheme: run standard GMRES + CGS2 instead of s-step.
-  int scheme = -1;  // cast of krylov::OrthoScheme when >= 0
-  dense::index_t m = 60;
-  dense::index_t s = 5;
-  dense::index_t bs = 60;
-  double rtol = 0.0;     // 0: run the full iteration budget
-  int max_restarts = 4;  // fixed budget => identical work across schemes
-  bool gauss_seidel = false;
+struct Algo {
+  const char* label;  ///< table row label
+  const char* spec;   ///< SolverOptions::parse() overlay
 };
 
-/// Runs one solver configuration on the (replicated) matrix under the
-/// SPMD runtime and returns rank 0's result.  The per-phase timers of
-/// all ranks are max-merged (critical-path convention).
-krylov::SolveResult run_distributed(const sparse::CsrMatrix& a,
-                                    const std::vector<double>& b,
-                                    const RunSpec& spec);
-
-/// Sums the ortho-phase buckets the paper's breakdown figures plot.
-struct OrthoBreakdown {
-  double dot = 0.0;      // local block dot products
-  double reduce = 0.0;   // global all-reduces (incl. modeled latency)
-  double update = 0.0;   // vector updates (GEMM)
-  double factor = 0.0;   // Cholesky + TRSM (+ HHQR)
-  double small = 0.0;    // Hessenberg/Givens bookkeeping
-  [[nodiscard]] double total() const {
-    return dot + reduce + update + factor + small;
-  }
+/// The four solver columns of Tables II-IV / Fig. 13, in paper order.
+inline constexpr Algo kPaperAlgos[] = {
+    {"GMRES+CGS2", "solver=gmres ortho=cgs2"},
+    {"s-step BCGS2", "solver=sstep ortho=bcgs2"},
+    {"s-step PIP2", "solver=sstep ortho=bcgs_pip2"},
+    {"two-stage bs=m", "solver=sstep ortho=two_stage"},
 };
-OrthoBreakdown breakdown_of(const krylov::SolveResult& r);
 
 }  // namespace tsbo::bench

@@ -12,6 +12,7 @@
 
 #include "bench_common.hpp"
 
+#include "par/config.hpp"
 #include "dense/svd.hpp"
 #include "ortho/intra.hpp"
 #include "synth/synthetic.hpp"
@@ -27,6 +28,7 @@ int main(int argc, char** argv) {
   const auto n = static_cast<dense::index_t>(cli.get_int("n", 100000));
   const auto s = static_cast<dense::index_t>(cli.get_int("s", 5));
   const int seeds = cli.get_int("seeds", 10);
+  cli.reject_unknown();
 
   std::printf(
       "# Fig. 6 reproduction: CholQR / CholQR2 on %d x %d logscaled "

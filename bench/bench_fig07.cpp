@@ -12,6 +12,7 @@
 
 #include "bench_common.hpp"
 
+#include "par/config.hpp"
 #include "dense/svd.hpp"
 #include "ortho/block_gs.hpp"
 #include "synth/synthetic.hpp"
@@ -55,6 +56,7 @@ int main(int argc, char** argv) {
   const int panels = cli.get_int("panels", 6);
   const auto s = static_cast<index_t>(cli.get_int("s", 5));
   const int seeds = cli.get_int("seeds", 5);
+  cli.reject_unknown();
 
   std::printf(
       "# Fig. 7 reproduction: one-stage BCGS-PIP / BCGS-PIP2 on glued "

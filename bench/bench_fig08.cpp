@@ -15,6 +15,7 @@
 
 #include "bench_common.hpp"
 
+#include "par/config.hpp"
 #include "dense/svd.hpp"
 #include "ortho/manager.hpp"
 #include "ortho/measures.hpp"
@@ -34,6 +35,7 @@ int main(int argc, char** argv) {
   const auto m = static_cast<index_t>(cli.get_int("m", 180));
   const auto bs = static_cast<index_t>(cli.get_int("bs", 60));
   const auto s = static_cast<index_t>(cli.get_int("s", 5));
+  cli.reject_unknown();
 
   std::printf(
       "# Fig. 8 reproduction: two-stage on glued matrix (n,m,bs,s) = "

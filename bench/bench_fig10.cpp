@@ -6,11 +6,12 @@
 // share grows and dominates (the global reduces appear in both BCGS2
 // and CholQR), while vector updates shrink with the local row count.
 //
-//   bench_fig10 [--nx=512] [--ranks=1,2,4,8,16] [--restarts=2] [--net=cluster]
+//   bench_fig10 [--nx=512] [--ranks=1,2,4,8,16] [--restarts=2]
+//               [--net=cluster] [--json=fig10.json]
 
 #include "bench_common.hpp"
 
-#include "sparse/generators.hpp"
+#include "par/config.hpp"
 
 #include <cstdio>
 
@@ -18,16 +19,25 @@ namespace tsbo::bench {
 
 /// Shared driver for Figs. 10-12: one scheme, rank sweep, breakdown.
 inline int run_breakdown_figure(int argc, char** argv, const char* figure,
-                                int scheme, const char* scheme_name) {
+                                const char* spec, const char* scheme_name) {
   util::Cli cli(argc, argv);
   par::configure_from_cli(cli);  // --threads=N / TSBO_NUM_THREADS
   const int nx = cli.get_int("nx", 192);
   const std::vector<int> rank_list =
       cli.get_int_list("ranks", {1, 2, 4, 8, 16});
   const int restarts = cli.get_int("restarts", 2);
+  const std::string json_path = cli.get("json", "");
 
-  const auto a = sparse::laplace2d_5pt(nx, nx);
-  const auto b = ones_rhs(a);
+  api::SolverOptions base =
+      api::SolverOptions::parse(std::string(spec) +
+                                " matrix=laplace2d_5pt rtol=0");
+  base.nx = nx;
+  base.net = cli.get("net", "calibrated");
+  base.max_restarts = restarts;
+  cli.reject_unknown();
+
+  const sparse::CsrMatrix a = api::make_matrix(base);
+  const std::vector<double> b = api::ones_rhs(a);
 
   std::printf(
       "# %s reproduction: ortho time breakdown of %s, 2-D Laplace "
@@ -38,15 +48,16 @@ inline int run_breakdown_figure(int argc, char** argv, const char* figure,
 
   util::Table table({"ranks", "dot s", "reduce s", "update s", "factor s",
                      "small s", "dot %", "reduce %", "update %", "factor %"});
+  api::ReportLog log(figure);
 
   for (const int p : rank_list) {
-    RunSpec spec;
-    spec.ranks = p;
-    spec.model = model_from_cli(cli);
-    spec.max_restarts = restarts;
-    spec.scheme = scheme;
-    const auto r = run_distributed(a, b, spec);
-    const OrthoBreakdown bd = breakdown_of(r);
+    api::SolverOptions opts = base;
+    opts.ranks = p;
+    api::Solver solver(opts);
+    solver.set_matrix_ref(a, base.matrix);
+    solver.set_rhs(b);
+    const api::SolveReport rep = solver.solve();
+    const api::OrthoBreakdown bd = api::breakdown_of(rep.result);
     const double tot = bd.total() > 0 ? bd.total() : 1.0;
     table.row()
         .add(p)
@@ -59,8 +70,10 @@ inline int run_breakdown_figure(int argc, char** argv, const char* figure,
         .add(100.0 * bd.reduce / tot, 1)
         .add(100.0 * bd.update / tot, 1)
         .add(100.0 * bd.factor / tot, 1);
+    log.add(rep);
   }
   table.print();
+  if (log.save(json_path)) std::printf("\n# wrote %s\n", json_path.c_str());
   return 0;
 }
 
@@ -69,8 +82,8 @@ inline int run_breakdown_figure(int argc, char** argv, const char* figure,
 #ifndef TSBO_BREAKDOWN_NO_MAIN
 int main(int argc, char** argv) {
   using namespace tsbo;
-  return bench::run_breakdown_figure(
-      argc, argv, "Fig. 10",
-      static_cast<int>(krylov::OrthoScheme::kBcgs2CholQr2), "BCGS2+CholQR2");
+  return bench::run_breakdown_figure(argc, argv, "Fig. 10",
+                                     "solver=sstep ortho=bcgs2",
+                                     "BCGS2+CholQR2");
 }
 #endif

@@ -9,7 +9,7 @@
 
 int main(int argc, char** argv) {
   using namespace tsbo;
-  return bench::run_breakdown_figure(
-      argc, argv, "Fig. 11", static_cast<int>(krylov::OrthoScheme::kBcgsPip2),
-      "BCGS-PIP2");
+  return bench::run_breakdown_figure(argc, argv, "Fig. 11",
+                                     "solver=sstep ortho=bcgs_pip2",
+                                     "BCGS-PIP2");
 }

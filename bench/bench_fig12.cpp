@@ -9,7 +9,7 @@
 
 int main(int argc, char** argv) {
   using namespace tsbo;
-  return bench::run_breakdown_figure(
-      argc, argv, "Fig. 12", static_cast<int>(krylov::OrthoScheme::kTwoStage),
-      "two-stage (bs=m)");
+  return bench::run_breakdown_figure(argc, argv, "Fig. 12",
+                                     "solver=sstep ortho=two_stage",
+                                     "two-stage (bs=m)");
 }

@@ -8,10 +8,11 @@
 // total speedups shrink slightly since ortho is a smaller share.
 //
 //   bench_fig13 [--nx=512] [--ranks=8] [--restarts=2] [--net=cluster]
+//               [--json=fig13.json]
 
 #include "bench_common.hpp"
 
-#include "sparse/generators.hpp"
+#include "par/config.hpp"
 
 #include <cstdio>
 
@@ -23,55 +24,53 @@ int main(int argc, char** argv) {
   const int nx = cli.get_int("nx", 192);
   const int ranks = cli.get_int("ranks", 8);
   const int restarts = cli.get_int("restarts", 2);
+  const std::string json_path = cli.get("json", "");
 
-  const auto a = sparse::laplace2d_5pt(nx, nx);
-  const auto b = ones_rhs(a);
+  api::SolverOptions base =
+      api::SolverOptions::parse("matrix=laplace2d_5pt precond=mc-gs rtol=0");
+  base.nx = nx;
+  base.ranks = ranks;
+  base.net = cli.get("net", "calibrated");
+  base.max_restarts = restarts;
+  cli.reject_unknown();
+
+  const sparse::CsrMatrix a = api::make_matrix(base);
+  const std::vector<double> b = api::ones_rhs(a);
 
   std::printf(
       "# Fig. 13 reproduction: s-step GMRES + multicolor Gauss-Seidel "
       "preconditioner, 2-D Laplace n=%dx%d, %d ranks\n"
       "# expected shape: same ortho ordering as Table III; total "
       "speedups slightly smaller (precond adds flat cost)\n\n",
-      nx, nx, ranks, restarts);
-
-  struct Algo {
-    const char* name;
-    int scheme;
-  };
-  const Algo algos[] = {
-      {"GMRES+CGS2", -1},
-      {"s-step BCGS2", static_cast<int>(krylov::OrthoScheme::kBcgs2CholQr2)},
-      {"s-step PIP2", static_cast<int>(krylov::OrthoScheme::kBcgsPip2)},
-      {"two-stage bs=m", static_cast<int>(krylov::OrthoScheme::kTwoStage)},
-  };
+      nx, nx, ranks);
 
   util::Table table({"solver", "SpMV ms/it", "Precond ms/it", "Ortho ms/it",
                      "Total ms/it", "ortho speedup", "total speedup"});
-
-  RunSpec spec;
-  spec.ranks = ranks;
-  spec.model = model_from_cli(cli);
-  spec.max_restarts = restarts;
-  spec.gauss_seidel = true;
+  api::ReportLog log("fig13");
 
   double base_ortho = 0.0, base_total = 0.0;
-  for (const Algo& algo : algos) {
-    spec.scheme = algo.scheme;
-    const auto r = run_distributed(a, b, spec);
+  for (const Algo& algo : kPaperAlgos) {
+    api::Solver solver(api::SolverOptions::parse(algo.spec, base));
+    solver.set_matrix_ref(a, base.matrix);
+    solver.set_rhs(b);
+    const api::SolveReport rep = solver.solve();
+    const krylov::SolveResult& r = rep.result;
     const double it = static_cast<double>(r.iters > 0 ? r.iters : 1);
-    if (algo.scheme == -1) {
+    if (!rep.options.is_sstep()) {
       base_ortho = r.time_ortho();
       base_total = r.time_total();
     }
     table.row()
-        .add(algo.name)
+        .add(algo.label)
         .add(1e3 * r.time_spmv() / it, 3)
         .add(1e3 * r.time_precond() / it, 3)
         .add(1e3 * r.time_ortho() / it, 3)
         .add(1e3 * r.time_total() / it, 3)
         .add(util::speedup_str(base_ortho, r.time_ortho()))
         .add(util::speedup_str(base_total, r.time_total()));
+    log.add(rep);
   }
   table.print();
+  if (log.save(json_path)) std::printf("\n# wrote %s\n", json_path.c_str());
   return 0;
 }

@@ -30,6 +30,7 @@
 #include "sparse/generators.hpp"
 #include "sparse/spmv.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/random.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -37,6 +38,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <stdexcept>
 #include <functional>
 #include <string>
 #include <thread>
@@ -105,6 +107,7 @@ int main(int argc, char** argv) {
     threads.insert(threads.begin(), 1);
   }
   const std::string json_path = cli.get("json", "BENCH_kernels.json");
+  cli.reject_unknown();
 
   std::printf(
       "# Kernel-layer thread sweep: gemm_tn / gemm_tn_dd / gemm_nn "
@@ -239,29 +242,30 @@ int main(int argc, char** argv) {
               all_ok ? "ok" : "MISMATCH");
 
   if (json_path != "none") {
-    std::FILE* f = std::fopen(json_path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    util::JsonWriter w;
+    w.begin_object();
+    w.kv("bench", "kernels").kv("m", m);
+    w.kv("hardware_concurrency", std::thread::hardware_concurrency());
+    w.key("results").begin_array();
+    for (const Measurement& meas : results) {
+      w.begin_object();
+      w.kv("kernel", meas.kernel)
+          .kv("shape", meas.shape)
+          .kv("threads", meas.threads)
+          .kv("seconds", meas.seconds)
+          .kv("gflops", meas.gflops)
+          .kv("deterministic", meas.deterministic)
+          .kv("matches_serial", meas.matches_serial);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    try {
+      util::write_text_file(json_path, w.str() + "\n");
+    } catch (const std::runtime_error& e) {
+      std::fprintf(stderr, "%s\n", e.what());
       return 1;
     }
-    std::fprintf(f, "{\n  \"bench\": \"kernels\",\n  \"m\": %d,\n", m);
-    std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
-                 std::thread::hardware_concurrency());
-    std::fprintf(f, "  \"results\": [\n");
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      const Measurement& meas = results[i];
-      std::fprintf(f,
-                   "    {\"kernel\": \"%s\", \"shape\": \"%s\", \"threads\": "
-                   "%d, \"seconds\": %.9e, \"gflops\": %.4f, "
-                   "\"deterministic\": %s, \"matches_serial\": %s}%s\n",
-                   meas.kernel.c_str(), meas.shape.c_str(), meas.threads,
-                   meas.seconds, meas.gflops,
-                   meas.deterministic ? "true" : "false",
-                   meas.matches_serial ? "true" : "false",
-                   i + 1 < results.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
     std::printf("# wrote %s\n", json_path.c_str());
   }
   return all_ok ? 0 : 1;

@@ -10,10 +10,11 @@
 // bs = m is the best configuration; SpMV is flat across columns.
 //
 //   bench_table02 [--nx=512] [--ranks=4] [--restarts=3] [--net=cluster]
+//                 [--json=table02.json]
 
 #include "bench_common.hpp"
 
-#include "sparse/generators.hpp"
+#include "par/config.hpp"
 
 #include <cstdio>
 
@@ -25,9 +26,18 @@ int main(int argc, char** argv) {
   const int nx = cli.get_int("nx", 160);
   const int ranks = cli.get_int("ranks", 4);
   const int restarts = cli.get_int("restarts", 8);
+  const std::string json_path = cli.get("json", "");
 
-  const auto a = sparse::laplace2d_5pt(nx, nx);
-  const auto b = ones_rhs(a);
+  api::SolverOptions base =
+      api::SolverOptions::parse("matrix=laplace2d_5pt rtol=0");
+  base.nx = nx;
+  base.ranks = ranks;
+  base.net = cli.get("net", "calibrated");
+  base.max_restarts = restarts;
+  cli.reject_unknown();
+
+  const sparse::CsrMatrix a = api::make_matrix(base);
+  const std::vector<double> b = api::ones_rhs(a);
 
   std::printf(
       "# Table II reproduction: two-stage vs bs, 2-D Laplace 5-pt "
@@ -36,36 +46,34 @@ int main(int argc, char** argv) {
       "SpMV flat\n\n",
       nx, nx, ranks, restarts, 60L * restarts);
 
-  RunSpec spec;
-  spec.ranks = ranks;
-  spec.model = model_from_cli(cli);
-  spec.max_restarts = restarts;
-
   util::Table table({"solver", "# iters", "SpMV", "Ortho", "Total"});
-  auto add_row = [&](const std::string& name, const krylov::SolveResult& r) {
+  api::ReportLog log("table02");
+
+  const auto run = [&](const std::string& name, const std::string& spec) {
+    api::Solver solver(api::SolverOptions::parse(spec, base));
+    solver.set_matrix_ref(a, base.matrix);
+    solver.set_rhs(b);
+    const api::SolveReport rep = solver.solve();
     table.row()
         .add(name)
-        .add(r.iters)
-        .add(r.time_spmv(), 3)
-        .add(r.time_ortho(), 3)
-        .add(r.time_total(), 3);
+        .add(rep.result.iters)
+        .add(rep.result.time_spmv(), 3)
+        .add(rep.result.time_ortho(), 3)
+        .add(rep.result.time_total(), 3);
+    log.add(rep);
   };
 
-  // Standard GMRES + CGS2.
-  spec.scheme = -1;
-  add_row("GMRES", run_distributed(a, b, spec));
-
-  // Original s-step (BCGS2 + CholQR2).
-  spec.scheme = static_cast<int>(krylov::OrthoScheme::kBcgs2CholQr2);
-  add_row("s-step", run_distributed(a, b, spec));
+  // Standard GMRES + CGS2, then the original s-step (BCGS2 + CholQR2).
+  run("GMRES", "solver=gmres ortho=cgs2");
+  run("s-step", "solver=sstep ortho=bcgs2");
   table.separator();
 
   // Two-stage with bs sweep (bs = 5 degenerates to one-stage PIP2).
   for (const int bs : {5, 20, 30, 60}) {
-    spec.scheme = static_cast<int>(krylov::OrthoScheme::kTwoStage);
-    spec.bs = bs;
-    add_row("two-stage bs=" + std::to_string(bs), run_distributed(a, b, spec));
+    run("two-stage bs=" + std::to_string(bs),
+        "solver=sstep ortho=two_stage bs=" + std::to_string(bs));
   }
   table.print();
+  if (log.save(json_path)) std::printf("\n# wrote %s\n", json_path.c_str());
   return 0;
 }

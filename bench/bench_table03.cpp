@@ -10,11 +10,12 @@
 // with the s-step-over-GMRES and two-stage-over-GMRES speedup factors
 // *growing* with the rank count (communication-bound regime).
 //
-//   bench_table03 [--nx=512] [--ranks=1,2,4,8,16] [--restarts=2] [--net=cluster]
+//   bench_table03 [--nx=512] [--ranks=1,2,4,8,16] [--restarts=2]
+//                 [--net=cluster] [--json=table03.json]
 
 #include "bench_common.hpp"
 
-#include "sparse/generators.hpp"
+#include "par/config.hpp"
 
 #include <cstdio>
 
@@ -27,9 +28,17 @@ int main(int argc, char** argv) {
   const std::vector<int> rank_list =
       cli.get_int_list("ranks", {1, 2, 4, 8, 16});
   const int restarts = cli.get_int("restarts", 2);
+  const std::string json_path = cli.get("json", "");
 
-  const auto a = sparse::laplace2d_9pt(nx, nx);
-  const auto b = ones_rhs(a);
+  api::SolverOptions base =
+      api::SolverOptions::parse("matrix=laplace2d_9pt rtol=0");
+  base.nx = nx;
+  base.net = cli.get("net", "calibrated");
+  base.max_restarts = restarts;
+  cli.reject_unknown();
+
+  const sparse::CsrMatrix a = api::make_matrix(base);
+  const std::vector<double> b = api::ones_rhs(a);
 
   std::printf(
       "# Table III reproduction: strong scaling, 2-D Laplace 9-pt "
@@ -39,46 +48,38 @@ int main(int argc, char** argv) {
       " speedups over GMRES grow with ranks\n\n",
       nx, nx, restarts, 60L * restarts);
 
-  struct Algo {
-    const char* name;
-    int scheme;
-  };
-  const Algo algos[] = {
-      {"GMRES+CGS2", -1},
-      {"s-step BCGS2", static_cast<int>(krylov::OrthoScheme::kBcgs2CholQr2)},
-      {"s-step PIP2", static_cast<int>(krylov::OrthoScheme::kBcgsPip2)},
-      {"two-stage bs=m", static_cast<int>(krylov::OrthoScheme::kTwoStage)},
-  };
-
   util::Table table({"ranks", "solver", "SpMV", "Ortho", "Total",
                      "ortho speedup", "total speedup", "allreduces"});
+  api::ReportLog log("table03");
 
   for (const int p : rank_list) {
-    RunSpec spec;
-    spec.ranks = p;
-    spec.model = model_from_cli(cli);
-    spec.max_restarts = restarts;
-
     double base_ortho = 0.0, base_total = 0.0;
-    for (const Algo& algo : algos) {
-      spec.scheme = algo.scheme;
-      const auto r = run_distributed(a, b, spec);
-      if (algo.scheme == -1) {
+    for (const Algo& algo : kPaperAlgos) {
+      api::SolverOptions opts = api::SolverOptions::parse(algo.spec, base);
+      opts.ranks = p;
+      api::Solver solver(opts);
+      solver.set_matrix_ref(a, base.matrix);
+      solver.set_rhs(b);
+      const api::SolveReport rep = solver.solve();
+      const krylov::SolveResult& r = rep.result;
+      if (!opts.is_sstep()) {
         base_ortho = r.time_ortho();
         base_total = r.time_total();
       }
       table.row()
           .add(p)
-          .add(algo.name)
+          .add(algo.label)
           .add(r.time_spmv(), 3)
           .add(r.time_ortho(), 3)
           .add(r.time_total(), 3)
           .add(util::speedup_str(base_ortho, r.time_ortho()))
           .add(util::speedup_str(base_total, r.time_total()))
           .add(static_cast<long>(r.comm_stats.allreduces));
+      log.add(rep);
     }
     table.separator();
   }
   table.print();
+  if (log.save(json_path)) std::printf("\n# wrote %s\n", json_path.c_str());
   return 0;
 }

@@ -11,11 +11,11 @@
 // the SpMV weight (heavier rows => smaller ortho share).
 //
 //   bench_table04 [--n=100000] [--ranks=8] [--restarts=2] [--net=cluster]
+//                 [--json=table04.json]
 
 #include "bench_common.hpp"
 
-#include "sparse/generators.hpp"
-#include "sparse/scaling.hpp"
+#include "par/config.hpp"
 #include "sparse/suitesparse_like.hpp"
 
 #include <cmath>
@@ -30,6 +30,14 @@ int main(int argc, char** argv) {
   const int ranks = cli.get_int("ranks", 8);
   const int restarts = cli.get_int("restarts", 2);
   const long iters = 60L * restarts;
+  const std::string json_path = cli.get("json", "");
+
+  api::SolverOptions base = api::SolverOptions::parse("rtol=0");
+  base.ranks = ranks;
+  base.n = n;
+  base.net = cli.get("net", "calibrated");
+  base.max_restarts = restarts;
+  cli.reject_unknown();
 
   std::printf(
       "# Table IV reproduction: time/iteration, 3-D models + "
@@ -38,61 +46,59 @@ int main(int argc, char** argv) {
       "bcgs-pip2 > two-stage for every matrix\n\n",
       n, ranks, iters);
 
-  struct Algo {
-    const char* name;
-    int scheme;
-  };
-  const Algo algos[] = {
-      {"standard", -1},
-      {"s-step", static_cast<int>(krylov::OrthoScheme::kBcgs2CholQr2)},
-      {"bcgs-pip2", static_cast<int>(krylov::OrthoScheme::kBcgsPip2)},
-      {"two-stage", static_cast<int>(krylov::OrthoScheme::kTwoStage)},
-  };
-
   util::Table table({"matrix", "solver", "SpMV ms/it", "Ortho ms/it",
                      "Total ms/it", "ortho speedup", "total speedup"});
+  api::ReportLog log("table04");
 
-  auto run_matrix = [&](const std::string& label, const sparse::CsrMatrix& a) {
-    const auto b = ones_rhs(a);
-    RunSpec spec;
-    spec.ranks = ranks;
-    spec.model = model_from_cli(cli);
-    spec.max_restarts = restarts;
+  // Runs the four solver columns on the matrix the options describe.
+  const auto run_matrix = [&](const api::SolverOptions& matrix_opts) {
+    std::string label;
+    const sparse::CsrMatrix a = api::make_matrix(matrix_opts, &label);
+    const std::vector<double> b = api::ones_rhs(a);
 
     double base_ortho = 0.0, base_total = 0.0;
-    for (const Algo& algo : algos) {
-      spec.scheme = algo.scheme;
-      const auto r = run_distributed(a, b, spec);
+    for (const Algo& algo : kPaperAlgos) {
+      api::Solver solver(api::SolverOptions::parse(algo.spec, matrix_opts));
+      solver.set_matrix_ref(a, label);
+      solver.set_rhs(b);
+      const api::SolveReport rep = solver.solve();
+      const krylov::SolveResult& r = rep.result;
       const double it = static_cast<double>(r.iters > 0 ? r.iters : 1);
-      if (algo.scheme == -1) {
+      if (!rep.options.is_sstep()) {
         base_ortho = r.time_ortho();
         base_total = r.time_total();
       }
       table.row()
           .add(label)
-          .add(algo.name)
+          .add(algo.label)
           .add(1e3 * r.time_spmv() / it, 3)
           .add(1e3 * r.time_ortho() / it, 3)
           .add(1e3 * r.time_total() / it, 3)
           .add(util::speedup_str(base_ortho, r.time_ortho()))
           .add(util::speedup_str(base_total, r.time_total()));
+      log.add(rep);
     }
     table.separator();
   };
 
   // 3-D model problems (paper rows 1-2).
   {
-    const int side = static_cast<int>(std::lround(std::cbrt(n)));
-    run_matrix("Laplace3D", sparse::laplace3d_7pt(side, side, side));
-    const int eside = static_cast<int>(std::lround(std::cbrt(n / 3)));
-    run_matrix("Elasticity3D", sparse::elasticity3d(eside, eside, eside));
+    api::SolverOptions opts = base;
+    opts.matrix = "laplace3d_7pt";
+    opts.nx = static_cast<int>(std::lround(std::cbrt(n)));
+    run_matrix(opts);
+    opts.matrix = "elasticity3d";
+    opts.nx = static_cast<int>(std::lround(std::cbrt(n / 3)));
+    run_matrix(opts);
   }
   // SuiteSparse surrogates (paper rows 3-7), max-scaled per Section VI.
   for (const auto& name : sparse::table4_surrogate_names()) {
-    auto sur = sparse::make_surrogate(name, n);
-    sparse::equilibrate_max(sur.matrix);
-    run_matrix(name, sur.matrix);
+    api::SolverOptions opts = base;
+    opts.matrix = name;
+    opts.equilibrate = true;
+    run_matrix(opts);
   }
   table.print();
+  if (log.save(json_path)) std::printf("\n# wrote %s\n", json_path.c_str());
   return 0;
 }

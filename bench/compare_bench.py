@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over bench_kernels' BENCH_kernels.json.
+
+Compares a fresh run against the committed baseline:
+
+    ./build/bench_kernels --json=fresh_kernels.json
+    python3 bench/compare_bench.py BENCH_kernels.json fresh_kernels.json
+
+Checks, in order of severity:
+
+  1. Determinism (hard fail): every fresh row must report
+     deterministic=true and matches_serial=true — the kernel layer's
+     fixed-chunk-reduction contract, independent of machine speed.
+  2. Coverage (hard fail): the two files must share at least one
+     (kernel, shape, threads) row; kernels present in the baseline but
+     absent from the fresh run are reported (a silently dropped kernel
+     is how perf coverage rots).  Thread counts are intersected, since
+     runners have different core counts than the baseline machine.
+  3. Throughput (tolerance band): for every common row,
+     fresh.gflops >= baseline.gflops * (1 - tol).  The default band is
+     deliberately wide (--tol=0.5) because CI runners differ from the
+     machine that produced the committed baseline; tighten it when
+     comparing runs from the same host.  Improvements are reported, not
+     gated.
+
+--update rewrites the baseline file with the fresh results (run on the
+reference machine after an intentional perf change).
+
+Exit code: 0 clean, 1 on any determinism failure, coverage failure, or
+regression beyond the band.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for r in doc.get("results", []):
+        rows[(r["kernel"], r["shape"], r["threads"])] = r
+    return doc, rows
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Diff two BENCH_kernels.json files with a tolerance band."
+    )
+    ap.add_argument("baseline", help="committed baseline JSON")
+    ap.add_argument("fresh", help="freshly generated JSON")
+    ap.add_argument(
+        "--tol",
+        type=float,
+        default=0.5,
+        help="allowed fractional gflops drop per row (default 0.5: "
+        "flag rows slower than half the baseline)",
+    )
+    ap.add_argument(
+        "--update",
+        action="store_true",
+        help="overwrite the baseline with the fresh results and exit",
+    )
+    args = ap.parse_args()
+
+    if args.update:
+        shutil.copyfile(args.fresh, args.baseline)
+        print(f"baseline updated: {args.fresh} -> {args.baseline}")
+        return 0
+
+    _, base_rows = load(args.baseline)
+    _, fresh_rows = load(args.fresh)
+    failures = []
+
+    # 1. Determinism is machine-independent: gate every fresh row.
+    for key, row in sorted(fresh_rows.items()):
+        if not (row.get("deterministic") and row.get("matches_serial")):
+            failures.append(f"DETERMINISM {key}: {row}")
+
+    # 2. Coverage.
+    common = sorted(set(base_rows) & set(fresh_rows))
+    if not common:
+        failures.append(
+            "COVERAGE: no common (kernel, shape, threads) rows — "
+            "did the kernel set or default shapes change?"
+        )
+    base_kernels = {k for (k, _, _) in base_rows}
+    fresh_kernels = {k for (k, _, _) in fresh_rows}
+    for missing in sorted(base_kernels - fresh_kernels):
+        failures.append(f"COVERAGE: kernel '{missing}' missing from fresh run")
+
+    # 3. Throughput band.
+    regressions, improvements = [], []
+    for key in common:
+        base_g = base_rows[key]["gflops"]
+        fresh_g = fresh_rows[key]["gflops"]
+        if base_g <= 0:
+            continue
+        ratio = fresh_g / base_g
+        line = f"{key[0]:12s} {key[1]:>14s} t={key[2]:<3d} " \
+               f"{base_g:8.3f} -> {fresh_g:8.3f} GFLOP/s ({ratio:5.2f}x)"
+        if ratio < 1.0 - args.tol:
+            regressions.append(line)
+        elif ratio > 1.0 + args.tol:
+            improvements.append(line)
+
+    print(f"compared {len(common)} rows (tol band ±{args.tol:.0%})")
+    for line in improvements:
+        print(f"  faster: {line}")
+    for line in regressions:
+        print(f"  REGRESSION: {line}")
+    for f in failures:
+        print(f"  {f}")
+
+    if regressions or failures:
+        print("FAIL")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   const int panels = cli.get_int("panels", 6);
   const auto s = static_cast<index_t>(cli.get_int("s", 5));
   const double kappa = cli.get_double("kappa", 1e7);
+  cli.reject_unknown();
 
   synth::GluedSpec spec;
   spec.n = n;

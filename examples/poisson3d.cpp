@@ -1,88 +1,70 @@
 // 3-D Poisson solve with preconditioner comparison: none / Jacobi /
 // multicolor Gauss-Seidel / Chebyshev, all under s-step GMRES with the
-// two-stage orthogonalization.  Demonstrates the preconditioner API
-// and the paper's point that local (communication-free) preconditioners
-// compose with s-step methods without extra synchronization.
+// two-stage orthogonalization.  Demonstrates the preconditioner
+// registry and the paper's point that local (communication-free)
+// preconditioners compose with s-step methods without extra
+// synchronization.
 //
 //   ./example_poisson3d [--n=32] [--ranks=4] [--rtol=1e-8]
 
+#include "api/solver.hpp"
 #include "par/config.hpp"
-#include "krylov/sstep_gmres.hpp"
-#include "par/spmd.hpp"
-#include "precond/chebyshev.hpp"
-#include "precond/gauss_seidel.hpp"
-#include "precond/jacobi.hpp"
-#include "sparse/generators.hpp"
-#include "sparse/spmv.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
 #include <cmath>
 #include <cstdio>
-#include <memory>
-#include <mutex>
 
 int main(int argc, char** argv) {
   using namespace tsbo;
   util::Cli cli(argc, argv);
   par::configure_from_cli(cli);  // --threads=N / TSBO_NUM_THREADS
   const int side = cli.get_int("n", 32);
-  const int nranks = cli.get_int("ranks", 4);
-  const double rtol = cli.get_double("rtol", 1e-8);
 
-  const sparse::CsrMatrix a = sparse::laplace3d_7pt(side, side, side);
-  std::vector<double> x_star(static_cast<std::size_t>(a.rows), 1.0);
-  std::vector<double> b(static_cast<std::size_t>(a.rows), 0.0);
-  sparse::spmv(a, x_star, b);
+  api::SolverOptions base = api::SolverOptions::parse(
+      "solver=sstep ortho=two_stage matrix=laplace3d_7pt rtol=1e-8");
+  base.nx = side;
+  base.ranks = cli.get_int("ranks", 4);
+  base.rtol = cli.get_double("rtol", base.rtol);
+  cli.reject_unknown();
 
-  std::printf("3-D Poisson %d^3 (n = %d), s-step GMRES + two-stage, %d ranks\n\n",
-              side, a.rows, nranks);
+  // Share one matrix (and RHS) across the preconditioner sweep.
+  const sparse::CsrMatrix a = api::make_matrix(base);
+  const std::vector<double> b = api::ones_rhs(a);
+
+  std::printf(
+      "3-D Poisson %d^3 (n = %d), s-step GMRES + two-stage, %d ranks\n\n",
+      side, a.rows, base.ranks);
 
   util::Table table({"preconditioner", "iters", "restarts", "true relres",
                      "allreduces", "time s"});
-  std::mutex io;
 
   for (const std::string kind : {"none", "jacobi", "mc-gs", "chebyshev"}) {
-    par::spmd_run(nranks, [&](par::Communicator& comm) {
-      const sparse::RowPartition part(a.rows, comm.size());
-      const sparse::DistCsr dist(a, part, comm.rank());
-      const auto begin = static_cast<std::size_t>(part.begin(comm.rank()));
-      const auto nloc = static_cast<std::size_t>(dist.n_local());
-
-      std::unique_ptr<precond::Preconditioner> m;
-      if (kind == "jacobi") {
-        m = std::make_unique<precond::Jacobi>(dist);
-      } else if (kind == "mc-gs") {
-        m = std::make_unique<precond::MulticolorGaussSeidel>(dist, 2);
-      } else if (kind == "chebyshev") {
-        // The 7-pt Laplacian spectrum is known analytically; give the
-        // polynomial the exact interval (of D^{-1}A) rather than the
-        // power-method estimate — Chebyshev is very sensitive to
-        // interval coverage at the low end.
-        const double c = std::cos(M_PI / (side + 1));
-        m = std::make_unique<precond::ChebyshevPolynomial>(
-            dist, 4, (1.0 - c), (1.0 + c));
-      }
-
-      std::vector<double> x(nloc, 0.0);
-      krylov::SStepGmresConfig cfg;
-      cfg.scheme = krylov::OrthoScheme::kTwoStage;
-      cfg.rtol = rtol;
-      const auto res = krylov::sstep_gmres(
-          comm, dist, m.get(),
-          std::span<const double>(b.data() + begin, nloc), x, cfg);
-
-      if (comm.rank() == 0) {
-        std::lock_guard lock(io);
-        table.row()
-            .add(kind)
-            .add(res.iters)
-            .add(res.restarts)
-            .add(util::sci(res.true_relres))
-            .add(static_cast<long>(res.comm_stats.allreduces))
-            .add(res.time_total(), 3);
-      }
-    });
+    api::SolverOptions opts = base;
+    opts.precond = kind;
+    if (kind == "mc-gs") {
+      opts.precond_sweeps = 2;
+    } else if (kind == "chebyshev") {
+      // The 7-pt Laplacian spectrum is known analytically; give the
+      // polynomial the exact interval (of D^{-1}A) rather than the
+      // power-method estimate — Chebyshev is very sensitive to
+      // interval coverage at the low end.
+      const double c = std::cos(M_PI / (side + 1));
+      opts.precond_degree = 4;
+      opts.precond_lambda_min = 1.0 - c;
+      opts.precond_lambda_max = 1.0 + c;
+    }
+    api::Solver solver(opts);
+    solver.set_matrix_ref(a, base.matrix);
+    solver.set_rhs(b);
+    const api::SolveReport rep = solver.solve();
+    table.row()
+        .add(kind)
+        .add(rep.result.iters)
+        .add(rep.result.restarts)
+        .add(util::sci(rep.result.true_relres))
+        .add(static_cast<long>(rep.result.comm_stats.allreduces))
+        .add(rep.result.time_total(), 3);
   }
   table.print();
   std::printf(

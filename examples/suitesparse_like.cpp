@@ -1,99 +1,69 @@
 // Solves the SuiteSparse surrogate matrices (or a user-supplied
 // MatrixMarket file) with all four solver configurations, applying the
 // paper's column-then-row max-scaling first — the Table IV workflow as
-// a runnable example.
+// a runnable example of the matrix registry ("ecology2", "thermal2",
+// ..., or "file" + matrix_file).
 //
 //   ./example_suitesparse_like [--matrix=ecology2] [--n=40000] [--ranks=4]
 //   ./example_suitesparse_like --file=/path/to/real_matrix.mtx
 
+#include "api/solver.hpp"
 #include "par/config.hpp"
-#include "krylov/gmres.hpp"
-#include "krylov/sstep_gmres.hpp"
-#include "par/spmd.hpp"
-#include "sparse/mm_io.hpp"
-#include "sparse/scaling.hpp"
-#include "sparse/spmv.hpp"
-#include "sparse/suitesparse_like.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
 #include <cstdio>
-#include <mutex>
 
 int main(int argc, char** argv) {
   using namespace tsbo;
   util::Cli cli(argc, argv);
   par::configure_from_cli(cli);  // --threads=N / TSBO_NUM_THREADS
-  const int nranks = cli.get_int("ranks", 4);
 
-  sparse::CsrMatrix a;
-  std::string label;
-  if (cli.has("file")) {
-    label = cli.get("file", "");
-    a = sparse::read_matrix_market_file(label);
-  } else {
-    label = cli.get("matrix", "ecology2");
-    a = sparse::make_surrogate(label, static_cast<sparse::ord>(
-                                          cli.get_int("n", 40000)))
-            .matrix;
+  api::SolverOptions base = api::SolverOptions::parse(
+      // The paper's Section VI equilibration (makes the matrix
+      // nonsymmetric) and its convergence setup.
+      "matrix=ecology2 equilibrate=1 rtol=1e-6 max_iters=60000");
+  base.n = 40000;
+  base.ranks = 4;
+  base = api::SolverOptions::from_cli(cli, base);
+  if (cli.has("file")) {  // convenience alias for matrix=file
+    base.matrix = "file";
+    base.matrix_file = cli.get("file", "");
   }
-  // The paper's Section VI equilibration (makes the matrix nonsymmetric).
-  sparse::equilibrate_max(a);
+  cli.reject_unknown();
 
-  std::vector<double> x_star(static_cast<std::size_t>(a.rows), 1.0);
-  std::vector<double> b(static_cast<std::size_t>(a.rows), 0.0);
-  sparse::spmv(a, x_star, b);
+  std::string label;
+  const sparse::CsrMatrix a = api::make_matrix(base, &label);
+  const std::vector<double> b = api::ones_rhs(a);
 
   std::printf("%s: n = %d, nnz/row = %.1f, max-scaled, %d ranks\n\n",
-              label.c_str(), a.rows, a.nnz_per_row(), nranks);
+              label.c_str(), a.rows, a.nnz_per_row(), base.ranks);
 
   util::Table table(
       {"solver", "iters", "converged", "true relres", "allreduces"});
-  std::mutex io;
 
   struct Config {
     const char* name;
-    int scheme;  // -1: standard GMRES
+    const char* spec;
   };
   const Config configs[] = {
-      {"standard GMRES", -1},
-      {"s-step BCGS2", static_cast<int>(krylov::OrthoScheme::kBcgs2CholQr2)},
-      {"s-step BCGS-PIP2", static_cast<int>(krylov::OrthoScheme::kBcgsPip2)},
-      {"s-step two-stage", static_cast<int>(krylov::OrthoScheme::kTwoStage)},
+      {"standard GMRES", "solver=gmres ortho=cgs2"},
+      {"s-step BCGS2", "solver=sstep ortho=bcgs2"},
+      {"s-step BCGS-PIP2", "solver=sstep ortho=bcgs_pip2"},
+      {"s-step two-stage", "solver=sstep ortho=two_stage"},
   };
 
   for (const Config& config : configs) {
-    par::spmd_run(nranks, [&](par::Communicator& comm) {
-      const sparse::RowPartition part(a.rows, comm.size());
-      const sparse::DistCsr dist(a, part, comm.rank());
-      const auto begin = static_cast<std::size_t>(part.begin(comm.rank()));
-      const auto nloc = static_cast<std::size_t>(dist.n_local());
-      std::vector<double> x(nloc, 0.0);
-      std::span<const double> b_local(b.data() + begin, nloc);
-
-      krylov::SolveResult res;
-      if (config.scheme < 0) {
-        krylov::GmresConfig cfg;
-        cfg.rtol = 1e-6;
-        cfg.max_iters = 60000;
-        res = krylov::gmres(comm, dist, nullptr, b_local, x, cfg);
-      } else {
-        krylov::SStepGmresConfig cfg;
-        cfg.scheme = static_cast<krylov::OrthoScheme>(config.scheme);
-        cfg.rtol = 1e-6;
-        cfg.max_iters = 60000;
-        res = krylov::sstep_gmres(comm, dist, nullptr, b_local, x, cfg);
-      }
-      if (comm.rank() == 0) {
-        std::lock_guard lock(io);
-        table.row()
-            .add(config.name)
-            .add(res.iters)
-            .add(res.converged ? "yes" : "no")
-            .add(util::sci(res.true_relres))
-            .add(static_cast<long>(res.comm_stats.allreduces));
-      }
-    });
+    api::Solver solver(api::SolverOptions::parse(config.spec, base));
+    solver.set_matrix_ref(a, label);
+    solver.set_rhs(b);
+    const api::SolveReport rep = solver.solve();
+    table.row()
+        .add(config.name)
+        .add(rep.result.iters)
+        .add(rep.result.converged ? "yes" : "no")
+        .add(util::sci(rep.result.true_relres))
+        .add(static_cast<long>(rep.result.comm_stats.allreduces));
   }
   table.print();
   std::printf(

@@ -1,0 +1,375 @@
+#include "api/options.hpp"
+
+#include "api/registry.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+
+#include <functional>
+#include <stdexcept>
+
+namespace tsbo::api {
+
+namespace {
+
+[[noreturn]] void bad_value(const std::string& key, const std::string& value,
+                            const char* wanted) {
+  throw std::invalid_argument("SolverOptions: invalid value \"" + value +
+                              "\" for key " + key + " (expected " + wanted +
+                              ")");
+}
+
+int parse_int(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const int v = std::stoi(value, &used);
+    if (used != value.size()) bad_value(key, value, "integer");
+    return v;
+  } catch (const std::invalid_argument&) {
+    bad_value(key, value, "integer");
+  } catch (const std::out_of_range&) {
+    bad_value(key, value, "integer");
+  }
+}
+
+long parse_long(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const long v = std::stol(value, &used);
+    if (used != value.size()) bad_value(key, value, "integer");
+    return v;
+  } catch (const std::invalid_argument&) {
+    bad_value(key, value, "integer");
+  } catch (const std::out_of_range&) {
+    bad_value(key, value, "integer");
+  }
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(value, &used);
+    if (used != value.size()) bad_value(key, value, "number");
+    return v;
+  } catch (const std::invalid_argument&) {
+    bad_value(key, value, "number");
+  } catch (const std::out_of_range&) {
+    bad_value(key, value, "number");
+  }
+}
+
+bool parse_bool(const std::string& key, const std::string& value) {
+  if (value == "1" || value == "true" || value == "yes" || value == "on" ||
+      value.empty()) {
+    return true;  // empty: bare "--flag" style
+  }
+  if (value == "0" || value == "false" || value == "no" || value == "off") {
+    return false;
+  }
+  bad_value(key, value, "boolean (0/1/true/false)");
+}
+
+/// One string-keyed field: how to read and write it on a SolverOptions.
+struct FieldDef {
+  const char* key;
+  std::function<std::string(const SolverOptions&)> get;
+  std::function<void(SolverOptions&, const std::string&)> set;
+};
+
+FieldDef str_field(const char* key, std::string SolverOptions::* member) {
+  return {key, [member](const SolverOptions& o) { return o.*member; },
+          [member](SolverOptions& o, const std::string& v) { o.*member = v; }};
+}
+
+FieldDef int_field(const char* key, int SolverOptions::* member) {
+  return {key,
+          [member](const SolverOptions& o) { return std::to_string(o.*member); },
+          [key, member](SolverOptions& o, const std::string& v) {
+            o.*member = parse_int(key, v);
+          }};
+}
+
+FieldDef long_field(const char* key, long SolverOptions::* member) {
+  return {key,
+          [member](const SolverOptions& o) { return std::to_string(o.*member); },
+          [key, member](SolverOptions& o, const std::string& v) {
+            o.*member = parse_long(key, v);
+          }};
+}
+
+FieldDef double_field(const char* key, double SolverOptions::* member) {
+  return {key,
+          [member](const SolverOptions& o) {
+            // Shortest round-tripping decimal (parse(to_kv()) identity).
+            return util::json_number(o.*member);
+          },
+          [key, member](SolverOptions& o, const std::string& v) {
+            o.*member = parse_double(key, v);
+          }};
+}
+
+FieldDef bool_field(const char* key, bool SolverOptions::* member) {
+  return {key,
+          [member](const SolverOptions& o) {
+            return std::string(o.*member ? "1" : "0");
+          },
+          [key, member](SolverOptions& o, const std::string& v) {
+            o.*member = parse_bool(key, v);
+          }};
+}
+
+const std::vector<FieldDef>& fields() {
+  static const std::vector<FieldDef> defs = {
+      str_field("solver", &SolverOptions::solver),
+      str_field("ortho", &SolverOptions::ortho),
+      str_field("basis", &SolverOptions::basis),
+      str_field("precond", &SolverOptions::precond),
+      int_field("m", &SolverOptions::m),
+      int_field("s", &SolverOptions::s),
+      int_field("bs", &SolverOptions::bs),
+      double_field("rtol", &SolverOptions::rtol),
+      long_field("max_iters", &SolverOptions::max_iters),
+      int_field("max_restarts", &SolverOptions::max_restarts),
+      double_field("lambda_min", &SolverOptions::lambda_min),
+      double_field("lambda_max", &SolverOptions::lambda_max),
+      bool_field("mixed_precision_gram", &SolverOptions::mixed_precision_gram),
+      str_field("breakdown", &SolverOptions::breakdown),
+      int_field("precond_sweeps", &SolverOptions::precond_sweeps),
+      int_field("precond_degree", &SolverOptions::precond_degree),
+      double_field("precond_lambda_min", &SolverOptions::precond_lambda_min),
+      double_field("precond_lambda_max", &SolverOptions::precond_lambda_max),
+      int_field("ranks", &SolverOptions::ranks),
+      str_field("net", &SolverOptions::net),
+      str_field("matrix", &SolverOptions::matrix),
+      str_field("matrix_file", &SolverOptions::matrix_file),
+      int_field("nx", &SolverOptions::nx),
+      int_field("ny", &SolverOptions::ny),
+      int_field("nz", &SolverOptions::nz),
+      int_field("n", &SolverOptions::n),
+      bool_field("equilibrate", &SolverOptions::equilibrate),
+  };
+  return defs;
+}
+
+const FieldDef* find_field(const std::string& key) {
+  for (const FieldDef& f : fields()) {
+    if (key == f.key) return &f;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const std::vector<std::string>& SolverOptions::keys() {
+  static const std::vector<std::string> ks = [] {
+    std::vector<std::string> out;
+    for (const FieldDef& f : fields()) out.emplace_back(f.key);
+    return out;
+  }();
+  return ks;
+}
+
+void SolverOptions::set(const std::string& key, const std::string& value) {
+  const FieldDef* f = find_field(key);
+  if (f == nullptr) {
+    std::string msg = "SolverOptions: unknown key \"" + key + "\"";
+    const std::string hint = util::did_you_mean(key, keys());
+    if (!hint.empty()) msg += " (did you mean \"" + hint + "\"?)";
+    throw std::invalid_argument(msg);
+  }
+  f->set(*this, value);
+}
+
+std::string SolverOptions::get(const std::string& key) const {
+  const FieldDef* f = find_field(key);
+  if (f == nullptr) {
+    throw std::invalid_argument("SolverOptions: unknown key \"" + key + "\"");
+  }
+  return f->get(*this);
+}
+
+SolverOptions SolverOptions::parse(
+    const std::vector<std::pair<std::string, std::string>>& kv,
+    SolverOptions base) {
+  bool solver_set = false, ortho_set = false;
+  for (const auto& [k, v] : kv) {
+    base.set(k, v);
+    solver_set = solver_set || k == "solver";
+    ortho_set = ortho_set || k == "ortho";
+  }
+  // Resolve the ortho default so parse(to_kv()) round-trips; likewise
+  // when an overlay switches the solver kind without naming a scheme
+  // ("solver=gmres" on an s-step base), an inherited scheme of the
+  // wrong kind resets to the new solver's default.
+  const bool incompatible_inherit =
+      solver_set && !ortho_set && ortho_registry().contains(base.ortho) &&
+      ortho_registry().at(base.ortho).sstep != base.is_sstep();
+  if (incompatible_inherit) base.ortho.clear();
+  base.ortho = base.resolved_ortho();
+  return base;
+}
+
+SolverOptions SolverOptions::parse(
+    const std::vector<std::pair<std::string, std::string>>& kv) {
+  return parse(kv, SolverOptions{});
+}
+
+SolverOptions SolverOptions::parse(const std::string& spec) {
+  return parse(spec, SolverOptions{});
+}
+
+SolverOptions SolverOptions::from_cli(const util::Cli& cli) {
+  return from_cli(cli, SolverOptions{});
+}
+
+SolverOptions SolverOptions::parse(const std::string& spec,
+                                   SolverOptions base) {
+  // Whitespace-separated key=value tokens; values may be double-quoted
+  // to carry spaces (to_string() quotes such values, keeping the
+  // parse(to_string()) identity for e.g. paths with spaces).
+  std::vector<std::pair<std::string, std::string>> kv;
+  std::size_t i = 0;
+  const auto is_ws = [](char c) { return c == ' ' || c == '\t' || c == '\n'; };
+  while (i < spec.size()) {
+    while (i < spec.size() && is_ws(spec[i])) ++i;
+    if (i >= spec.size()) break;
+    const std::size_t start = i;
+    while (i < spec.size() && !is_ws(spec[i]) && spec[i] != '=') ++i;
+    if (i >= spec.size() || spec[i] != '=' || i == start) {
+      throw std::invalid_argument("SolverOptions: expected key=value, got \"" +
+                                  spec.substr(start, i - start) + "\"");
+    }
+    const std::string key = spec.substr(start, i - start);
+    ++i;  // '='
+    std::string value;
+    if (i < spec.size() && spec[i] == '"') {
+      const std::size_t close = spec.find('"', ++i);
+      if (close == std::string::npos) {
+        throw std::invalid_argument(
+            "SolverOptions: unterminated quoted value for key " + key);
+      }
+      value = spec.substr(i, close - i);
+      i = close + 1;
+    } else {
+      const std::size_t vstart = i;
+      while (i < spec.size() && !is_ws(spec[i])) ++i;
+      value = spec.substr(vstart, i - vstart);
+    }
+    kv.emplace_back(key, value);
+  }
+  return parse(kv, std::move(base));
+}
+
+SolverOptions SolverOptions::from_cli(const util::Cli& cli,
+                                      SolverOptions base) {
+  std::vector<std::pair<std::string, std::string>> kv;
+  for (const std::string& key : keys()) {
+    if (cli.has(key)) kv.emplace_back(key, cli.get(key, ""));
+  }
+  return parse(kv, std::move(base));
+}
+
+std::vector<std::pair<std::string, std::string>> SolverOptions::to_kv() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(fields().size());
+  for (const FieldDef& f : fields()) out.emplace_back(f.key, f.get(*this));
+  return out;
+}
+
+std::string SolverOptions::to_string() const {
+  std::string out;
+  for (const auto& [k, v] : to_kv()) {
+    if (!out.empty()) out.push_back(' ');
+    const bool needs_quotes =
+        v.find_first_of(" \t\n") != std::string::npos;
+    out += k + "=" + (needs_quotes ? "\"" + v + "\"" : v);
+  }
+  return out;
+}
+
+void SolverOptions::validate() const {
+  if (solver != "gmres" && solver != "sstep") {
+    throw std::invalid_argument(
+        "SolverOptions: solver must be \"gmres\" or \"sstep\", got \"" +
+        solver + "\"");
+  }
+  const OrthoEntry& ortho_entry = ortho_registry().at(resolved_ortho());
+  if (ortho_entry.sstep != is_sstep()) {
+    throw std::invalid_argument("SolverOptions: ortho \"" + resolved_ortho() +
+                                "\" is not available for solver \"" + solver +
+                                "\"");
+  }
+  if (basis != "monomial" && basis != "newton" && basis != "chebyshev") {
+    throw std::invalid_argument(
+        "SolverOptions: basis must be monomial|newton|chebyshev, got \"" +
+        basis + "\"");
+  }
+  if (breakdown != "shift" && breakdown != "throw") {
+    throw std::invalid_argument(
+        "SolverOptions: breakdown must be shift|throw, got \"" + breakdown +
+        "\"");
+  }
+  (void)precond_registry().at(precond);  // throws on unknown names
+  (void)network_model();                 // throws on unknown names
+  if (m <= 0 || s <= 0 || bs <= 0) {
+    throw std::invalid_argument("SolverOptions: m, s, bs must be positive");
+  }
+  if (ranks < 1) {
+    throw std::invalid_argument("SolverOptions: ranks must be >= 1");
+  }
+}
+
+krylov::GmresConfig SolverOptions::gmres_config() const {
+  validate();
+  if (is_sstep()) {
+    throw std::invalid_argument(
+        "SolverOptions: gmres_config() requires solver=gmres");
+  }
+  krylov::GmresConfig cfg;
+  cfg.m = m;
+  cfg.rtol = rtol;
+  cfg.max_iters = max_iters;
+  cfg.max_restarts = max_restarts;
+  ortho_registry().at(resolved_ortho()).configure_gmres(*this, cfg);
+  return cfg;
+}
+
+krylov::SStepGmresConfig SolverOptions::sstep_config() const {
+  validate();
+  if (!is_sstep()) {
+    throw std::invalid_argument(
+        "SolverOptions: sstep_config() requires solver=sstep");
+  }
+  krylov::SStepGmresConfig cfg;
+  cfg.m = m;
+  cfg.s = s;
+  cfg.bs = bs;
+  cfg.rtol = rtol;
+  cfg.max_iters = max_iters;
+  cfg.max_restarts = max_restarts;
+  cfg.lambda_min = lambda_min;
+  cfg.lambda_max = lambda_max;
+  cfg.mixed_precision_gram = mixed_precision_gram;
+  cfg.policy = breakdown == "throw" ? ortho::BreakdownPolicy::kThrow
+                                    : ortho::BreakdownPolicy::kShift;
+  if (basis == "newton") {
+    cfg.basis = krylov::BasisKind::kNewton;
+  } else if (basis == "chebyshev") {
+    cfg.basis = krylov::BasisKind::kChebyshev;
+  } else {
+    cfg.basis = krylov::BasisKind::kMonomial;
+  }
+  ortho_registry().at(resolved_ortho()).configure_sstep(*this, cfg);
+  return cfg;
+}
+
+par::NetworkModel SolverOptions::network_model() const {
+  if (net == "off") return par::NetworkModel::off();
+  if (net == "calibrated") return par::NetworkModel::calibrated();
+  if (net == "ethernet") return par::NetworkModel::ethernet();
+  if (net == "hw" || net == "cluster") return par::NetworkModel::cluster();
+  throw std::invalid_argument(
+      "SolverOptions: net must be off|calibrated|ethernet|hw|cluster, got \"" +
+      net + "\"");
+}
+
+}  // namespace tsbo::api

@@ -1,0 +1,136 @@
+#pragma once
+// String-keyed solver configuration: the single description of a run
+// that the facade (api/solver.hpp), the bench harnesses, the examples,
+// and the tests all share.
+//
+// Every field parses from and serializes to "key=value" string pairs
+// ("solver=sstep ortho=two_stage basis=newton m=60 s=5 bs=60 ..."),
+// with unknown-key and invalid-value errors instead of silent
+// acceptance, so a run is reproducible from the one-line echo a
+// SolveReport carries.  Scheme/preconditioner/matrix names resolve
+// through the api registries (api/registry.hpp) — adding a scheme means
+// registering a name, not growing an enum switch.
+//
+// Paper notation mapping (see docs/algorithms.md for the full table):
+//   m  = restart length,  s = step size,  bs = two-stage big-panel
+//   size; ortho names = Table III columns (cgs2 / bcgs2 / bcgs_pip2 /
+//   two_stage).
+
+#include "krylov/gmres.hpp"
+#include "krylov/sstep_gmres.hpp"
+#include "par/network_model.hpp"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tsbo::util {
+class Cli;
+}
+
+namespace tsbo::api {
+
+struct SolverOptions {
+  // ---- algorithm ----------------------------------------------------
+  std::string solver = "sstep";  ///< "gmres" | "sstep"
+  /// ortho_registry() key; "" resolves to the solver's default at
+  /// parse/validate time ("cgs2" for gmres, "two_stage" for sstep).
+  std::string ortho;
+  std::string basis = "monomial";  ///< monomial | newton | chebyshev
+  std::string precond = "none";    ///< precond_registry() key
+  int m = 60;   ///< restart length (paper: 60)
+  int s = 5;    ///< step size (paper's conservative default)
+  int bs = 60;  ///< two-stage second step size (s <= bs <= m, s | bs)
+  double rtol = 1e-6;
+  long max_iters = 1000000;
+  int max_restarts = 1000000;
+  /// Spectral interval for Newton/Chebyshev bases.
+  double lambda_min = 0.0;
+  double lambda_max = 0.0;
+  bool mixed_precision_gram = false;  ///< double-double Gram extension
+  std::string breakdown = "shift";    ///< "shift" | "throw"
+  int precond_sweeps = 1;   ///< Gauss-Seidel sweeps
+  int precond_degree = 4;   ///< Chebyshev polynomial degree
+  /// Explicit Chebyshev-preconditioner interval; 0/0 = power-method
+  /// estimate.
+  double precond_lambda_min = 0.0;
+  double precond_lambda_max = 0.0;
+
+  // ---- execution ----------------------------------------------------
+  int ranks = 4;            ///< SPMD rank count
+  std::string net = "off";  ///< off | calibrated | ethernet | hw
+
+  // ---- matrix source (when the facade builds the matrix) ------------
+  std::string matrix = "laplace2d_5pt";  ///< matrix_registry() key
+  std::string matrix_file;               ///< path for matrix = "file"
+  int nx = 64;  ///< grid extent; ny/nz = 0 inherit nx
+  int ny = 0;
+  int nz = 0;
+  int n = 0;  ///< surrogate target row count (0 = registry default)
+  bool equilibrate = false;  ///< paper Section VI max-scaling
+
+  /// All option keys, in canonical (serialization) order.
+  static const std::vector<std::string>& keys();
+
+  /// Applies `kv` on top of `base`.  Throws std::invalid_argument on an
+  /// unknown key (with a did-you-mean hint) or an unparsable value, and
+  /// resolves an empty `ortho` to the solver's default so that
+  /// parse(to_kv()) round-trips exactly.
+  static SolverOptions parse(
+      const std::vector<std::pair<std::string, std::string>>& kv,
+      SolverOptions base);
+  static SolverOptions parse(
+      const std::vector<std::pair<std::string, std::string>>& kv);
+
+  /// Whitespace-separated "key=value" form of the above.
+  static SolverOptions parse(const std::string& spec, SolverOptions base);
+  static SolverOptions parse(const std::string& spec);
+
+  /// Reads every option key from a parsed command line (absent keys
+  /// keep `base` values).  Marks all keys as known for
+  /// Cli::reject_unknown().
+  static SolverOptions from_cli(const util::Cli& cli, SolverOptions base);
+  static SolverOptions from_cli(const util::Cli& cli);
+
+  /// Single-key accessors (string domain).  Throw on unknown keys.
+  void set(const std::string& key, const std::string& value);
+  [[nodiscard]] std::string get(const std::string& key) const;
+
+  /// Every field as key=value pairs in keys() order; parse(to_kv()) is
+  /// the identity.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> to_kv() const;
+
+  /// One-line "key=value key=value ..." echo (the report provenance).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Cross-field validation: known solver/ortho/basis/precond/net
+  /// names, ortho entry compatible with the solver kind, positive
+  /// sizes.  Structural s | m constraints stay with the krylov solvers.
+  void validate() const;
+
+  [[nodiscard]] bool is_sstep() const { return solver == "sstep"; }
+
+  /// `ortho` with "" resolved to the solver's default — what validate()
+  /// and the config lowering actually use, so a default-constructed
+  /// struct (never passed through parse()) still names a valid scheme.
+  [[nodiscard]] std::string resolved_ortho() const {
+    if (!ortho.empty()) return ortho;
+    return solver == "gmres" ? "cgs2" : "two_stage";
+  }
+
+  /// Lowered configs for the krylov layer (validate() implied).
+  /// gmres_config() requires solver = "gmres", sstep_config() requires
+  /// solver = "sstep".
+  [[nodiscard]] krylov::GmresConfig gmres_config() const;
+  [[nodiscard]] krylov::SStepGmresConfig sstep_config() const;
+
+  [[nodiscard]] par::NetworkModel network_model() const;
+
+  /// Grid extents with ny/nz = 0 resolved to nx.
+  [[nodiscard]] int ny_or_nx() const { return ny > 0 ? ny : nx; }
+  [[nodiscard]] int nz_or_nx() const { return nz > 0 ? nz : nx; }
+
+  bool operator==(const SolverOptions&) const = default;
+};
+
+}  // namespace tsbo::api

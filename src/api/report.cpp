@@ -1,0 +1,121 @@
+#include "api/report.hpp"
+
+namespace tsbo::api {
+
+OrthoBreakdown breakdown_of(const krylov::SolveResult& r) {
+  OrthoBreakdown b;
+  b.dot = r.timers.seconds("ortho/dot");
+  b.reduce = r.timers.seconds("ortho/reduce");
+  b.update = r.timers.seconds("ortho/update");
+  b.factor = r.timers.seconds("ortho/chol") + r.timers.seconds("ortho/trsm") +
+             r.timers.seconds("ortho/hhqr");
+  b.small = r.timers.seconds("ortho/small");
+  return b;
+}
+
+void SolveReport::write_json(util::JsonWriter& w) const {
+  w.begin_object();
+  w.kv("schema", kSolveReportSchema);
+
+  w.key("options").begin_object();
+  for (const auto& [k, v] : options.to_kv()) w.kv(k, v);
+  w.end_object();
+
+  w.key("matrix").begin_object();
+  w.kv("name", matrix.name)
+      .kv("rows", static_cast<std::int64_t>(matrix.rows))
+      .kv("nnz", static_cast<std::int64_t>(matrix.nnz))
+      .kv("nnz_per_row", matrix.nnz_per_row);
+  w.end_object();
+
+  w.key("environment").begin_object();
+  w.kv("ranks", ranks).kv("threads", threads);
+  w.end_object();
+
+  w.key("result").begin_object();
+  w.kv("converged", result.converged)
+      .kv("iters", result.iters)
+      .kv("restarts", result.restarts)
+      .kv("relres", result.relres)
+      .kv("true_relres", result.true_relres)
+      .kv("cholesky_breakdowns", result.cholesky_breakdowns)
+      .kv("shift_retries", result.shift_retries);
+
+  w.key("time").begin_object();
+  w.kv("spmv", result.time_spmv())
+      .kv("precond", result.time_precond())
+      .kv("ortho", result.time_ortho())
+      .kv("total", result.time_total());
+  const OrthoBreakdown bd = breakdown_of(result);
+  w.key("ortho_breakdown").begin_object();
+  w.kv("dot", bd.dot)
+      .kv("reduce", bd.reduce)
+      .kv("update", bd.update)
+      .kv("factor", bd.factor)
+      .kv("small", bd.small);
+  w.end_object();
+  w.end_object();  // time
+
+  // Every raw phase bucket (critical-path max across ranks).
+  w.key("phase_seconds").begin_object();
+  for (const std::string& name : result.timers.names()) {
+    w.kv(name, result.timers.seconds(name));
+  }
+  w.end_object();
+
+  w.key("comm").begin_object();
+  w.kv("allreduces", result.comm_stats.allreduces)
+      .kv("broadcasts", result.comm_stats.broadcasts)
+      .kv("p2p_rounds", result.comm_stats.p2p_rounds)
+      .kv("barriers", result.comm_stats.barriers)
+      .kv("bytes_allreduced", result.comm_stats.bytes_allreduced)
+      .kv("injected_seconds", result.comm_stats.injected_seconds);
+  w.end_object();
+  w.end_object();  // result
+
+  w.key("history").begin_array();
+  for (const RestartRecord& rec : history) {
+    w.begin_object();
+    w.kv("restart", rec.restart)
+        .kv("iters", rec.iters)
+        .kv("relres", rec.relres)
+        .kv("explicit_relres", rec.explicit_relres)
+        .kv("seconds_spmv", rec.seconds_spmv)
+        .kv("seconds_precond", rec.seconds_precond)
+        .kv("seconds_ortho", rec.seconds_ortho);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.end_object();
+}
+
+std::string SolveReport::json() const {
+  util::JsonWriter w;
+  write_json(w);
+  return w.str();
+}
+
+void SolveReport::save_json(const std::string& path) const {
+  util::write_text_file(path, json() + "\n");
+}
+
+std::string ReportLog::json() const {
+  util::JsonWriter w;
+  w.begin_object();
+  w.kv("schema", kReportLogSchema);
+  w.kv("label", label_);
+  w.key("reports").begin_array();
+  for (const SolveReport& r : reports_) r.write_json(w);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+bool ReportLog::save(const std::string& path) const {
+  if (path.empty() || path == "none") return false;
+  util::write_text_file(path, json() + "\n");
+  return true;
+}
+
+}  // namespace tsbo::api

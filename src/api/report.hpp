@@ -1,0 +1,104 @@
+#pragma once
+// Machine-readable solve reports.
+//
+// A SolveReport wraps the krylov::SolveResult of one run with its full
+// provenance — the options echo, matrix statistics, rank/thread counts,
+// per-phase timers, communication counters, and the per-restart
+// residual history captured by the facade's observer — and serializes
+// to JSON (schema "tsbo.solve_report/1", golden-checked by
+// tests/test_api.cpp).  ReportLog accumulates reports so every bench
+// binary can emit a uniform --json=<path> artifact.
+
+#include "api/options.hpp"
+#include "krylov/solver.hpp"
+#include "util/json.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tsbo::api {
+
+/// Schema tags embedded in the JSON artifacts; bump on breaking layout
+/// changes.
+inline constexpr const char* kSolveReportSchema = "tsbo.solve_report/1";
+inline constexpr const char* kReportLogSchema = "tsbo.report_log/1";
+
+struct MatrixStats {
+  std::string name;  ///< registry key, file path, or caller label
+  long rows = 0;
+  long long nnz = 0;
+  double nnz_per_row = 0.0;
+};
+
+/// One observer sample: state at a completed restart cycle.
+struct RestartRecord {
+  int restart = 0;
+  long iters = 0;
+  double relres = 0.0;           ///< recurrence estimate
+  double explicit_relres = 0.0;  ///< recomputed ||b - A x|| / ||b||
+  double seconds_spmv = 0.0;     ///< cumulative phase seconds so far
+  double seconds_precond = 0.0;
+  double seconds_ortho = 0.0;
+};
+
+/// The ortho-phase buckets the paper's breakdown figures plot
+/// (Figs. 10-12).
+struct OrthoBreakdown {
+  double dot = 0.0;     ///< local block dot products
+  double reduce = 0.0;  ///< global all-reduces (incl. modeled latency)
+  double update = 0.0;  ///< vector updates (GEMM)
+  double factor = 0.0;  ///< Cholesky + TRSM (+ HHQR)
+  double small = 0.0;   ///< Hessenberg/Givens bookkeeping
+  [[nodiscard]] double total() const {
+    return dot + reduce + update + factor + small;
+  }
+};
+
+OrthoBreakdown breakdown_of(const krylov::SolveResult& r);
+
+struct SolveReport {
+  SolverOptions options;
+  MatrixStats matrix;
+  int ranks = 1;
+  unsigned threads = 1;
+  krylov::SolveResult result;
+  std::vector<RestartRecord> history;
+
+  /// Emits this report as one JSON object into an open writer (used by
+  /// ReportLog to nest reports in an array).
+  void write_json(util::JsonWriter& w) const;
+
+  /// The report as a standalone JSON document.
+  [[nodiscard]] std::string json() const;
+
+  /// Writes json() to `path`; throws std::runtime_error on I/O failure.
+  void save_json(const std::string& path) const;
+};
+
+/// Accumulates the reports of one harness run and writes them as one
+/// {"schema": "tsbo.report_log/1", "label": ..., "reports": [...]}
+/// document.
+class ReportLog {
+ public:
+  explicit ReportLog(std::string label) : label_(std::move(label)) {}
+
+  void add(SolveReport report) { reports_.push_back(std::move(report)); }
+
+  [[nodiscard]] std::size_t size() const { return reports_.size(); }
+  [[nodiscard]] const std::vector<SolveReport>& reports() const {
+    return reports_;
+  }
+
+  [[nodiscard]] std::string json() const;
+
+  /// Writes json() to `path`; "" and "none" are no-ops (the benches'
+  /// default).  Returns whether a file was written.
+  bool save(const std::string& path) const;
+
+ private:
+  std::string label_;
+  std::vector<SolveReport> reports_;
+};
+
+}  // namespace tsbo::api

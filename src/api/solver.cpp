@@ -1,0 +1,162 @@
+#include "api/solver.hpp"
+
+#include "par/config.hpp"
+#include "par/spmd.hpp"
+#include "sparse/partition.hpp"
+#include "sparse/scaling.hpp"
+#include "sparse/spmv.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+
+namespace tsbo::api {
+
+std::vector<double> ones_rhs(const sparse::CsrMatrix& a) {
+  std::vector<double> x(static_cast<std::size_t>(a.rows), 1.0);
+  std::vector<double> b(static_cast<std::size_t>(a.rows), 0.0);
+  sparse::spmv(a, x, b);
+  return b;
+}
+
+sparse::CsrMatrix make_matrix(const SolverOptions& opts, std::string* label) {
+  sparse::CsrMatrix a = matrix_registry().at(opts.matrix).make(opts);
+  if (opts.equilibrate) sparse::equilibrate_max(a);
+  if (label != nullptr) {
+    *label = opts.matrix == "file" ? opts.matrix_file : opts.matrix;
+  }
+  return a;
+}
+
+Solver& Solver::set_matrix(sparse::CsrMatrix a, std::string label) {
+  owned_matrix_ = std::move(a);
+  matrix_ = &owned_matrix_;
+  matrix_label_ = std::move(label);
+  return *this;
+}
+
+Solver& Solver::set_matrix_ref(const sparse::CsrMatrix& a, std::string label) {
+  matrix_ = &a;
+  matrix_label_ = std::move(label);
+  return *this;
+}
+
+Solver& Solver::set_rhs(std::vector<double> b) {
+  b_ = std::move(b);
+  return *this;
+}
+
+Solver& Solver::set_initial_guess(std::vector<double> x0) {
+  x0_ = std::move(x0);
+  return *this;
+}
+
+Solver& Solver::on_restart(krylov::ProgressCallback cb) {
+  user_callback_ = std::move(cb);
+  return *this;
+}
+
+const sparse::CsrMatrix& Solver::matrix() {
+  if (matrix_ == nullptr) {
+    owned_matrix_ = make_matrix(opts_, &matrix_label_);
+    matrix_ = &owned_matrix_;
+  }
+  return *matrix_;
+}
+
+const std::vector<double>& Solver::rhs() {
+  if (b_.empty()) b_ = ones_rhs(matrix());
+  return b_;
+}
+
+SolveReport Solver::solve() {
+  opts_.validate();
+  const sparse::CsrMatrix& a = matrix();
+  const std::vector<double>& b = rhs();
+  const auto n = static_cast<std::size_t>(a.rows);
+  if (b.size() != n) {
+    throw std::invalid_argument("api::Solver: rhs length " +
+                                std::to_string(b.size()) +
+                                " != matrix rows " + std::to_string(n));
+  }
+  if (!x0_.empty() && x0_.size() != n) {
+    throw std::invalid_argument("api::Solver: initial guess length " +
+                                std::to_string(x0_.size()) +
+                                " != matrix rows " + std::to_string(n));
+  }
+
+  SolveReport report;
+  report.options = opts_;
+  report.matrix = MatrixStats{matrix_label_, a.rows, a.nnz(), a.nnz_per_row()};
+  report.ranks = opts_.ranks;
+  report.threads = par::num_threads();
+
+  x_.assign(n, 0.0);
+  const PrecondEntry& prec_entry = precond_registry().at(opts_.precond);
+
+  krylov::SolveResult out;
+  util::PhaseTimers merged;
+  std::vector<RestartRecord> history;
+  std::mutex merge_mutex;
+
+  // The observer runs on rank 0 only, so `history` needs no locking.
+  const krylov::ProgressCallback observer =
+      [this, &history](const krylov::ProgressEvent& ev) {
+        RestartRecord rec;
+        rec.restart = ev.restarts;
+        rec.iters = ev.iters;
+        rec.relres = ev.relres;
+        rec.explicit_relres = ev.explicit_relres;
+        if (ev.timers != nullptr) {
+          rec.seconds_spmv = krylov::spmv_seconds(*ev.timers);
+          rec.seconds_precond = krylov::precond_seconds(*ev.timers);
+          rec.seconds_ortho = krylov::ortho_seconds(*ev.timers);
+        }
+        history.push_back(rec);
+        if (user_callback_) user_callback_(ev);
+      };
+
+  par::spmd_run(opts_.ranks, opts_.network_model(),
+                [&](par::Communicator& comm) {
+    const sparse::RowPartition part(a.rows, comm.size());
+    const sparse::DistCsr dist(a, part, comm.rank());
+    const auto begin = static_cast<std::size_t>(part.begin(comm.rank()));
+    const auto nloc = static_cast<std::size_t>(dist.n_local());
+
+    std::vector<double> x(nloc, 0.0);
+    if (!x0_.empty()) {
+      std::copy_n(x0_.begin() + static_cast<std::ptrdiff_t>(begin), nloc,
+                  x.begin());
+    }
+    const std::span<const double> b_local(b.data() + begin, nloc);
+
+    const std::unique_ptr<precond::Preconditioner> prec =
+        prec_entry.make(opts_, dist);
+
+    krylov::SolveResult res;
+    if (opts_.is_sstep()) {
+      krylov::SStepGmresConfig cfg = opts_.sstep_config();
+      if (comm.rank() == 0) cfg.on_restart = observer;
+      res = krylov::sstep_gmres(comm, dist, prec.get(), b_local, x, cfg);
+    } else {
+      krylov::GmresConfig cfg = opts_.gmres_config();
+      if (comm.rank() == 0) cfg.on_restart = observer;
+      res = krylov::gmres(comm, dist, prec.get(), b_local, x, cfg);
+    }
+
+    std::lock_guard lock(merge_mutex);
+    merged.merge_max(res.timers);
+    std::copy(x.begin(), x.end(),
+              x_.begin() + static_cast<std::ptrdiff_t>(begin));
+    if (comm.rank() == 0) out = res;
+  });
+
+  // Critical-path convention: per-phase max across ranks.
+  out.timers = merged;
+  report.result = out;
+  report.history = std::move(history);
+  return report;
+}
+
+}  // namespace tsbo::api

@@ -1,0 +1,97 @@
+#pragma once
+// The tsbo::api::Solver facade: one configuration-driven entry point
+// for the whole pipeline the paper's experiments run — pick a matrix,
+// a preconditioner, an ortho scheme and (m, s, bs); run under the SPMD
+// runtime; get back a SolveReport with phase timers, sync counts, and
+// residual history.
+//
+//   auto opts = api::SolverOptions::parse(
+//       "solver=sstep ortho=two_stage matrix=laplace2d_9pt nx=256 ranks=4");
+//   api::Solver solver(opts);
+//   api::SolveReport report = solver.solve();
+//   report.save_json("run.json");
+//
+// The facade owns the boilerplate the bench binaries used to repeat:
+// matrix construction through matrix_registry() (plus optional paper
+// max-scaling), the all-ones-solution RHS, row partitioning, per-rank
+// preconditioner construction through precond_registry(), critical-path
+// timer merging, and gathering the distributed solution.
+
+#include "api/options.hpp"
+#include "api/registry.hpp"
+#include "api/report.hpp"
+#include "sparse/csr.hpp"
+
+#include <string>
+#include <vector>
+
+namespace tsbo::api {
+
+/// RHS such that the solution is the all-ones vector (paper Section
+/// VIII): b = A * ones.
+std::vector<double> ones_rhs(const sparse::CsrMatrix& a);
+
+/// Builds the matrix the options name via matrix_registry(), applying
+/// the paper's column-then-row max-scaling when opts.equilibrate is
+/// set.  `label` (optional) receives the provenance name.
+sparse::CsrMatrix make_matrix(const SolverOptions& opts,
+                              std::string* label = nullptr);
+
+class Solver {
+ public:
+  explicit Solver(SolverOptions opts) : opts_(std::move(opts)) {}
+
+  // Non-copyable/movable: matrix_ may point into owned_matrix_ (or at a
+  // caller-borrowed matrix), so a byte-wise copy/move would dangle.
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  [[nodiscard]] SolverOptions& options() { return opts_; }
+  [[nodiscard]] const SolverOptions& options() const { return opts_; }
+
+  /// Injects the system matrix instead of building it from the matrix
+  /// keys.  The owning overload copies/moves; set_matrix_ref() borrows
+  /// (the caller keeps `a` alive across solve() — the bench sweeps use
+  /// this to share one matrix over many runs).
+  Solver& set_matrix(sparse::CsrMatrix a, std::string label = "injected");
+  Solver& set_matrix_ref(const sparse::CsrMatrix& a,
+                         std::string label = "injected");
+
+  /// Overrides the RHS (default: ones_rhs of the matrix).
+  Solver& set_rhs(std::vector<double> b);
+
+  /// Initial guess (default: zero).  Global length.
+  Solver& set_initial_guess(std::vector<double> x0);
+
+  /// Per-restart observer, invoked on rank 0 inside the solve (see
+  /// krylov::ProgressEvent).  The facade always records the restart
+  /// history into the report; this hook adds live reporting on top.
+  Solver& on_restart(krylov::ProgressCallback cb);
+
+  /// The system matrix (building it from the options if not injected).
+  const sparse::CsrMatrix& matrix();
+
+  /// The RHS (building ones_rhs if not set).
+  const std::vector<double>& rhs();
+
+  /// Runs the configured solver under the SPMD runtime and returns the
+  /// report.  Throws std::invalid_argument on bad options and
+  /// propagates solver exceptions (e.g. ortho::CholeskyBreakdown under
+  /// breakdown=throw).  Repeatable: each call is a fresh run.
+  SolveReport solve();
+
+  /// Gathered global solution of the last solve().
+  [[nodiscard]] const std::vector<double>& solution() const { return x_; }
+
+ private:
+  SolverOptions opts_;
+  sparse::CsrMatrix owned_matrix_;
+  const sparse::CsrMatrix* matrix_ = nullptr;  // points at owned_ or borrowed
+  std::string matrix_label_;
+  std::vector<double> b_;
+  std::vector<double> x0_;
+  std::vector<double> x_;
+  krylov::ProgressCallback user_callback_;
+};
+
+}  // namespace tsbo::api

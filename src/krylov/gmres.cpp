@@ -107,6 +107,11 @@ SolveResult gmres(par::Communicator& comm, const sparse::DistCsr& a,
     if (inner_converged || gamma <= cfg.rtol * gamma0) {
       res.converged = true;
     }
+    if (cfg.on_restart) {
+      cfg.on_restart(ProgressEvent{res.iters, res.restarts, res.relres,
+                                   gamma0 > 0.0 ? gamma / gamma0 : 0.0,
+                                   res.converged, &res.timers});
+    }
   }
 
   res.timers.stop("total");

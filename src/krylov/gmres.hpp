@@ -22,6 +22,8 @@ struct GmresConfig {
   long max_iters = 1000000;
   int max_restarts = 1000000;
   enum class Ortho { kCgs2, kMgs } ortho = Ortho::kCgs2;
+  /// Optional per-restart observer (see solver.hpp).
+  ProgressCallback on_restart;
 };
 
 /// Solves A M^{-1} u = b, x += M^{-1} u from the initial guess in `x`.

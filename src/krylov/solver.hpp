@@ -5,6 +5,8 @@
 #include "par/communicator.hpp"
 #include "util/timer.hpp"
 
+#include <functional>
+
 namespace tsbo::krylov {
 
 using dense::index_t;
@@ -21,6 +23,44 @@ enum class OrthoScheme {
 
 const char* ortho_scheme_name(OrthoScheme s);
 
+/// Snapshot handed to a solver's per-restart observer (progress
+/// reporting, residual-history capture).  `timers` points at the live
+/// per-rank accumulator: valid only for the duration of the callback.
+/// Note the "total" bucket is still running at a restart boundary —
+/// snapshot the phase buckets (ortho/*, spmv/*, precond), which are
+/// closed between events.
+struct ProgressEvent {
+  long iters = 0;       ///< cumulative inner iterations
+  int restarts = 0;     ///< completed restart cycles
+  double relres = 0.0;  ///< recurrence residual estimate
+  /// ||b - A x|| / ||b|| recomputed explicitly at the restart boundary
+  /// (free: restarted GMRES rebuilds the residual anyway).
+  double explicit_relres = 0.0;
+  bool converged = false;
+  const util::PhaseTimers* timers = nullptr;
+};
+
+/// Invoked once per completed restart cycle, on the rank that carries
+/// the callback (the api facade installs it on rank 0 only).  Must be
+/// cheap: it runs inside the timed solve.
+using ProgressCallback = std::function<void(const ProgressEvent&)>;
+
+/// Sums over the phase-timer buckets (seconds).  The single source of
+/// truth for which buckets make up each paper-level phase — shared by
+/// SolveResult's accessors and the api layer's per-restart snapshots.
+[[nodiscard]] inline double spmv_seconds(const util::PhaseTimers& t) {
+  return t.seconds("spmv/comm") + t.seconds("spmv/local");
+}
+[[nodiscard]] inline double precond_seconds(const util::PhaseTimers& t) {
+  return t.seconds("precond");
+}
+[[nodiscard]] inline double ortho_seconds(const util::PhaseTimers& t) {
+  return t.seconds("ortho/dot") + t.seconds("ortho/reduce") +
+         t.seconds("ortho/update") + t.seconds("ortho/trsm") +
+         t.seconds("ortho/chol") + t.seconds("ortho/hhqr") +
+         t.seconds("ortho/small");
+}
+
 /// Outcome of a linear solve.
 struct SolveResult {
   bool converged = false;
@@ -35,16 +75,9 @@ struct SolveResult {
   int shift_retries = 0;
 
   /// Convenience sums over the timer buckets (seconds).
-  [[nodiscard]] double time_spmv() const {
-    return timers.seconds("spmv/comm") + timers.seconds("spmv/local");
-  }
-  [[nodiscard]] double time_precond() const { return timers.seconds("precond"); }
-  [[nodiscard]] double time_ortho() const {
-    return timers.seconds("ortho/dot") + timers.seconds("ortho/reduce") +
-           timers.seconds("ortho/update") + timers.seconds("ortho/trsm") +
-           timers.seconds("ortho/chol") + timers.seconds("ortho/hhqr") +
-           timers.seconds("ortho/small");
-  }
+  [[nodiscard]] double time_spmv() const { return spmv_seconds(timers); }
+  [[nodiscard]] double time_precond() const { return precond_seconds(timers); }
+  [[nodiscard]] double time_ortho() const { return ortho_seconds(timers); }
   [[nodiscard]] double time_total() const { return timers.seconds("total"); }
 };
 

@@ -30,6 +30,14 @@ const char* ortho_scheme_name(OrthoScheme s) {
 
 std::unique_ptr<ortho::BlockOrthoManager> make_manager(
     const SStepGmresConfig& cfg) {
+  if (cfg.manager_factory) {
+    auto manager = cfg.manager_factory(cfg);
+    if (manager == nullptr) {
+      throw std::invalid_argument(
+          "make_manager: manager_factory returned null for this config");
+    }
+    return manager;
+  }
   switch (cfg.scheme) {
     case OrthoScheme::kBcgs2CholQr2:
       return ortho::make_bcgs2_manager(ortho::IntraKind::kCholQR2);
@@ -224,6 +232,11 @@ SolveResult sstep_gmres(par::Communicator& comm, const sparse::DistCsr& a,
     residual(comm, a, b, x, r, tmp, &res.timers);
     gamma = ortho::global_norm(octx, r);
     if (inner_converged || gamma <= cfg.rtol * gamma0) res.converged = true;
+    if (cfg.on_restart) {
+      cfg.on_restart(ProgressEvent{res.iters, res.restarts, res.relres,
+                                   gamma0 > 0.0 ? gamma / gamma0 : 0.0,
+                                   res.converged, &res.timers});
+    }
   }
 
   res.timers.stop("total");

@@ -38,6 +38,16 @@ struct SStepGmresConfig {
   int max_restarts = 1000000;
   ortho::BreakdownPolicy policy = ortho::BreakdownPolicy::kShift;
   bool mixed_precision_gram = false;  ///< double-double Gram extension
+
+  /// Optional per-restart observer (see solver.hpp).
+  ProgressCallback on_restart;
+
+  /// When set, make_manager() calls this instead of switching on
+  /// `scheme` — the extension point the api ortho registry uses, so new
+  /// block-orthogonalization schemes plug in without growing the enum.
+  std::function<std::unique_ptr<ortho::BlockOrthoManager>(
+      const SStepGmresConfig&)>
+      manager_factory;
 };
 
 /// Solves A M^{-1} u = b, x += M^{-1} u from the initial guess in `x`.

@@ -1,5 +1,6 @@
 #include "util/cli.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
@@ -22,6 +23,7 @@ Cli::Cli(int argc, char** argv) {
 }
 
 bool Cli::has(const std::string& key) const {
+  queried_.insert(key);
   for (const auto& [k, v] : kv_) {
     if (k == key) return true;
   }
@@ -29,6 +31,7 @@ bool Cli::has(const std::string& key) const {
 }
 
 std::string Cli::get(const std::string& key, const std::string& fallback) const {
+  queried_.insert(key);
   for (const auto& [k, v] : kv_) {
     if (k == key) return v;
   }
@@ -60,6 +63,61 @@ std::vector<int> Cli::get_int_list(const std::string& key,
     throw std::invalid_argument("Cli: empty integer list for --" + key);
   }
   return out;
+}
+
+std::vector<std::string> Cli::keys() const {
+  std::vector<std::string> out;
+  out.reserve(kv_.size());
+  for (const auto& [k, v] : kv_) out.push_back(k);
+  return out;
+}
+
+void Cli::reject_unknown() const {
+  const std::vector<std::string> known(queried_.begin(), queried_.end());
+  std::string msg;
+  for (const auto& [k, v] : kv_) {
+    if (queried_.count(k) != 0) continue;
+    if (!msg.empty()) msg += "; ";
+    msg += "unknown option --" + k;
+    const std::string hint = did_you_mean(k, known);
+    if (!hint.empty()) msg += " (did you mean --" + hint + "?)";
+  }
+  if (!msg.empty()) {
+    throw std::invalid_argument("Cli: " + msg);
+  }
+}
+
+namespace {
+
+std::size_t levenshtein(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace
+
+std::string did_you_mean(const std::string& word,
+                         const std::vector<std::string>& candidates) {
+  std::string best;
+  std::size_t best_dist = 3;  // suggestions only within distance 2
+  for (const std::string& c : candidates) {
+    if (c == word) continue;
+    const std::size_t d = levenshtein(word, c);
+    if (d < best_dist) {
+      best_dist = d;
+      best = c;
+    }
+  }
+  return best;
 }
 
 }  // namespace tsbo::util

@@ -4,7 +4,13 @@
 // Every harness accepts "--key=value" overrides so that paper
 // experiments can be re-run at different scales without recompiling,
 // e.g.  bench_table03 --nx=1024 --restarts=4 --ranks=1,2,4,8
+//
+// Typo safety: every has()/get*() call records the key as *known*;
+// after a harness has read all its options it calls reject_unknown(),
+// which errors on any --flag that was never queried — with a
+// did-you-mean hint — instead of silently ignoring e.g. --shceme.
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -26,8 +32,22 @@ class Cli {
   [[nodiscard]] std::vector<int> get_int_list(const std::string& key,
                                               std::vector<int> fallback) const;
 
+  /// Throws std::invalid_argument if any parsed --key was never queried
+  /// by has()/get*(), naming the offender and the closest known key.
+  /// Call after all options have been read, before the real work.
+  void reject_unknown() const;
+
+  /// Keys present on the command line, in order.
+  [[nodiscard]] std::vector<std::string> keys() const;
+
  private:
   std::vector<std::pair<std::string, std::string>> kv_;
+  mutable std::set<std::string> queried_;
 };
+
+/// " (did you mean --x?)"-style suggestion: the candidate within
+/// Levenshtein distance <= 2 closest to `word`, or "" when none is.
+std::string did_you_mean(const std::string& word,
+                         const std::vector<std::string>& candidates);
 
 }  // namespace tsbo::util

@@ -1,0 +1,385 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace tsbo::util {
+
+std::string json_quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc{}) return "null";
+  return std::string(buf, end);
+}
+
+void JsonWriter::indent() {
+  out_.push_back('\n');
+  out_.append(2 * stack_.size(), ' ');
+}
+
+void JsonWriter::before_value() {
+  if (done_) throw std::logic_error("JsonWriter: document already complete");
+  if (stack_.empty()) return;
+  Frame& top = stack_.back();
+  if (top.scope == Scope::kObject) {
+    if (!top.key_pending) {
+      throw std::logic_error("JsonWriter: value in object requires key()");
+    }
+    top.key_pending = false;
+  } else {
+    if (top.members > 0) out_.push_back(',');
+    indent();
+  }
+}
+
+void JsonWriter::after_value() {
+  if (stack_.empty()) {
+    done_ = true;
+  } else {
+    stack_.back().members += 1;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_.push_back('{');
+  stack_.push_back(Frame{Scope::kObject});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back().scope != Scope::kObject ||
+      stack_.back().key_pending) {
+    throw std::logic_error("JsonWriter: mismatched end_object()");
+  }
+  const bool had_members = stack_.back().members > 0;
+  stack_.pop_back();
+  if (had_members) indent();
+  out_.push_back('}');
+  after_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_.push_back('[');
+  stack_.push_back(Frame{Scope::kArray});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back().scope != Scope::kArray) {
+    throw std::logic_error("JsonWriter: mismatched end_array()");
+  }
+  const bool had_members = stack_.back().members > 0;
+  stack_.pop_back();
+  if (had_members) indent();
+  out_.push_back(']');
+  after_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  if (done_ || stack_.empty() || stack_.back().scope != Scope::kObject ||
+      stack_.back().key_pending) {
+    throw std::logic_error("JsonWriter: key() outside an object member slot");
+  }
+  if (stack_.back().members > 0) out_.push_back(',');
+  indent();
+  out_ += json_quote(k);
+  out_ += ": ";
+  stack_.back().key_pending = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  before_value();
+  out_ += json_quote(v);
+  after_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  out_ += json_number(v);
+  after_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  after_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(long long v) {
+  before_value();
+  out_ += std::to_string(v);
+  after_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(unsigned long long v) {
+  before_value();
+  out_ += std::to_string(v);
+  after_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ += "null";
+  after_value();
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  if (!stack_.empty()) {
+    throw std::logic_error("JsonWriter: str() with open scopes");
+  }
+  if (!done_) throw std::logic_error("JsonWriter: empty document");
+  return out_;
+}
+
+// ---- validator -------------------------------------------------------
+
+namespace {
+
+/// Recursive-descent syntax checker; no value materialization.
+class Checker {
+ public:
+  explicit Checker(const std::string& text) : text_(text) {}
+
+  bool run(std::string* error) {
+    try {
+      skip_ws();
+      parse_value(0);
+      skip_ws();
+      if (pos_ != text_.size()) fail("trailing content");
+      return true;
+    } catch (const std::runtime_error& e) {
+      if (error != nullptr) *error = e.what();
+      return false;
+    }
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("json offset " + std::to_string(pos_) + ": " +
+                             why);
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  char next() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void expect(char c) {
+    if (next() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  void literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (next() != *p) fail(std::string("bad literal, expected ") + word);
+    }
+  }
+
+  void parse_string() {
+    expect('"');
+    while (true) {
+      const char c = next();
+      if (c == '"') return;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character");
+      if (c == '\\') {
+        const char e = next();
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            const char h = next();
+            if (std::isxdigit(static_cast<unsigned char>(h)) == 0) {
+              fail("bad \\u escape");
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          fail("bad escape character");
+        }
+      }
+    }
+  }
+
+  void digits() {
+    if (std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+      fail("expected digit");
+    }
+    while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+  }
+
+  void parse_number() {
+    if (peek() == '-') ++pos_;
+    if (peek() == '0') {
+      ++pos_;
+    } else {
+      digits();
+    }
+    if (peek() == '.') {
+      ++pos_;
+      digits();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      digits();
+    }
+  }
+
+  void parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    switch (peek()) {
+      case '{': {
+        ++pos_;
+        skip_ws();
+        if (peek() == '}') {
+          ++pos_;
+          return;
+        }
+        while (true) {
+          skip_ws();
+          parse_string();
+          skip_ws();
+          expect(':');
+          skip_ws();
+          parse_value(depth + 1);
+          skip_ws();
+          const char c = next();
+          if (c == '}') return;
+          if (c != ',') {
+            --pos_;
+            fail("expected ',' or '}'");
+          }
+        }
+      }
+      case '[': {
+        ++pos_;
+        skip_ws();
+        if (peek() == ']') {
+          ++pos_;
+          return;
+        }
+        while (true) {
+          skip_ws();
+          parse_value(depth + 1);
+          skip_ws();
+          const char c = next();
+          if (c == ']') return;
+          if (c != ',') {
+            --pos_;
+            fail("expected ',' or ']'");
+          }
+        }
+      }
+      case '"':
+        parse_string();
+        return;
+      case 't':
+        literal("true");
+        return;
+      case 'f':
+        literal("false");
+        return;
+      case 'n':
+        literal("null");
+        return;
+      default:
+        parse_number();
+        return;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool json_validate(const std::string& text, std::string* error) {
+  return Checker(text).run(error);
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("write_text_file: cannot write " + path);
+  }
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const int closed = std::fclose(f);
+  if (written != text.size() || closed != 0) {
+    throw std::runtime_error("write_text_file: short write to " + path);
+  }
+}
+
+}  // namespace tsbo::util

@@ -1,0 +1,96 @@
+#pragma once
+// Minimal JSON emission and validation.
+//
+// One shared writer for every machine-readable artifact the repo emits
+// (api::SolveReport, the bench report logs, BENCH_kernels.json), so
+// escaping and number formatting are correct in exactly one place.
+// There is deliberately no DOM/parser: reports are streamed out, and
+// the only consumer that *reads* them back is Python
+// (bench/compare_bench.py).  json_validate() is a pure syntax checker
+// used by the schema tests and by ReportLog's self-check.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tsbo::util {
+
+/// Escapes and double-quotes `s` per RFC 8259 (control characters as
+/// \u00XX; non-ASCII bytes pass through, valid for UTF-8 input).
+std::string json_quote(const std::string& s);
+
+/// Shortest decimal representation that round-trips to the same double
+/// (std::to_chars).  Non-finite values become null — JSON has no
+/// NaN/Inf.
+std::string json_number(double v);
+
+/// Streaming JSON writer: explicit begin/end scopes, automatic comma
+/// placement, two-space pretty printing.  Scope misuse (value where a
+/// key is required, end_object inside an array, ...) throws
+/// std::logic_error — writer bugs surface in tests, not as corrupt
+/// artifacts.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Member key; must be inside an object and followed by a value or a
+  /// begin_*().
+  JsonWriter& key(const std::string& k);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(int v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(long v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(unsigned v) {
+    return value(static_cast<unsigned long long>(v));
+  }
+  JsonWriter& value(unsigned long v) {
+    return value(static_cast<unsigned long long>(v));
+  }
+  JsonWriter& value(long long v);
+  JsonWriter& value(unsigned long long v);
+  JsonWriter& null();
+
+  /// key() + value() in one call.
+  template <typename T>
+  JsonWriter& kv(const std::string& k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+  /// The document; throws std::logic_error while scopes remain open.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  enum class Scope { kObject, kArray };
+  struct Frame {
+    Scope scope;
+    int members = 0;
+    bool key_pending = false;  // object: key emitted, value outstanding
+  };
+
+  void before_value();
+  void after_value();
+  void indent();
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool done_ = false;  // a complete top-level value was written
+};
+
+/// True when `text` is one syntactically valid JSON value (with
+/// trailing whitespace allowed).  On failure `error` (if non-null)
+/// receives a byte offset + reason message.
+bool json_validate(const std::string& text, std::string* error = nullptr);
+
+/// Writes `text` to `path`, throwing std::runtime_error on open or
+/// short-write failure — so a full disk can never leave a truncated
+/// artifact behind while the caller reports success.
+void write_text_file(const std::string& path, const std::string& text);
+
+}  // namespace tsbo::util

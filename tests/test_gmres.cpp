@@ -1,12 +1,10 @@
-// Standard GMRES: convergence, restarts, preconditioning, edge cases.
+// Standard GMRES: convergence, restarts, preconditioning, edge cases —
+// driven through the api::Solver facade (options strings in, reports
+// out), which is how every harness and example runs the solver.
 
-#include "krylov/gmres.hpp"
-#include "par/spmd.hpp"
-#include "precond/gauss_seidel.hpp"
-#include "precond/jacobi.hpp"
+#include "api/solver.hpp"
 #include "sparse/generators.hpp"
 #include "sparse/spmv.hpp"
-#include "util/random.hpp"
 
 #include <gtest/gtest.h>
 
@@ -27,33 +25,22 @@ Problem laplace_problem(int nx, int ny) {
   Problem p;
   p.a = sparse::laplace2d_5pt(nx, ny);
   p.x_star.assign(static_cast<std::size_t>(p.a.rows), 1.0);
-  p.b.assign(static_cast<std::size_t>(p.a.rows), 0.0);
-  sparse::spmv(p.a, p.x_star, p.b);
+  p.b = api::ones_rhs(p.a);
   return p;
 }
 
-/// Runs GMRES distributed over `p` ranks and returns (result, solution).
+/// Runs GMRES distributed over `ranks` ranks via the facade and
+/// returns (result, gathered solution).  `spec` overlays the defaults.
 std::pair<krylov::SolveResult, std::vector<double>> run_gmres(
-    const Problem& prob, int p, const krylov::GmresConfig& cfg,
-    bool with_jacobi = false) {
-  std::vector<double> x(prob.b.size(), 0.0);
-  krylov::SolveResult out;
-  par::spmd_run(p, [&](par::Communicator& comm) {
-    const sparse::RowPartition part(prob.a.rows, comm.size());
-    const sparse::DistCsr dist(prob.a, part, comm.rank());
-    const auto begin = static_cast<std::size_t>(part.begin(comm.rank()));
-    const auto nloc = static_cast<std::size_t>(dist.n_local());
-    std::vector<double> x_local(nloc, 0.0);
-    std::unique_ptr<precond::Preconditioner> m;
-    if (with_jacobi) m = std::make_unique<precond::Jacobi>(dist);
-    auto res = krylov::gmres(
-        comm, dist, m.get(),
-        std::span<const double>(prob.b.data() + begin, nloc), x_local, cfg);
-    std::copy(x_local.begin(), x_local.end(),
-              x.begin() + static_cast<std::ptrdiff_t>(begin));
-    if (comm.rank() == 0) out = res;
-  });
-  return {out, x};
+    const Problem& prob, int ranks, const std::string& spec = "") {
+  api::SolverOptions opts =
+      api::SolverOptions::parse("solver=gmres " + spec);
+  opts.ranks = ranks;
+  api::Solver solver(opts);
+  solver.set_matrix_ref(prob.a, "test");
+  solver.set_rhs(prob.b);
+  const api::SolveReport rep = solver.solve();
+  return {rep.result, solver.solution()};
 }
 
 double error_vs_exact(const Problem& p, const std::vector<double>& x) {
@@ -66,9 +53,7 @@ double error_vs_exact(const Problem& p, const std::vector<double>& x) {
 
 TEST(Gmres, SolvesLaplaceToTolerance) {
   const Problem p = laplace_problem(32, 32);
-  krylov::GmresConfig cfg;
-  cfg.rtol = 1e-8;
-  const auto [res, x] = run_gmres(p, 1, cfg);
+  const auto [res, x] = run_gmres(p, 1, "rtol=1e-8");
   EXPECT_TRUE(res.converged);
   EXPECT_LE(res.true_relres, 1e-7);
   EXPECT_LT(error_vs_exact(p, x), 1e-4);
@@ -80,10 +65,8 @@ class GmresRanks : public ::testing::TestWithParam<int> {};
 
 TEST_P(GmresRanks, DistributedIterationCountsMatchSequential) {
   const Problem p = laplace_problem(24, 24);
-  krylov::GmresConfig cfg;
-  cfg.rtol = 1e-6;
-  const auto [seq, xs] = run_gmres(p, 1, cfg);
-  const auto [dist, xd] = run_gmres(p, GetParam(), cfg);
+  const auto [seq, xs] = run_gmres(p, 1, "rtol=1e-6");
+  const auto [dist, xd] = run_gmres(p, GetParam(), "rtol=1e-6");
   // Deterministic reductions: identical iteration trajectory.
   EXPECT_EQ(seq.iters, dist.iters);
   EXPECT_TRUE(dist.converged);
@@ -97,8 +80,7 @@ INSTANTIATE_TEST_SUITE_P(RankCounts, GmresRanks, ::testing::Values(2, 3, 5));
 TEST(Gmres, ZeroRhsConvergesInstantly) {
   Problem p = laplace_problem(8, 8);
   std::fill(p.b.begin(), p.b.end(), 0.0);
-  krylov::GmresConfig cfg;
-  const auto [res, x] = run_gmres(p, 1, cfg);
+  const auto [res, x] = run_gmres(p, 1);
   EXPECT_TRUE(res.converged);
   EXPECT_EQ(res.iters, 0);
   for (const double v : x) EXPECT_EQ(v, 0.0);
@@ -106,23 +88,18 @@ TEST(Gmres, ZeroRhsConvergesInstantly) {
 
 TEST(Gmres, ExactInitialGuessNoIterations) {
   const Problem p = laplace_problem(8, 8);
-  std::vector<double> x = p.x_star;  // start at the solution
-  par::spmd_run(1, [&](par::Communicator& comm) {
-    const sparse::RowPartition part(p.a.rows, 1);
-    const sparse::DistCsr dist(p.a, part, 0);
-    krylov::GmresConfig cfg;
-    const auto res = krylov::gmres(comm, dist, nullptr, p.b, x, cfg);
-    EXPECT_TRUE(res.converged);
-    EXPECT_EQ(res.iters, 0);
-  });
+  api::Solver solver(api::SolverOptions::parse("solver=gmres ranks=1"));
+  solver.set_matrix_ref(p.a, "test");
+  solver.set_rhs(p.b);
+  solver.set_initial_guess(p.x_star);  // start at the solution
+  const api::SolveReport rep = solver.solve();
+  EXPECT_TRUE(rep.result.converged);
+  EXPECT_EQ(rep.result.iters, 0);
 }
 
 TEST(Gmres, MaxItersCapRespected) {
   const Problem p = laplace_problem(48, 48);
-  krylov::GmresConfig cfg;
-  cfg.rtol = 1e-14;
-  cfg.max_iters = 25;
-  const auto [res, x] = run_gmres(p, 1, cfg);
+  const auto [res, x] = run_gmres(p, 1, "rtol=1e-14 max_iters=25");
   EXPECT_FALSE(res.converged);
   EXPECT_LE(res.iters, 25);
   EXPECT_GT(res.iters, 0);
@@ -130,11 +107,8 @@ TEST(Gmres, MaxItersCapRespected) {
 
 TEST(Gmres, MgsVariantAgreesWithCgs2) {
   const Problem p = laplace_problem(20, 20);
-  krylov::GmresConfig cfg;
-  cfg.rtol = 1e-8;
-  const auto [cgs2, x1] = run_gmres(p, 1, cfg);
-  cfg.ortho = krylov::GmresConfig::Ortho::kMgs;
-  const auto [mgs, x2] = run_gmres(p, 1, cfg);
+  const auto [cgs2, x1] = run_gmres(p, 1, "ortho=cgs2 rtol=1e-8");
+  const auto [mgs, x2] = run_gmres(p, 1, "ortho=mgs rtol=1e-8");
   EXPECT_TRUE(cgs2.converged);
   EXPECT_TRUE(mgs.converged);
   // Same problem, same restart structure: iteration counts agree to a
@@ -148,13 +122,10 @@ TEST(Gmres, JacobiPreconditioningReducesIterations) {
   Problem p;
   p.a = sparse::heterogeneous2d(24, 24, false, 2.0, 3);
   p.x_star.assign(static_cast<std::size_t>(p.a.rows), 1.0);
-  p.b.assign(static_cast<std::size_t>(p.a.rows), 0.0);
-  sparse::spmv(p.a, p.x_star, p.b);
+  p.b = api::ones_rhs(p.a);
 
-  krylov::GmresConfig cfg;
-  cfg.rtol = 1e-8;
-  const auto [plain, x1] = run_gmres(p, 2, cfg, false);
-  const auto [prec, x2] = run_gmres(p, 2, cfg, true);
+  const auto [plain, x1] = run_gmres(p, 2, "rtol=1e-8");
+  const auto [prec, x2] = run_gmres(p, 2, "rtol=1e-8 precond=jacobi");
   EXPECT_TRUE(plain.converged);
   EXPECT_TRUE(prec.converged);
   EXPECT_LT(prec.iters, plain.iters);
@@ -165,31 +136,17 @@ TEST(Gmres, CgsSyncCountPerIteration) {
   // CGS2: 2 projection reduces + 1 norm per step (the baseline cost the
   // paper's block methods amortize).
   const Problem p = laplace_problem(16, 16);
-  par::spmd_run(2, [&](par::Communicator& comm) {
-    const sparse::RowPartition part(p.a.rows, comm.size());
-    const sparse::DistCsr dist(p.a, part, comm.rank());
-    const auto begin = static_cast<std::size_t>(part.begin(comm.rank()));
-    const auto nloc = static_cast<std::size_t>(dist.n_local());
-    std::vector<double> x(nloc, 0.0);
-    krylov::GmresConfig cfg;
-    cfg.rtol = 1e-6;
-    const auto res = krylov::gmres(
-        comm, dist, nullptr,
-        std::span<const double>(p.b.data() + begin, nloc), x, cfg);
-    ASSERT_TRUE(res.converged);
-    // allreduces ~= 3 per iteration + ~2 per restart + initial norms.
-    const double per_iter =
-        static_cast<double>(res.comm_stats.allreduces) /
-        static_cast<double>(res.iters);
-    EXPECT_NEAR(per_iter, 3.0, 0.2);
-  });
+  const auto [res, x] = run_gmres(p, 2, "rtol=1e-6");
+  ASSERT_TRUE(res.converged);
+  // allreduces ~= 3 per iteration + ~2 per restart + initial norms.
+  const double per_iter = static_cast<double>(res.comm_stats.allreduces) /
+                          static_cast<double>(res.iters);
+  EXPECT_NEAR(per_iter, 3.0, 0.2);
 }
 
 TEST(Gmres, TracksTrueResidualIndependently) {
   const Problem p = laplace_problem(24, 24);
-  krylov::GmresConfig cfg;
-  cfg.rtol = 1e-9;
-  const auto [res, x] = run_gmres(p, 1, cfg);
+  const auto [res, x] = run_gmres(p, 1, "rtol=1e-9");
   EXPECT_TRUE(res.converged);
   // Recurrence and true residual agree at convergence (orthonormal basis).
   EXPECT_NEAR(std::log10(res.true_relres + 1e-300),

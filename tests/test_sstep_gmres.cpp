@@ -1,13 +1,11 @@
 // s-step GMRES with every block-orthogonalization scheme: convergence,
 // iteration-count granularity (the paper's 60251/60255/60300 rounding),
 // solution agreement with standard GMRES, sync counts, bases,
-// preconditioning, and the mixed-precision extension.
+// preconditioning, and the mixed-precision extension — all driven
+// through the api::Solver facade with string-keyed options, the same
+// path the harnesses use.
 
-#include "krylov/gmres.hpp"
-#include "krylov/sstep_gmres.hpp"
-#include "par/spmd.hpp"
-#include "precond/gauss_seidel.hpp"
-#include "precond/jacobi.hpp"
+#include "api/solver.hpp"
 #include "sparse/generators.hpp"
 #include "sparse/scaling.hpp"
 #include "sparse/spmv.hpp"
@@ -21,7 +19,6 @@
 namespace {
 
 using namespace tsbo;
-using krylov::OrthoScheme;
 
 struct Problem {
   sparse::CsrMatrix a;
@@ -33,41 +30,27 @@ Problem make_problem(sparse::CsrMatrix a) {
   Problem p;
   p.a = std::move(a);
   p.x_star.assign(static_cast<std::size_t>(p.a.rows), 1.0);
-  p.b.assign(static_cast<std::size_t>(p.a.rows), 0.0);
-  sparse::spmv(p.a, p.x_star, p.b);
+  p.b = api::ones_rhs(p.a);
   return p;
 }
 
+/// Runs s-step GMRES via the facade; `spec` overlays the defaults
+/// (s=5, bs=60, two_stage, rtol=1e-6, ...).
 std::pair<krylov::SolveResult, std::vector<double>> run_sstep(
-    const Problem& prob, int nranks, const krylov::SStepGmresConfig& cfg,
-    const char* prec = nullptr) {
-  std::vector<double> x(prob.b.size(), 0.0);
-  krylov::SolveResult out;
-  par::spmd_run(nranks, [&](par::Communicator& comm) {
-    const sparse::RowPartition part(prob.a.rows, comm.size());
-    const sparse::DistCsr dist(prob.a, part, comm.rank());
-    const auto begin = static_cast<std::size_t>(part.begin(comm.rank()));
-    const auto nloc = static_cast<std::size_t>(dist.n_local());
-    std::vector<double> x_local(nloc, 0.0);
-    std::unique_ptr<precond::Preconditioner> m;
-    if (prec && std::string(prec) == "jacobi") {
-      m = std::make_unique<precond::Jacobi>(dist);
-    } else if (prec && std::string(prec) == "gs") {
-      m = std::make_unique<precond::MulticolorGaussSeidel>(dist);
-    }
-    auto res = krylov::sstep_gmres(
-        comm, dist, m.get(),
-        std::span<const double>(prob.b.data() + begin, nloc), x_local, cfg);
-    std::copy(x_local.begin(), x_local.end(),
-              x.begin() + static_cast<std::ptrdiff_t>(begin));
-    if (comm.rank() == 0) out = res;
-  });
-  return {out, x};
+    const Problem& prob, int nranks, const std::string& spec) {
+  api::SolverOptions opts =
+      api::SolverOptions::parse("solver=sstep " + spec);
+  opts.ranks = nranks;
+  api::Solver solver(opts);
+  solver.set_matrix_ref(prob.a, "test");
+  solver.set_rhs(prob.b);
+  const api::SolveReport rep = solver.solve();
+  return {rep.result, solver.solution()};
 }
 
 struct SchemeCase {
-  const char* name;
-  OrthoScheme scheme;
+  const char* name;  ///< ortho registry key
+  bool two_stage;
 };
 
 class Schemes : public ::testing::TestWithParam<SchemeCase> {};
@@ -75,19 +58,15 @@ class Schemes : public ::testing::TestWithParam<SchemeCase> {};
 TEST_P(Schemes, SolvesLaplaceAndRoundsItersToGranularity) {
   const auto& c = GetParam();
   const Problem p = make_problem(sparse::laplace2d_5pt(32, 32));
-  krylov::SStepGmresConfig cfg;
-  cfg.scheme = c.scheme;
-  cfg.s = 5;
-  cfg.bs = 60;
-  cfg.rtol = 1e-7;
-
-  const auto [res, x] = run_sstep(p, 2, cfg);
+  const std::string spec =
+      std::string("ortho=") + c.name + " s=5 bs=60 rtol=1e-7";
+  const auto [res, x] = run_sstep(p, 2, spec);
   EXPECT_TRUE(res.converged) << c.name;
   EXPECT_LE(res.true_relres, 5e-7) << c.name;
 
   // Iteration-count granularity: multiples of s (one-stage) or bs
   // (two-stage) — the Table III rounding behaviour.
-  const long granule = c.scheme == OrthoScheme::kTwoStage ? cfg.bs : cfg.s;
+  const long granule = c.two_stage ? 60 : 5;
   EXPECT_EQ(res.iters % granule, 0) << c.name << " iters=" << res.iters;
 
   // Solution is correct.
@@ -101,20 +80,14 @@ TEST_P(Schemes, SolvesLaplaceAndRoundsItersToGranularity) {
 TEST_P(Schemes, ItersCloseToStandardGmres) {
   const auto& c = GetParam();
   const Problem p = make_problem(sparse::laplace2d_9pt(28, 28));
-  krylov::GmresConfig gcfg;
-  gcfg.rtol = 1e-6;
-  krylov::SStepGmresConfig scfg;
-  scfg.scheme = c.scheme;
-  scfg.rtol = 1e-6;
 
-  krylov::SolveResult gres;
-  par::spmd_run(1, [&](par::Communicator& comm) {
-    const sparse::RowPartition part(p.a.rows, 1);
-    const sparse::DistCsr dist(p.a, part, 0);
-    std::vector<double> x(p.b.size(), 0.0);
-    gres = krylov::gmres(comm, dist, nullptr, p.b, x, gcfg);
-  });
-  const auto [sres, x2] = run_sstep(p, 1, scfg);
+  api::Solver gsolver(api::SolverOptions::parse("solver=gmres ranks=1"));
+  gsolver.set_matrix_ref(p.a, "test");
+  gsolver.set_rhs(p.b);
+  const krylov::SolveResult gres = gsolver.solve().result;
+
+  const auto [sres, x2] =
+      run_sstep(p, 1, std::string("ortho=") + c.name + " rtol=1e-6");
 
   ASSERT_TRUE(gres.converged);
   ASSERT_TRUE(sres.converged);
@@ -127,22 +100,19 @@ TEST_P(Schemes, ItersCloseToStandardGmres) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllSchemes, Schemes,
-    ::testing::Values(SchemeCase{"bcgs2_cholqr2", OrthoScheme::kBcgs2CholQr2},
-                      SchemeCase{"bcgs2_hhqr", OrthoScheme::kBcgs2Hhqr},
-                      SchemeCase{"bcgs_pip2", OrthoScheme::kBcgsPip2},
-                      SchemeCase{"two_stage", OrthoScheme::kTwoStage}),
+    ::testing::Values(SchemeCase{"bcgs2", false},
+                      SchemeCase{"bcgs2_hhqr", false},
+                      SchemeCase{"bcgs_pip2", false},
+                      SchemeCase{"two_stage", true}),
     [](const auto& info) { return std::string(info.param.name); });
 
 TEST(SstepGmres, TwoStageBsSweepAllConverge) {
   // Table II structure: bs in {5, 20, 40, 60} with s = 5 fixed.
   const Problem p = make_problem(sparse::laplace2d_5pt(40, 40));
   for (const int bs : {5, 20, 60}) {
-    krylov::SStepGmresConfig cfg;
-    cfg.scheme = OrthoScheme::kTwoStage;
-    cfg.s = 5;
-    cfg.bs = bs;
-    cfg.rtol = 1e-6;
-    const auto [res, x] = run_sstep(p, 2, cfg);
+    const auto [res, x] = run_sstep(
+        p, 2,
+        "ortho=two_stage s=5 bs=" + std::to_string(bs) + " rtol=1e-6");
     EXPECT_TRUE(res.converged) << "bs=" << bs;
     EXPECT_EQ(res.iters % bs, 0) << "bs=" << bs;
     EXPECT_LE(res.true_relres, 2e-6) << "bs=" << bs;
@@ -154,35 +124,21 @@ TEST(SstepGmres, SyncCountsFollowPaperAccounting) {
   // verify the ordering and the per-panel arithmetic.
   const Problem p = make_problem(sparse::laplace2d_5pt(32, 32));
 
-  auto count_syncs = [&](OrthoScheme scheme, int bs) {
-    krylov::SStepGmresConfig cfg;
-    cfg.scheme = scheme;
-    cfg.s = 5;
-    cfg.bs = bs;
-    cfg.rtol = 1e-30;  // never converges
-    cfg.max_restarts = 2;
-    std::uint64_t reduces = 0;
-    par::spmd_run(2, [&](par::Communicator& comm) {
-      const sparse::RowPartition part(p.a.rows, comm.size());
-      const sparse::DistCsr dist(p.a, part, comm.rank());
-      const auto begin = static_cast<std::size_t>(part.begin(comm.rank()));
-      const auto nloc = static_cast<std::size_t>(dist.n_local());
-      std::vector<double> x(nloc, 0.0);
-      const auto res = krylov::sstep_gmres(
-          comm, dist, nullptr,
-          std::span<const double>(p.b.data() + begin, nloc), x, cfg);
-      if (comm.rank() == 0) reduces = res.comm_stats.allreduces;
-    });
-    return static_cast<double>(reduces);
+  auto count_syncs = [&](const char* ortho, int bs) {
+    const auto [res, x] = run_sstep(
+        p, 2,
+        std::string("ortho=") + ortho + " s=5 bs=" + std::to_string(bs) +
+            " rtol=1e-30 max_restarts=2");  // never converges
+    return static_cast<double>(res.comm_stats.allreduces);
   };
 
   // 2 cycles x 12 panels each; subtract the ~5 residual-norm reduces.
-  const double bcgs2 = count_syncs(OrthoScheme::kBcgs2CholQr2, 60);
-  const double pip2 = count_syncs(OrthoScheme::kBcgsPip2, 60);
-  const double two_stage = count_syncs(OrthoScheme::kTwoStage, 60);
+  const double bcgs2 = count_syncs("bcgs2", 60);
+  const double pip2 = count_syncs("bcgs_pip2", 60);
+  const double two_stage = count_syncs("two_stage", 60);
 
   // Paper accounting per panel: 5 vs 2 vs 1 + s/bs.
-  EXPECT_NEAR(bcgs2 - pip2, 2 * 12 * 3.0, 2.0);          // 5 - 2 = 3 per panel
+  EXPECT_NEAR(bcgs2 - pip2, 2 * 12 * 3.0, 2.0);  // 5 - 2 = 3 per panel
   EXPECT_NEAR(pip2 - two_stage, 2 * (12 * 1.0 - 1.0), 2.0);  // 2 - (1 + 1/12)
   EXPECT_LT(two_stage, pip2);
   EXPECT_LT(pip2, bcgs2);
@@ -190,41 +146,23 @@ TEST(SstepGmres, SyncCountsFollowPaperAccounting) {
 
 TEST(SstepGmres, ConfigValidation) {
   const Problem p = make_problem(sparse::laplace2d_5pt(8, 8));
-  par::spmd_run(1, [&](par::Communicator& comm) {
-    const sparse::RowPartition part(p.a.rows, 1);
-    const sparse::DistCsr dist(p.a, part, 0);
-    std::vector<double> x(p.b.size(), 0.0);
-
-    krylov::SStepGmresConfig bad;
-    bad.s = 7;  // does not divide m = 60... actually 60 % 7 != 0
-    EXPECT_THROW(krylov::sstep_gmres(comm, dist, nullptr, p.b, x, bad),
-                 std::invalid_argument);
-
-    bad = {};
-    bad.scheme = OrthoScheme::kTwoStage;
-    bad.bs = 13;  // not a multiple of s = 5
-    EXPECT_THROW(krylov::sstep_gmres(comm, dist, nullptr, p.b, x, bad),
-                 std::invalid_argument);
-
-    bad = {};
-    bad.basis = krylov::BasisKind::kNewton;  // missing interval
-    EXPECT_THROW(krylov::sstep_gmres(comm, dist, nullptr, p.b, x, bad),
-                 std::invalid_argument);
-  });
+  // s does not divide m = 60.
+  EXPECT_THROW(run_sstep(p, 1, "s=7"), std::invalid_argument);
+  // bs not a multiple of s = 5.
+  EXPECT_THROW(run_sstep(p, 1, "ortho=two_stage bs=13"),
+               std::invalid_argument);
+  // Newton basis without a spectral interval.
+  EXPECT_THROW(run_sstep(p, 1, "basis=newton"), std::invalid_argument);
 }
 
 TEST(SstepGmres, NewtonAndChebyshevBasesConverge) {
   const Problem p = make_problem(sparse::laplace2d_5pt(24, 24));
   // 5-pt Laplace eigenvalues lie in (0, 8).
-  for (const auto basis :
-       {krylov::BasisKind::kNewton, krylov::BasisKind::kChebyshev}) {
-    krylov::SStepGmresConfig cfg;
-    cfg.scheme = OrthoScheme::kBcgsPip2;
-    cfg.basis = basis;
-    cfg.lambda_min = 0.01;
-    cfg.lambda_max = 8.0;
-    cfg.rtol = 1e-7;
-    const auto [res, x] = run_sstep(p, 1, cfg);
+  for (const char* basis : {"newton", "chebyshev"}) {
+    const auto [res, x] = run_sstep(
+        p, 1,
+        std::string("ortho=bcgs_pip2 basis=") + basis +
+            " lambda_min=0.01 lambda_max=8 rtol=1e-7");
     EXPECT_TRUE(res.converged);
     EXPECT_LE(res.true_relres, 5e-7);
     double err = 0.0;
@@ -240,26 +178,19 @@ TEST(SstepGmres, LargerStepSizeWorksWithStableBasis) {
   // forces a conservatively small s).  With the Newton basis the
   // two-stage scheme handles s = 10 fine.
   const Problem p = make_problem(sparse::laplace2d_5pt(24, 24));
-  krylov::SStepGmresConfig cfg;
-  cfg.s = 10;
-  cfg.bs = 60;
-  cfg.scheme = OrthoScheme::kTwoStage;
-  cfg.basis = krylov::BasisKind::kNewton;
-  cfg.lambda_min = 0.01;
-  cfg.lambda_max = 8.0;  // 5-pt Laplace spectrum
-  cfg.rtol = 1e-6;
-  const auto [res, x] = run_sstep(p, 1, cfg);
+  const auto [res, x] = run_sstep(
+      p, 1,
+      "ortho=two_stage s=10 bs=60 basis=newton lambda_min=0.01 lambda_max=8 "
+      "rtol=1e-6");  // 5-pt Laplace spectrum
   EXPECT_TRUE(res.converged);
   EXPECT_LE(res.true_relres, 2e-6);
 }
 
 TEST(SstepGmres, PreconditionedSolveConvergesFaster) {
   Problem p = make_problem(sparse::heterogeneous2d(26, 26, true, 2.5, 7));
-  krylov::SStepGmresConfig cfg;
-  cfg.scheme = OrthoScheme::kTwoStage;
-  cfg.rtol = 1e-7;
-  const auto [plain, x1] = run_sstep(p, 2, cfg);
-  const auto [gs, x2] = run_sstep(p, 2, cfg, "gs");
+  const auto [plain, x1] = run_sstep(p, 2, "ortho=two_stage rtol=1e-7");
+  const auto [gs, x2] =
+      run_sstep(p, 2, "ortho=two_stage rtol=1e-7 precond=mc-gs");
   EXPECT_TRUE(plain.converged);
   EXPECT_TRUE(gs.converged);
   EXPECT_LT(gs.iters, plain.iters);
@@ -268,12 +199,9 @@ TEST(SstepGmres, PreconditionedSolveConvergesFaster) {
 
 TEST(SstepGmres, MixedPrecisionGramMatchesPlain) {
   const Problem p = make_problem(sparse::laplace2d_5pt(20, 20));
-  krylov::SStepGmresConfig cfg;
-  cfg.scheme = OrthoScheme::kBcgsPip2;
-  cfg.rtol = 1e-7;
-  const auto [plain, x1] = run_sstep(p, 1, cfg);
-  cfg.mixed_precision_gram = true;
-  const auto [dd, x2] = run_sstep(p, 1, cfg);
+  const auto [plain, x1] = run_sstep(p, 1, "ortho=bcgs_pip2 rtol=1e-7");
+  const auto [dd, x2] =
+      run_sstep(p, 1, "ortho=bcgs_pip2 rtol=1e-7 mixed_precision_gram=1");
   EXPECT_TRUE(plain.converged);
   EXPECT_TRUE(dd.converged);
   EXPECT_EQ(plain.iters, dd.iters);
@@ -285,48 +213,36 @@ TEST(SstepGmres, ScaledSurrogateMatrixSolves) {
   auto s = sparse::make_surrogate("ecology2", 1000);
   sparse::equilibrate_max(s.matrix);
   const Problem p = make_problem(std::move(s.matrix));
-  krylov::SStepGmresConfig cfg;
-  cfg.scheme = OrthoScheme::kTwoStage;
-  cfg.rtol = 1e-6;
-  cfg.max_restarts = 400;
-  const auto [res, x] = run_sstep(p, 2, cfg);
+  const auto [res, x] =
+      run_sstep(p, 2, "ortho=two_stage rtol=1e-6 max_restarts=400");
   EXPECT_TRUE(res.converged);
   EXPECT_LE(res.true_relres, 1e-5);
 }
 
 TEST(SstepGmres, DeterministicAcrossRankCounts) {
   const Problem p = make_problem(sparse::laplace2d_5pt(20, 20));
-  krylov::SStepGmresConfig cfg;
-  cfg.scheme = OrthoScheme::kBcgsPip2;
-  cfg.rtol = 1e-7;
-  const auto [r1, x1] = run_sstep(p, 1, cfg);
-  const auto [r3, x3] = run_sstep(p, 3, cfg);
+  const auto [r1, x1] = run_sstep(p, 1, "ortho=bcgs_pip2 rtol=1e-7");
+  const auto [r3, x3] = run_sstep(p, 3, "ortho=bcgs_pip2 rtol=1e-7");
   EXPECT_EQ(r1.iters, r3.iters);
   for (std::size_t i = 0; i < x1.size(); ++i) EXPECT_NEAR(x1[i], x3[i], 1e-9);
 }
 
 TEST(SstepGmres, BreakdownPolicyThrowSurfacesIllConditioning) {
   // An extremely ill-conditioned operator with monomial basis and large
-  // s will violate condition (5); kThrow must surface it.
+  // s will violate condition (5); breakdown=throw must surface it.
   auto s = sparse::make_surrogate("Ga41As41H72", 800);
   const Problem p = make_problem(std::move(s.matrix));
-  krylov::SStepGmresConfig cfg;
-  cfg.s = 15;
-  cfg.bs = 60;
-  cfg.scheme = OrthoScheme::kTwoStage;
-  cfg.policy = ortho::BreakdownPolicy::kThrow;
-  cfg.rtol = 1e-10;
-  cfg.max_restarts = 3;
+  const std::string spec =
+      "ortho=two_stage s=15 bs=60 rtol=1e-10 max_restarts=3";
   bool threw = false;
   try {
-    run_sstep(p, 1, cfg);
+    run_sstep(p, 1, spec + " breakdown=throw");
   } catch (const ortho::CholeskyBreakdown&) {
     threw = true;
   }
   EXPECT_TRUE(threw);
-  // Under kShift the same setup must complete without throwing.
-  cfg.policy = ortho::BreakdownPolicy::kShift;
-  EXPECT_NO_THROW(run_sstep(p, 1, cfg));
+  // Under breakdown=shift the same setup must complete without throwing.
+  EXPECT_NO_THROW(run_sstep(p, 1, spec + " breakdown=shift"));
 }
 
 }  // namespace
