@@ -12,7 +12,11 @@
 //                   exactly the software-dd overhead;
 //   * gemm_nn     — the panel update V -= Q R at the same shapes;
 //   * spmv        — 9-point 2-D Laplace stencil;
-//   * dot         — BLAS-1 baseline for context.
+//   * dot, axpy   — BLAS-1 baselines for context.
+// Every record carries a "simd" field naming the ISA the build's
+// kernel layer dispatched to (avx512 / avx2 / neon / scalar, see
+// util/simd.hpp); rebuild with -DTSBO_DISABLE_SIMD=ON to bench the
+// scalar fallback side of the on/off dimension.
 // Every configuration is run twice and compared bitwise (the kernel
 // layer's fixed-chunk reductions must make repeated runs identical),
 // and against the 1-thread result (which must also match bitwise).
@@ -27,6 +31,7 @@
 #include "dense/blas3.hpp"
 #include "dense/dd.hpp"
 #include "par/config.hpp"
+#include "util/simd.hpp"
 #include "sparse/generators.hpp"
 #include "sparse/spmv.hpp"
 #include "util/cli.hpp"
@@ -61,6 +66,7 @@ struct Measurement {
   std::string kernel;
   std::string shape;
   int threads = 1;
+  std::string simd = tsbo::simd::isa_name();  // compile-time ISA dispatch
   double seconds = 0.0;   // best of reps
   double gflops = 0.0;
   bool deterministic = false;   // repeated runs bit-identical
@@ -111,8 +117,9 @@ int main(int argc, char** argv) {
 
   std::printf(
       "# Kernel-layer thread sweep: gemm_tn / gemm_tn_dd / gemm_nn "
-      "(m = %d), spmv (%d x %d 9-pt Laplace), dot\n"
-      "# threads:", m, nx, nx);
+      "(m = %d), spmv (%d x %d 9-pt Laplace), dot, axpy\n"
+      "# simd: %s\n"
+      "# threads:", m, nx, nx, tsbo::simd::isa_name());
   for (const int t : threads) std::printf(" %d", t);
   std::printf("  (reps = %d, best-of)\n\n", reps);
 
@@ -186,6 +193,21 @@ int main(int argc, char** argv) {
           out[0] = dense::dot(x, y);
         }});
   }
+  {
+    // axpy mutates y, so every timed run restores the baseline via the
+    // O(m) assign below; the reported GFLOP/s therefore includes one
+    // baseline copy per run (conservative, but stable — the perf gate
+    // compares like against like).
+    Matrix a = random_matrix(m, 2, 9);
+    cases.push_back(Case{
+        "axpy", std::to_string(m),
+        2.0 * m,
+        [a = std::move(a), m](std::vector<double>& out) {
+          out.assign(a.col(1), a.col(1) + m);
+          const std::span<const double> x(a.col(0), static_cast<std::size_t>(m));
+          dense::axpy(0.5, x, std::span<double>(out));
+        }});
+  }
 
   util::Table table({"kernel", "shape", "threads", "best (ms)", "GFLOP/s",
                      "speedup", "bitwise"});
@@ -245,12 +267,14 @@ int main(int argc, char** argv) {
     util::JsonWriter w;
     w.begin_object();
     w.kv("bench", "kernels").kv("m", m);
+    w.kv("simd", tsbo::simd::isa_name());
     w.kv("hardware_concurrency", std::thread::hardware_concurrency());
     w.key("results").begin_array();
     for (const Measurement& meas : results) {
       w.begin_object();
       w.kv("kernel", meas.kernel)
           .kv("shape", meas.shape)
+          .kv("simd", meas.simd)
           .kv("threads", meas.threads)
           .kv("seconds", meas.seconds)
           .kv("gflops", meas.gflops)

@@ -70,9 +70,19 @@ def main():
         print(f"baseline updated: {args.fresh} -> {args.baseline}")
         return 0
 
-    _, base_rows = load(args.baseline)
-    _, fresh_rows = load(args.fresh)
+    base_doc, base_rows = load(args.baseline)
+    fresh_doc, fresh_rows = load(args.fresh)
     failures = []
+
+    # The kernel layer's compile-time SIMD ISA is part of each record;
+    # cross-ISA comparisons (committed avx512 baseline vs an avx2 or
+    # scalar runner) are legitimate but land in the tolerance band, so
+    # surface the pairing up front.
+    base_isa = base_doc.get("simd", "unknown")
+    fresh_isa = fresh_doc.get("simd", "unknown")
+    if base_isa != fresh_isa:
+        print(f"note: comparing across SIMD ISAs: baseline={base_isa} "
+              f"fresh={fresh_isa} (tolerance band absorbs the gap)")
 
     # 1. Determinism is machine-independent: gate every fresh row.
     for key, row in sorted(fresh_rows.items()):

@@ -1,35 +1,49 @@
 #include "dense/blas1.hpp"
 
 #include "par/config.hpp"
+#include "util/aligned.hpp"
+#include "util/simd.hpp"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <vector>
 
 namespace tsbo::dense {
 
 namespace {
 
 // Per-chunk kernels: each processes [begin, end) with a fixed
-// accumulation order, so the chunked drivers below are deterministic
-// for any thread count (see par/config.hpp).
+// accumulation order (vector lanes at fixed offsets from `begin`, then
+// the scalar tail), so the chunked drivers below are deterministic for
+// any thread count (see par/config.hpp and util/simd.hpp).
+
+constexpr std::size_t kW = simd::kLanes;
 
 double dot_range(const double* x, const double* y, std::size_t begin,
                  std::size_t end) {
-  // Four partial accumulators break the serial dependence chain and let
-  // the compiler vectorize; they also slightly improve rounding.
-  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-  std::size_t i = begin;
-  const std::size_t n4 = begin + (end - begin) / 4 * 4;
-  for (; i < n4; i += 4) {
-    s0 += x[i] * y[i];
-    s1 += x[i + 1] * y[i + 1];
-    s2 += x[i + 2] * y[i + 2];
-    s3 += x[i + 3] * y[i + 3];
+  const double* px = x + begin;
+  const double* py = y + begin;
+  const std::size_t n = end - begin;
+  // Four independent vector accumulators break the FMA dependence chain;
+  // they are combined pairwise in a fixed order below.
+  simd::Vec a0 = simd::zero(), a1 = simd::zero();
+  simd::Vec a2 = simd::zero(), a3 = simd::zero();
+  std::size_t i = 0;
+  for (; i + 4 * kW <= n; i += 4 * kW) {
+    a0 = simd::mul_add(simd::load(px + i), simd::load(py + i), a0);
+    a1 = simd::mul_add(simd::load(px + i + kW), simd::load(py + i + kW), a1);
+    a2 = simd::mul_add(simd::load(px + i + 2 * kW),
+                       simd::load(py + i + 2 * kW), a2);
+    a3 = simd::mul_add(simd::load(px + i + 3 * kW),
+                       simd::load(py + i + 3 * kW), a3);
   }
-  for (; i < end; ++i) s0 += x[i] * y[i];
-  return (s0 + s1) + (s2 + s3);
+  for (; i + kW <= n; i += kW) {
+    a0 = simd::mul_add(simd::load(px + i), simd::load(py + i), a0);
+  }
+  double s =
+      simd::reduce_add(simd::add(simd::add(a0, a1), simd::add(a2, a3)));
+  for (; i < n; ++i) s += px[i] * py[i];
+  return s;
 }
 
 double sumsq_range(const double* x, std::size_t begin, std::size_t end) {
@@ -37,9 +51,41 @@ double sumsq_range(const double* x, std::size_t begin, std::size_t end) {
 }
 
 double amax_range(const double* x, std::size_t begin, std::size_t end) {
-  double m = 0.0;
-  for (std::size_t i = begin; i < end; ++i) m = std::max(m, std::abs(x[i]));
+  const double* px = x + begin;
+  const std::size_t n = end - begin;
+  simd::Vec vm = simd::zero();
+  std::size_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    vm = simd::max(vm, simd::abs(simd::load(px + i)));
+  }
+  double m = simd::reduce_max(vm);
+  for (; i < n; ++i) m = std::max(m, std::abs(px[i]));
   return m;
+}
+
+double scaled_sumsq_range(const double* x, double inv, std::size_t begin,
+                          std::size_t end) {
+  const double* px = x + begin;
+  const std::size_t n = end - begin;
+  const simd::Vec vinv = simd::set1(inv);
+  simd::Vec a0 = simd::zero(), a1 = simd::zero();
+  std::size_t i = 0;
+  for (; i + 2 * kW <= n; i += 2 * kW) {
+    const simd::Vec t0 = simd::mul(simd::load(px + i), vinv);
+    const simd::Vec t1 = simd::mul(simd::load(px + i + kW), vinv);
+    a0 = simd::mul_add(t0, t0, a0);
+    a1 = simd::mul_add(t1, t1, a1);
+  }
+  for (; i + kW <= n; i += kW) {
+    const simd::Vec t0 = simd::mul(simd::load(px + i), vinv);
+    a0 = simd::mul_add(t0, t0, a0);
+  }
+  double s = simd::reduce_add(simd::add(a0, a1));
+  for (; i < n; ++i) {
+    const double t = px[i] * inv;
+    s += t * t;
+  }
+  return s;
 }
 
 /// Runs `range_fn` over the fixed chunks of [0, n) and combines the
@@ -49,7 +95,7 @@ double chunked_reduce(std::size_t n, const RangeFn& range_fn,
                       const Combine& combine) {
   if (n <= par::kReduceChunk) return range_fn(0, n);
   const std::size_t nchunks = par::reduce_chunk_count(n);
-  std::vector<double> partials(nchunks, 0.0);
+  util::aligned_vector<double> partials(nchunks, 0.0);
   par::for_reduce_chunks(
       n, [&](std::size_t ci, std::size_t b, std::size_t e) {
         partials[ci] = range_fn(b, e);
@@ -87,12 +133,7 @@ double nrm2(std::span<const double> x) {
   const double s = chunked_reduce(
       x.size(),
       [&](std::size_t b, std::size_t e) {
-        double acc = 0.0;
-        for (std::size_t i = b; i < e; ++i) {
-          const double t = x[i] * inv;
-          acc += t * t;
-        }
-        return acc;
+        return scaled_sumsq_range(x.data(), inv, b, e);
       },
       [](double a, double b) { return a + b; });
   return m * std::sqrt(s);
@@ -100,14 +141,30 @@ double nrm2(std::span<const double> x) {
 
 void axpy(double alpha, std::span<const double> x, std::span<double> y) {
   assert(x.size() == y.size());
+  const simd::Vec va = simd::set1(alpha);
   par::parallel_for_grained(x.size(), [&](std::size_t b, std::size_t e) {
-    for (std::size_t i = b; i < e; ++i) y[i] += alpha * x[i];
+    const double* px = x.data();
+    double* py = y.data();
+    std::size_t i = b;
+    for (; i + kW <= e; i += kW) {
+      simd::store(py + i,
+                  simd::mul_add(va, simd::load(px + i), simd::load(py + i)));
+    }
+    // Same rounding as the vector body: the grained partition moves
+    // with the thread count, so the tail must match lane-for-lane.
+    for (; i < e; ++i) py[i] = simd::mul_add(alpha, px[i], py[i]);
   });
 }
 
 void scal(double alpha, std::span<double> x) {
+  const simd::Vec va = simd::set1(alpha);
   par::parallel_for_grained(x.size(), [&](std::size_t b, std::size_t e) {
-    for (std::size_t i = b; i < e; ++i) x[i] *= alpha;
+    double* px = x.data();
+    std::size_t i = b;
+    for (; i + kW <= e; i += kW) {
+      simd::store(px + i, simd::mul(va, simd::load(px + i)));
+    }
+    for (; i < e; ++i) px[i] *= alpha;
   });
 }
 

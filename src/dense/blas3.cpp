@@ -1,11 +1,12 @@
 #include "dense/blas3.hpp"
 
 #include "par/config.hpp"
+#include "util/aligned.hpp"
+#include "util/simd.hpp"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <vector>
 
 namespace tsbo::dense {
 
@@ -16,10 +17,18 @@ namespace {
 constexpr index_t kRowBlock = 256;
 static_assert(par::kReduceChunk % static_cast<std::size_t>(kRowBlock) == 0);
 
+constexpr index_t kW = static_cast<index_t>(simd::kLanes);
+
+// Tile positions (multiples of kRowBlock) and the vector/tail split
+// within a tile depend only on the problem size, never on the thread
+// partition, so mixing fused vector lanes with scalar tails stays
+// bit-stable across thread counts.
+
 /// Shared GEMM prologue: C := beta * C.  beta == 0 overwrites (clearing
 /// NaN/Inf) rather than multiplying.  Threaded over rows for tall C.
 void scale_columns(double beta, MatrixView c) {
   if (beta == 1.0 || c.rows == 0 || c.cols == 0) return;
+  const simd::Vec vb = simd::set1(beta);
   par::parallel_for_grained(
       static_cast<std::size_t>(c.rows), [&](std::size_t b, std::size_t e) {
         const auto nb = static_cast<index_t>(e - b);
@@ -28,10 +37,88 @@ void scale_columns(double beta, MatrixView c) {
           if (beta == 0.0) {
             std::fill_n(cj, nb, 0.0);
           } else {
-            for (index_t i = 0; i < nb; ++i) cj[i] *= beta;
+            index_t i = 0;
+            for (; i + kW <= nb; i += kW) {
+              simd::store(cj + i, simd::mul(vb, simd::load(cj + i)));
+            }
+            for (; i < nb; ++i) cj[i] *= beta;
           }
         }
       });
+}
+
+/// cj[0, nb) += b0 * a0[0, nb) + b1 * a1[0, nb), fused per element.
+inline void fused_axpy2(double b0, const double* a0, double b1,
+                        const double* a1, double* cj, index_t nb) {
+  const simd::Vec v0 = simd::set1(b0);
+  const simd::Vec v1 = simd::set1(b1);
+  index_t i = 0;
+  for (; i + kW <= nb; i += kW) {
+    simd::Vec acc = simd::load(cj + i);
+    acc = simd::mul_add(v0, simd::load(a0 + i), acc);
+    acc = simd::mul_add(v1, simd::load(a1 + i), acc);
+    simd::store(cj + i, acc);
+  }
+  for (; i < nb; ++i) {
+    cj[i] = simd::mul_add(b1, a1[i], simd::mul_add(b0, a0[i], cj[i]));
+  }
+}
+
+/// cj[0, nb) += b0 * a0[0, nb), fused per element.
+inline void fused_axpy1(double b0, const double* a0, double* cj, index_t nb) {
+  const simd::Vec v0 = simd::set1(b0);
+  index_t i = 0;
+  for (; i + kW <= nb; i += kW) {
+    simd::store(cj + i,
+                simd::mul_add(v0, simd::load(a0 + i), simd::load(cj + i)));
+  }
+  for (; i < nb; ++i) cj[i] = simd::mul_add(b0, a0[i], cj[i]);
+}
+
+/// Two dot products (a0 . b), (a1 . b) over [0, nb) sharing the
+/// streamed b tile: two vector accumulators per product, folded in a
+/// fixed order, scalar tail appended last.
+inline void dot2(const double* a0, const double* a1, const double* bj,
+                 index_t nb, double& s0, double& s1) {
+  simd::Vec v0a = simd::zero(), v0b = simd::zero();
+  simd::Vec v1a = simd::zero(), v1b = simd::zero();
+  index_t r = 0;
+  for (; r + 2 * kW <= nb; r += 2 * kW) {
+    const simd::Vec b0 = simd::load(bj + r);
+    const simd::Vec b1 = simd::load(bj + r + kW);
+    v0a = simd::mul_add(simd::load(a0 + r), b0, v0a);
+    v0b = simd::mul_add(simd::load(a0 + r + kW), b1, v0b);
+    v1a = simd::mul_add(simd::load(a1 + r), b0, v1a);
+    v1b = simd::mul_add(simd::load(a1 + r + kW), b1, v1b);
+  }
+  for (; r + kW <= nb; r += kW) {
+    const simd::Vec b0 = simd::load(bj + r);
+    v0a = simd::mul_add(simd::load(a0 + r), b0, v0a);
+    v1a = simd::mul_add(simd::load(a1 + r), b0, v1a);
+  }
+  double t0 = simd::reduce_add(simd::add(v0a, v0b));
+  double t1 = simd::reduce_add(simd::add(v1a, v1b));
+  for (; r < nb; ++r) {
+    t0 += a0[r] * bj[r];
+    t1 += a1[r] * bj[r];
+  }
+  s0 = t0;
+  s1 = t1;
+}
+
+inline double dot1(const double* a0, const double* bj, index_t nb) {
+  simd::Vec v0a = simd::zero(), v0b = simd::zero();
+  index_t r = 0;
+  for (; r + 2 * kW <= nb; r += 2 * kW) {
+    v0a = simd::mul_add(simd::load(a0 + r), simd::load(bj + r), v0a);
+    v0b = simd::mul_add(simd::load(a0 + r + kW), simd::load(bj + r + kW), v0b);
+  }
+  for (; r + kW <= nb; r += kW) {
+    v0a = simd::mul_add(simd::load(a0 + r), simd::load(bj + r), v0a);
+  }
+  double s = simd::reduce_add(simd::add(v0a, v0b));
+  for (; r < nb; ++r) s += a0[r] * bj[r];
+  return s;
 }
 
 }  // namespace
@@ -58,16 +145,11 @@ void gemm_nn(double alpha, ConstMatrixView a, ConstMatrixView b, double beta,
             // the number of passes over the C tile.
             index_t l = 0;
             for (; l + 1 < k; l += 2) {
-              const double b0 = alpha * b(l, j);
-              const double b1 = alpha * b(l + 1, j);
-              const double* a0 = a.col(l) + i0;
-              const double* a1 = a.col(l + 1) + i0;
-              for (index_t i = 0; i < ib; ++i) cj[i] += b0 * a0[i] + b1 * a1[i];
+              fused_axpy2(alpha * b(l, j), a.col(l) + i0, alpha * b(l + 1, j),
+                          a.col(l + 1) + i0, cj, ib);
             }
             for (; l < k; ++l) {
-              const double b0 = alpha * b(l, j);
-              const double* a0 = a.col(l) + i0;
-              for (index_t i = 0; i < ib; ++i) cj[i] += b0 * a0[i];
+              fused_axpy1(alpha * b(l, j), a.col(l) + i0, cj, ib);
             }
           }
         }
@@ -88,7 +170,7 @@ void gemm_tn(double alpha, ConstMatrixView a, ConstMatrixView b, double beta,
       static_cast<std::size_t>(p) * static_cast<std::size_t>(n);
   const std::size_t nchunks =
       par::reduce_chunk_count(static_cast<std::size_t>(m));
-  std::vector<double> partials(nchunks * pn, 0.0);
+  util::aligned_vector<double> partials(nchunks * pn, 0.0);
   par::for_reduce_chunks(
       static_cast<std::size_t>(m),
       [&](std::size_t ci, std::size_t rb, std::size_t re) {
@@ -103,21 +185,13 @@ void gemm_tn(double alpha, ConstMatrixView a, ConstMatrixView b, double beta,
             index_t i = 0;
             // Two output dot-products per pass share the streamed bj tile.
             for (; i + 1 < p; i += 2) {
-              const double* a0 = a.col(i) + r0;
-              const double* a1 = a.col(i + 1) + r0;
               double s0 = 0.0, s1 = 0.0;
-              for (index_t r = 0; r < nb; ++r) {
-                s0 += a0[r] * bj[r];
-                s1 += a1[r] * bj[r];
-              }
+              dot2(a.col(i) + r0, a.col(i + 1) + r0, bj, nb, s0, s1);
               pj[i] += s0;
               pj[i + 1] += s1;
             }
             for (; i < p; ++i) {
-              const double* a0 = a.col(i) + r0;
-              double s0 = 0.0;
-              for (index_t r = 0; r < nb; ++r) s0 += a0[r] * bj[r];
-              pj[i] += s0;
+              pj[i] += dot1(a.col(i) + r0, bj, nb);
             }
           }
         }
@@ -145,10 +219,13 @@ void gemm_nt(double alpha, ConstMatrixView a, ConstMatrixView b, double beta,
         const auto nb = static_cast<index_t>(re - rb);
         for (index_t j = 0; j < n; ++j) {
           double* cj = c.col(j) + rlo;
-          for (index_t l = 0; l < k; ++l) {
-            const double blj = alpha * b(j, l);
-            const double* al = a.col(l) + rlo;
-            for (index_t i = 0; i < nb; ++i) cj[i] += blj * al[i];
+          index_t l = 0;
+          for (; l + 1 < k; l += 2) {
+            fused_axpy2(alpha * b(j, l), a.col(l) + rlo, alpha * b(j, l + 1),
+                        a.col(l + 1) + rlo, cj, nb);
+          }
+          for (; l < k; ++l) {
+            fused_axpy1(alpha * b(j, l), a.col(l) + rlo, cj, nb);
           }
         }
       });
@@ -173,11 +250,15 @@ void trsm_right_upper(ConstMatrixView u, MatrixView b) {
             for (index_t l = 0; l < j; ++l) {
               const double ulj = u(l, j);
               if (ulj == 0.0) continue;
-              const double* bl = b.col(l) + i0;
-              for (index_t i = 0; i < ib; ++i) bj[i] -= ulj * bl[i];
+              fused_axpy1(-ulj, b.col(l) + i0, bj, ib);
             }
             const double inv = 1.0 / u(j, j);
-            for (index_t i = 0; i < ib; ++i) bj[i] *= inv;
+            const simd::Vec vinv = simd::set1(inv);
+            index_t i = 0;
+            for (; i + kW <= ib; i += kW) {
+              simd::store(bj + i, simd::mul(vinv, simd::load(bj + i)));
+            }
+            for (; i < ib; ++i) bj[i] *= inv;
           }
         }
       });
@@ -198,12 +279,16 @@ void trmm_right_upper(ConstMatrixView u, MatrixView b) {
           for (index_t j = s - 1; j >= 0; --j) {
             double* bj = b.col(j) + i0;
             const double ujj = u(j, j);
-            for (index_t i = 0; i < ib; ++i) bj[i] *= ujj;
+            const simd::Vec vjj = simd::set1(ujj);
+            index_t i = 0;
+            for (; i + kW <= ib; i += kW) {
+              simd::store(bj + i, simd::mul(vjj, simd::load(bj + i)));
+            }
+            for (; i < ib; ++i) bj[i] *= ujj;
             for (index_t l = 0; l < j; ++l) {
               const double ulj = u(l, j);
               if (ulj == 0.0) continue;
-              const double* bl = b.col(l) + i0;
-              for (index_t i = 0; i < ib; ++i) bj[i] += ulj * bl[i];
+              fused_axpy1(ulj, b.col(l) + i0, bj, ib);
             }
           }
         }
@@ -231,12 +316,12 @@ double frobenius_norm(ConstMatrixView a) {
   const auto m = static_cast<std::size_t>(a.rows);
   const std::size_t nchunks = par::reduce_chunk_count(m);
   if (a.cols == 0 || nchunks == 0) return 0.0;
-  std::vector<double> partials(nchunks, 0.0);
+  util::aligned_vector<double> partials(nchunks, 0.0);
   par::for_reduce_chunks(m, [&](std::size_t ci, std::size_t b, std::size_t e) {
     double acc = 0.0;
     for (index_t j = 0; j < a.cols; ++j) {
-      const double* col = a.col(j);
-      for (std::size_t i = b; i < e; ++i) acc += col[i] * col[i];
+      const double* col = a.col(j) + b;
+      acc += dot1(col, col, static_cast<index_t>(e - b));
     }
     partials[ci] = acc;
   });

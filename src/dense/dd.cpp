@@ -1,11 +1,12 @@
 #include "dense/dd.hpp"
 
 #include "par/config.hpp"
+#include "util/aligned.hpp"
+#include "util/simd.hpp"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <vector>
 
 namespace tsbo::dense {
 
@@ -15,13 +16,74 @@ namespace {
 // par::kReduceChunk, so reduction chunks are whole numbers of tiles.
 constexpr index_t kRowBlock = 256;
 static_assert(par::kReduceChunk % static_cast<std::size_t>(kRowBlock) == 0);
+
+constexpr index_t kW = static_cast<index_t>(simd::kLanes);
+
+// Vectorized dd accumulation (the prime SIMD target: two_sum/two_prod
+// are branch-free, so every lane runs the exact scalar EFT sequence on
+// its strided subsequence).  Accumulation order per [0, nb) range is
+// fixed — two vector dd accumulators over stride 2*kW, folded lanewise
+// then lane-by-lane in ascending order, scalar tail appended last — so
+// the fixed-chunk reduction on top stays bit-identical at any thread
+// count.
+
+/// dd dot product of a0 and b over [0, nb).
+inline dd dot_dd_range(const double* a0, const double* bj, index_t nb) {
+  simd::VecDD va = simd::dd_zero(), vb = simd::dd_zero();
+  index_t r = 0;
+  for (; r + 2 * kW <= nb; r += 2 * kW) {
+    simd::dd_add(va, simd::vec_two_prod(simd::load(a0 + r),
+                                        simd::load(bj + r)));
+    simd::dd_add(vb, simd::vec_two_prod(simd::load(a0 + r + kW),
+                                        simd::load(bj + r + kW)));
+  }
+  for (; r + kW <= nb; r += kW) {
+    simd::dd_add(va, simd::vec_two_prod(simd::load(a0 + r),
+                                        simd::load(bj + r)));
+  }
+  simd::dd_add(va, vb);
+  dd s = simd::reduce(va);
+  for (; r < nb; ++r) dd_add(s, two_prod(a0[r], bj[r]));
+  return s;
+}
+
+/// Two dd dot products sharing the streamed bj tile (the gemm_tn_dd
+/// inner kernel): four vector dd accumulators keep the long
+/// renormalization chains independent.
+inline void dot2_dd_range(const double* a0, const double* a1,
+                          const double* bj, index_t nb, dd& s0, dd& s1) {
+  simd::VecDD v0a = simd::dd_zero(), v0b = simd::dd_zero();
+  simd::VecDD v1a = simd::dd_zero(), v1b = simd::dd_zero();
+  index_t r = 0;
+  for (; r + 2 * kW <= nb; r += 2 * kW) {
+    const simd::Vec b0 = simd::load(bj + r);
+    const simd::Vec b1 = simd::load(bj + r + kW);
+    simd::dd_add(v0a, simd::vec_two_prod(simd::load(a0 + r), b0));
+    simd::dd_add(v0b, simd::vec_two_prod(simd::load(a0 + r + kW), b1));
+    simd::dd_add(v1a, simd::vec_two_prod(simd::load(a1 + r), b0));
+    simd::dd_add(v1b, simd::vec_two_prod(simd::load(a1 + r + kW), b1));
+  }
+  for (; r + kW <= nb; r += kW) {
+    const simd::Vec b0 = simd::load(bj + r);
+    simd::dd_add(v0a, simd::vec_two_prod(simd::load(a0 + r), b0));
+    simd::dd_add(v1a, simd::vec_two_prod(simd::load(a1 + r), b0));
+  }
+  simd::dd_add(v0a, v0b);
+  simd::dd_add(v1a, v1b);
+  dd t0 = simd::reduce(v0a);
+  dd t1 = simd::reduce(v1a);
+  for (; r < nb; ++r) {
+    dd_add(t0, two_prod(a0[r], bj[r]));
+    dd_add(t1, two_prod(a1[r], bj[r]));
+  }
+  s0 = t0;
+  s1 = t1;
+}
+
 }  // namespace
 
 double dot_dd(const double* x, const double* y, index_t n) {
-  dd acc;
-  for (index_t i = 0; i < n; ++i) {
-    dd_add(acc, two_prod(x[i], y[i]));
-  }
+  const dd acc = dot_dd_range(x, y, n);
   return dd_to_double(acc);
 }
 
@@ -46,7 +108,7 @@ void gemm_tn_dd(ConstMatrixView a, ConstMatrixView b, MatrixView c_hi,
       static_cast<std::size_t>(p) * static_cast<std::size_t>(n);
   const std::size_t nchunks =
       par::reduce_chunk_count(static_cast<std::size_t>(m));
-  std::vector<dd> partials(std::max<std::size_t>(nchunks, 1) * pn);
+  util::aligned_vector<dd> partials(std::max<std::size_t>(nchunks, 1) * pn);
   par::for_reduce_chunks(
       static_cast<std::size_t>(m),
       [&](std::size_t ci, std::size_t rb, std::size_t re) {
@@ -60,26 +122,17 @@ void gemm_tn_dd(ConstMatrixView a, ConstMatrixView b, MatrixView c_hi,
             dd* pj = part + static_cast<std::size_t>(j) * p;
             const index_t ilim = symmetric ? j + 1 : p;
             index_t i = 0;
-            // Two dd dot products per pass share the streamed bj tile;
-            // the accumulators stay in registers across the tile.
+            // Two vectorized dd dot products per pass share the
+            // streamed bj tile; the vector accumulators stay in
+            // registers across the tile.
             for (; i + 1 < ilim; i += 2) {
-              const double* a0 = a.col(i) + r0;
-              const double* a1 = a.col(i + 1) + r0;
               dd s0, s1;
-              for (index_t r = 0; r < nb; ++r) {
-                dd_add(s0, two_prod(a0[r], bj[r]));
-                dd_add(s1, two_prod(a1[r], bj[r]));
-              }
+              dot2_dd_range(a.col(i) + r0, a.col(i + 1) + r0, bj, nb, s0, s1);
               dd_add(pj[i], s0);
               dd_add(pj[i + 1], s1);
             }
             for (; i < ilim; ++i) {
-              const double* a0 = a.col(i) + r0;
-              dd s0;
-              for (index_t r = 0; r < nb; ++r) {
-                dd_add(s0, two_prod(a0[r], bj[r]));
-              }
-              dd_add(pj[i], s0);
+              dd_add(pj[i], dot_dd_range(a.col(i) + r0, bj, nb));
             }
           }
         }

@@ -8,11 +8,11 @@
 // operations (Q^T V, V - Q R, V R^{-1}) whose unit-stride direction is
 // down a column.
 
-#include <algorithm>
+#include "util/aligned.hpp"
+
 #include <cassert>
 #include <cstddef>
 #include <span>
-#include <vector>
 
 namespace tsbo::dense {
 
@@ -33,11 +33,15 @@ struct ConstMatrixView {
     assert(i >= 0 && i < rows);
     return col(j)[i];
   }
-  /// Sub-block view [r0, r0+nr) x [c0, c0+nc).
+  /// Sub-block view [r0, r0+nr) x [c0, c0+nc).  Empty blocks at the
+  /// boundary (r0 == rows or c0 == cols with zero extent) are valid, so
+  /// the pointer is formed directly rather than through col()'s assert.
   [[nodiscard]] ConstMatrixView block(index_t r0, index_t c0, index_t nr,
                                       index_t nc) const {
     assert(r0 >= 0 && c0 >= 0 && r0 + nr <= rows && c0 + nc <= cols);
-    return {col(c0) + r0, nr, nc, ld};
+    return {data + static_cast<std::size_t>(c0) * static_cast<std::size_t>(ld) +
+                static_cast<std::size_t>(r0),
+            nr, nc, ld};
   }
   [[nodiscard]] ConstMatrixView columns(index_t c0, index_t nc) const {
     return block(0, c0, rows, nc);
@@ -63,7 +67,9 @@ struct MatrixView {
   [[nodiscard]] MatrixView block(index_t r0, index_t c0, index_t nr,
                                  index_t nc) const {
     assert(r0 >= 0 && c0 >= 0 && r0 + nr <= rows && c0 + nc <= cols);
-    return {col(c0) + r0, nr, nc, ld};
+    return {data + static_cast<std::size_t>(c0) * static_cast<std::size_t>(ld) +
+                static_cast<std::size_t>(r0),
+            nr, nc, ld};
   }
   [[nodiscard]] MatrixView columns(index_t c0, index_t nc) const {
     return block(0, c0, rows, nc);
@@ -75,14 +81,19 @@ struct MatrixView {
 };
 
 /// Owning column-major matrix (ld == rows).
+///
+/// Storage is 64-byte aligned (util::AlignedBuffer) and zero-filled by
+/// a parallel first touch, so the pages of a tall panel land on the
+/// threads that stream it; copy and move preserve the alignment
+/// invariant (copy re-allocates aligned and re-touches in parallel,
+/// move transfers the aligned allocation).
 class Matrix {
  public:
   Matrix() = default;
   Matrix(index_t rows, index_t cols)
       : rows_(rows),
         cols_(cols),
-        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
-              0.0) {
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols)) {
     assert(rows >= 0 && cols >= 0);
   }
 
@@ -117,10 +128,10 @@ class Matrix {
     return view().block(r0, c0, nr, nc);
   }
 
-  [[nodiscard]] std::span<double> data() { return data_; }
-  [[nodiscard]] std::span<const double> data() const { return data_; }
+  [[nodiscard]] std::span<double> data() { return data_.span(); }
+  [[nodiscard]] std::span<const double> data() const { return data_.span(); }
 
-  void set_zero() { std::fill(data_.begin(), data_.end(), 0.0); }
+  void set_zero() { data_.set_zero(); }
 
   /// Identity in the top-left min(rows, cols) block, zero elsewhere.
   static Matrix identity(index_t n);
@@ -128,7 +139,7 @@ class Matrix {
  private:
   index_t rows_ = 0;
   index_t cols_ = 0;
-  std::vector<double> data_;
+  util::AlignedBuffer data_;
 };
 
 /// Deep copy of a view into an owning Matrix.

@@ -4,6 +4,7 @@
 #include "dense/blas2.hpp"
 #include "dense/givens.hpp"
 #include "ortho/cgs.hpp"
+#include "util/aligned.hpp"
 
 #include <cassert>
 #include <vector>
@@ -38,7 +39,7 @@ SolveResult gmres(par::Communicator& comm, const sparse::DistCsr& a,
 
   PrecOperator op(a, m_prec);
   dense::Matrix basis(static_cast<index_t>(nloc), cfg.m + 1);
-  std::vector<double> r(nloc), tmp(nloc), z(nloc);
+  util::aligned_vector<double> r(nloc), tmp(nloc), z(nloc);
 
   res.timers.start("total");
   residual(comm, a, b, x, r, tmp, &res.timers);

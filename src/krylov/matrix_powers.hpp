@@ -10,6 +10,7 @@
 #include "krylov/basis.hpp"
 #include "precond/preconditioner.hpp"
 #include "sparse/dist_csr.hpp"
+#include "util/aligned.hpp"
 
 namespace tsbo::krylov {
 
@@ -36,7 +37,7 @@ class PrecOperator {
  private:
   const sparse::DistCsr& a_;
   const precond::Preconditioner* m_;
-  mutable std::vector<double> tmp_;
+  mutable util::aligned_vector<double> tmp_;
 };
 
 /// Runs MPK: fills basis columns [first_out, first_out + s) from the

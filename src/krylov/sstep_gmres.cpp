@@ -4,6 +4,7 @@
 #include "dense/blas2.hpp"
 #include "dense/givens.hpp"
 #include "krylov/hessenberg.hpp"
+#include "util/aligned.hpp"
 
 #include <cassert>
 #include <cmath>
@@ -142,7 +143,7 @@ SolveResult sstep_gmres(par::Communicator& comm, const sparse::DistCsr& a,
   dense::Matrix rmat(cfg.m + 1, cfg.m + 1);
   dense::Matrix lmat(cfg.m + 1, cfg.m + 1);
   dense::Matrix hmat(cfg.m + 1, cfg.m);
-  std::vector<double> r(nloc), tmp(nloc), z(nloc);
+  util::aligned_vector<double> r(nloc), tmp(nloc), z(nloc);
 
   res.timers.start("total");
   residual(comm, a, b, x, r, tmp, &res.timers);

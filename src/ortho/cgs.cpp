@@ -2,6 +2,7 @@
 
 #include "dense/blas1.hpp"
 #include "dense/blas2.hpp"
+#include "util/aligned.hpp"
 
 #include <algorithm>
 #include <cassert>
@@ -41,7 +42,7 @@ void cgs2_step(OrthoContext& ctx, ConstMatrixView q, std::span<double> v,
   std::fill(h.begin(), h.end(), 0.0);
 
   if (nq > 0) {
-    std::vector<double> c(nq, 0.0);
+    util::aligned_vector<double> c(nq, 0.0);
     project(ctx, q, v, c);
     update(ctx, q, c, v);
     for (std::size_t i = 0; i < nq; ++i) h[i] = c[i];

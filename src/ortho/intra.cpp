@@ -3,6 +3,7 @@
 #include "dense/blas1.hpp"
 #include "dense/blas3.hpp"
 #include "dense/dd.hpp"
+#include "util/aligned.hpp"
 
 #include <cassert>
 #include <cmath>
@@ -120,7 +121,7 @@ void hhqr(OrthoContext& ctx, MatrixView v, MatrixView r) {
   }
 
   // Reflector scales; reflector vectors overwrite v below the pivot row.
-  std::vector<double> tau(static_cast<std::size_t>(s), 0.0);
+  util::aligned_vector<double> tau(static_cast<std::size_t>(s), 0.0);
 
   auto timed_reduce = [&](std::span<double> buf) {
     if (!ctx.comm) return;
@@ -184,7 +185,7 @@ void hhqr(OrthoContext& ctx, MatrixView v, MatrixView r) {
   // Collect R: rows 0..s-1 of the reduced v live on rank 0; broadcast so
   // every rank holds the replicated factor (one more synchronization).
   {
-    std::vector<double> rbuf(static_cast<std::size_t>(s) * s, 0.0);
+    util::aligned_vector<double> rbuf(static_cast<std::size_t>(s) * s, 0.0);
     if (owns_pivots) {
       for (index_t jj = 0; jj < s; ++jj) {
         for (index_t ii = 0; ii < jj; ++ii) {

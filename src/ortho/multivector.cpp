@@ -3,6 +3,7 @@
 #include "dense/blas1.hpp"
 #include "dense/blas3.hpp"
 #include "dense/dd.hpp"
+#include "util/aligned.hpp"
 
 #include <algorithm>
 #include <cassert>
@@ -34,7 +35,7 @@ void reduce_sum(OrthoContext& ctx, MatrixView c) {
       // Strided view (a sub-block of the solver's global R matrix):
       // pack, reduce, unpack.  Reducing the raw strided memory would
       // corrupt the surrounding coefficients.
-      std::vector<double> packed(static_cast<std::size_t>(c.rows) *
+      util::aligned_vector<double> packed(static_cast<std::size_t>(c.rows) *
                                  static_cast<std::size_t>(c.cols));
       for (dense::index_t j = 0; j < c.cols; ++j) {
         std::copy_n(c.col(j), c.rows,
@@ -61,7 +62,7 @@ void reduce_sum_dd(OrthoContext& ctx, MatrixView hi, MatrixView lo) {
       ctx.comm->allreduce_sum_dd(std::span<double>(hi.data, total),
                                  std::span<double>(lo.data, total));
     } else {
-      std::vector<double> packed_hi(total), packed_lo(total);
+      util::aligned_vector<double> packed_hi(total), packed_lo(total);
       for (dense::index_t j = 0; j < hi.cols; ++j) {
         std::copy_n(hi.col(j), hi.rows,
                     packed_hi.data() + static_cast<std::size_t>(j) * hi.rows);

@@ -1,4 +1,5 @@
 #include "precond/chebyshev.hpp"
+#include "util/aligned.hpp"
 
 #include <algorithm>
 #include <cassert>
@@ -40,7 +41,7 @@ ChebyshevPolynomial::ChebyshevPolynomial(const sparse::DistCsr& a, int degree,
   r_.assign(static_cast<std::size_t>(n), 0.0);
 
   // Power method on D^{-1} A_local for lambda_max.
-  std::vector<double> v(static_cast<std::size_t>(n), 1.0), w(static_cast<std::size_t>(n));
+  util::aligned_vector<double> v(static_cast<std::size_t>(n), 1.0), w(static_cast<std::size_t>(n));
   double lambda = 1.0;
   for (int it = 0; it < power_iters; ++it) {
     scaled_spmv(v, w);

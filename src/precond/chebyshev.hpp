@@ -10,6 +10,7 @@
 
 #include "precond/preconditioner.hpp"
 #include "sparse/dist_csr.hpp"
+#include "util/aligned.hpp"
 
 #include <vector>
 
@@ -38,11 +39,11 @@ class ChebyshevPolynomial final : public Preconditioner {
   void scaled_spmv(std::span<const double> x, std::span<double> y) const;
 
   sparse::CsrMatrix block_;  // local diagonal block
-  std::vector<double> inv_diag_;
+  util::aligned_vector<double> inv_diag_;
   int degree_;
   double lmax_ = 1.0;
   double lmin_ = 0.1;
-  mutable std::vector<double> p_, z_, r_;
+  mutable util::aligned_vector<double> p_, z_, r_;
 };
 
 }  // namespace tsbo::precond

@@ -6,6 +6,8 @@
 // via std::int64_t row_ptr; column ids are 32-bit (the paper's largest
 // problem, n = 4e6, fits comfortably).
 
+#include "util/aligned.hpp"
+
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -25,12 +27,17 @@ struct Triplet {
 /// CSR sparse matrix.  `rows` counts the stored (possibly rank-local)
 /// rows; `cols` is the global column count.  Column indices within each
 /// row are strictly increasing.
+///
+/// The arrays are 64-byte aligned for the SIMD SpMV path; col_idx and
+/// values additionally skip the serial zero-fill on resize (their
+/// producers — the threaded generator builder and transpose — write
+/// every element, so the writing threads are the first touch).
 struct CsrMatrix {
   ord rows = 0;
   ord cols = 0;
-  std::vector<offset> row_ptr;  // size rows + 1
-  std::vector<ord> col_idx;     // size nnz
-  std::vector<double> values;   // size nnz
+  util::aligned_vector<offset> row_ptr;        // size rows + 1
+  util::aligned_uninit_vector<ord> col_idx;    // size nnz
+  util::aligned_uninit_vector<double> values;  // size nnz
 
   [[nodiscard]] offset nnz() const {
     return row_ptr.empty() ? 0 : row_ptr.back();

@@ -11,6 +11,7 @@
 #include "sparse/csr.hpp"
 #include "sparse/partition.hpp"
 #include "util/timer.hpp"
+#include "util/aligned.hpp"
 
 #include <span>
 #include <vector>
@@ -55,7 +56,7 @@ class DistCsr {
   std::vector<int> ghost_owner_;
   std::vector<ord> ghost_peer_offset_;  // gid - peer row_begin
   std::size_t max_recv_bytes_ = 0;      // largest per-peer pull
-  mutable std::vector<double> xbuf_;    // [x_local | ghosts]
+  mutable util::aligned_vector<double> xbuf_;    // [x_local | ghosts]
 };
 
 }  // namespace tsbo::sparse

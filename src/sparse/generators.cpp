@@ -1,5 +1,7 @@
 #include "sparse/generators.hpp"
 
+#include "par/config.hpp"
+
 #include <cassert>
 #include <cmath>
 
@@ -16,261 +18,336 @@ double hash01(std::uint64_t id, std::uint64_t seed) {
 
 namespace {
 
-struct TripletSink {
-  std::vector<Triplet> t;
-  void add(ord r, ord c, double v) { t.push_back({r, c, v}); }
-};
+/// Two-pass threaded CSR assembly from a deterministic per-row emitter.
+/// emit(i, add) must call add(col, value) for row i's entries in
+/// strictly ascending column order (debug-asserted in the fill pass —
+/// the CSR invariant that at()'s binary search and the distributed
+/// partitioning rely on, which the removed triplet path enforced by
+/// sorting), computing them from i alone; `count(i)` returns row i's
+/// entry count without evaluating values — pass-1 uses it so emitters
+/// with expensive entries (heterogeneous2d's pow-heavy conductivities)
+/// are evaluated once, in the fill pass.  The builder counts row
+/// lengths in a first parallel pass, exclusive-scans the row pointers,
+/// then fills col_idx/values in a second parallel pass.  Because every
+/// row's content is a pure function of the row index, the assembled
+/// matrix is bit-identical at any thread count — and to the former
+/// serial triplet path, whose (row, col) sort produced the same
+/// ascending order.  Writer threads touch exactly the nnz ranges they
+/// later stream in SpMV.
+template <typename Count, typename Emit>
+CsrMatrix csr_from_rows(ord rows, ord cols, const Count& count,
+                        const Emit& emit) {
+  CsrMatrix m;
+  m.rows = rows;
+  m.cols = cols;
+  m.row_ptr.assign(static_cast<std::size_t>(rows) + 1, 0);
+  par::parallel_for_grained(
+      static_cast<std::size_t>(rows), [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          m.row_ptr[i + 1] = count(static_cast<ord>(i));
+        }
+      });
+  for (std::size_t r = 1; r <= static_cast<std::size_t>(rows); ++r) {
+    m.row_ptr[r] += m.row_ptr[r - 1];
+  }
+  m.col_idx.resize(static_cast<std::size_t>(m.nnz()));
+  m.values.resize(static_cast<std::size_t>(m.nnz()));
+  par::parallel_for_grained(
+      static_cast<std::size_t>(rows), [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          offset k = m.row_ptr[i];
+          [[maybe_unused]] ord prev_col = -1;
+          emit(static_cast<ord>(i), [&](ord c, double v) {
+            assert(c > prev_col && "emitter must emit ascending columns");
+#ifndef NDEBUG
+            prev_col = c;
+#endif
+            m.col_idx[static_cast<std::size_t>(k)] = c;
+            m.values[static_cast<std::size_t>(k)] = v;
+            ++k;
+          });
+          assert(k == m.row_ptr[i + 1]);
+        }
+      });
+  return m;
+}
+
+/// Overload for emitters whose values are cheap: pass-1 runs the
+/// emitter itself, discarding values.
+template <typename Emit>
+CsrMatrix csr_from_rows(ord rows, ord cols, const Emit& emit) {
+  return csr_from_rows(
+      rows, cols,
+      [&](ord i) {
+        offset n = 0;
+        emit(i, [&](ord, double) { ++n; });
+        return n;
+      },
+      emit);
+}
 
 }  // namespace
 
 CsrMatrix laplace2d_5pt(ord nx, ord ny) {
   const ord n = nx * ny;
-  TripletSink s;
-  s.t.reserve(static_cast<std::size_t>(n) * 5);
-  for (ord y = 0; y < ny; ++y) {
-    for (ord x = 0; x < nx; ++x) {
-      const ord i = y * nx + x;
-      s.add(i, i, 4.0);
-      if (x > 0) s.add(i, i - 1, -1.0);
-      if (x < nx - 1) s.add(i, i + 1, -1.0);
-      if (y > 0) s.add(i, i - nx, -1.0);
-      if (y < ny - 1) s.add(i, i + nx, -1.0);
-    }
-  }
-  return csr_from_triplets(n, n, std::move(s.t));
+  return csr_from_rows(n, n, [nx, ny](ord i, auto&& add) {
+    const ord x = i % nx, y = i / nx;
+    if (y > 0) add(i - nx, -1.0);
+    if (x > 0) add(i - 1, -1.0);
+    add(i, 4.0);
+    if (x < nx - 1) add(i + 1, -1.0);
+    if (y < ny - 1) add(i + nx, -1.0);
+  });
 }
 
 CsrMatrix laplace2d_9pt(ord nx, ord ny) {
   const ord n = nx * ny;
-  TripletSink s;
-  s.t.reserve(static_cast<std::size_t>(n) * 9);
-  for (ord y = 0; y < ny; ++y) {
-    for (ord x = 0; x < nx; ++x) {
-      const ord i = y * nx + x;
-      s.add(i, i, 8.0);
-      for (ord dy = -1; dy <= 1; ++dy) {
-        for (ord dx = -1; dx <= 1; ++dx) {
-          if (dx == 0 && dy == 0) continue;
-          const ord xx = x + dx, yy = y + dy;
-          if (xx < 0 || xx >= nx || yy < 0 || yy >= ny) continue;
-          s.add(i, yy * nx + xx, -1.0);
-        }
+  return csr_from_rows(n, n, [nx, ny](ord i, auto&& add) {
+    const ord x = i % nx, y = i / nx;
+    for (ord dy = -1; dy <= 1; ++dy) {
+      for (ord dx = -1; dx <= 1; ++dx) {
+        const ord xx = x + dx, yy = y + dy;
+        if (xx < 0 || xx >= nx || yy < 0 || yy >= ny) continue;
+        add(yy * nx + xx, (dx == 0 && dy == 0) ? 8.0 : -1.0);
       }
     }
-  }
-  return csr_from_triplets(n, n, std::move(s.t));
+  });
 }
 
 CsrMatrix laplace3d_7pt(ord nx, ord ny, ord nz) {
   const ord n = nx * ny * nz;
-  TripletSink s;
-  s.t.reserve(static_cast<std::size_t>(n) * 7);
-  for (ord z = 0; z < nz; ++z) {
-    for (ord y = 0; y < ny; ++y) {
-      for (ord x = 0; x < nx; ++x) {
-        const ord i = (z * ny + y) * nx + x;
-        s.add(i, i, 6.0);
-        if (x > 0) s.add(i, i - 1, -1.0);
-        if (x < nx - 1) s.add(i, i + 1, -1.0);
-        if (y > 0) s.add(i, i - nx, -1.0);
-        if (y < ny - 1) s.add(i, i + nx, -1.0);
-        if (z > 0) s.add(i, i - nx * ny, -1.0);
-        if (z < nz - 1) s.add(i, i + nx * ny, -1.0);
-      }
-    }
-  }
-  return csr_from_triplets(n, n, std::move(s.t));
+  return csr_from_rows(n, n, [nx, ny, nz](ord i, auto&& add) {
+    const ord x = i % nx, y = (i / nx) % ny, z = i / (nx * ny);
+    if (z > 0) add(i - nx * ny, -1.0);
+    if (y > 0) add(i - nx, -1.0);
+    if (x > 0) add(i - 1, -1.0);
+    add(i, 6.0);
+    if (x < nx - 1) add(i + 1, -1.0);
+    if (y < ny - 1) add(i + nx, -1.0);
+    if (z < nz - 1) add(i + nx * ny, -1.0);
+  });
 }
 
 CsrMatrix laplace3d_27pt(ord nx, ord ny, ord nz) {
   const ord n = nx * ny * nz;
-  TripletSink s;
-  s.t.reserve(static_cast<std::size_t>(n) * 27);
-  for (ord z = 0; z < nz; ++z) {
-    for (ord y = 0; y < ny; ++y) {
-      for (ord x = 0; x < nx; ++x) {
-        const ord i = (z * ny + y) * nx + x;
-        s.add(i, i, 26.0);
-        for (ord dz = -1; dz <= 1; ++dz) {
-          for (ord dy = -1; dy <= 1; ++dy) {
-            for (ord dx = -1; dx <= 1; ++dx) {
-              if (dx == 0 && dy == 0 && dz == 0) continue;
-              const ord xx = x + dx, yy = y + dy, zz = z + dz;
-              if (xx < 0 || xx >= nx || yy < 0 || yy >= ny || zz < 0 ||
-                  zz >= nz) {
-                continue;
-              }
-              s.add(i, (zz * ny + yy) * nx + xx, -1.0);
-            }
+  return csr_from_rows(n, n, [nx, ny, nz](ord i, auto&& add) {
+    const ord x = i % nx, y = (i / nx) % ny, z = i / (nx * ny);
+    for (ord dz = -1; dz <= 1; ++dz) {
+      for (ord dy = -1; dy <= 1; ++dy) {
+        for (ord dx = -1; dx <= 1; ++dx) {
+          const ord xx = x + dx, yy = y + dy, zz = z + dz;
+          if (xx < 0 || xx >= nx || yy < 0 || yy >= ny || zz < 0 ||
+              zz >= nz) {
+            continue;
           }
+          add((zz * ny + yy) * nx + xx,
+              (dx == 0 && dy == 0 && dz == 0) ? 26.0 : -1.0);
         }
       }
     }
-  }
-  return csr_from_triplets(n, n, std::move(s.t));
+  });
 }
 
 CsrMatrix convection_diffusion3d(ord nx, ord ny, ord nz, double wx, double wy,
                                  double wz) {
   const ord n = nx * ny * nz;
-  TripletSink s;
-  s.t.reserve(static_cast<std::size_t>(n) * 7);
   // Diffusion 7-pt plus first-order upwind convection: for wind w > 0
   // the upwind neighbor is i-1, contributing (-w) off-diagonal and (+w)
   // to the diagonal.
   const double ax = std::abs(wx), ay = std::abs(wy), az = std::abs(wz);
-  for (ord z = 0; z < nz; ++z) {
-    for (ord y = 0; y < ny; ++y) {
-      for (ord x = 0; x < nx; ++x) {
-        const ord i = (z * ny + y) * nx + x;
-        s.add(i, i, 6.0 + ax + ay + az);
-        const double wxm = wx > 0 ? wx : 0.0, wxp = wx < 0 ? -wx : 0.0;
-        const double wym = wy > 0 ? wy : 0.0, wyp = wy < 0 ? -wy : 0.0;
-        const double wzm = wz > 0 ? wz : 0.0, wzp = wz < 0 ? -wz : 0.0;
-        if (x > 0) s.add(i, i - 1, -1.0 - wxm);
-        if (x < nx - 1) s.add(i, i + 1, -1.0 - wxp);
-        if (y > 0) s.add(i, i - nx, -1.0 - wym);
-        if (y < ny - 1) s.add(i, i + nx, -1.0 - wyp);
-        if (z > 0) s.add(i, i - nx * ny, -1.0 - wzm);
-        if (z < nz - 1) s.add(i, i + nx * ny, -1.0 - wzp);
-      }
-    }
-  }
-  return csr_from_triplets(n, n, std::move(s.t));
+  return csr_from_rows(n, n, [=](ord i, auto&& add) {
+    const ord x = i % nx, y = (i / nx) % ny, z = i / (nx * ny);
+    const double wxm = wx > 0 ? wx : 0.0, wxp = wx < 0 ? -wx : 0.0;
+    const double wym = wy > 0 ? wy : 0.0, wyp = wy < 0 ? -wy : 0.0;
+    const double wzm = wz > 0 ? wz : 0.0, wzp = wz < 0 ? -wz : 0.0;
+    if (z > 0) add(i - nx * ny, -1.0 - wzm);
+    if (y > 0) add(i - nx, -1.0 - wym);
+    if (x > 0) add(i - 1, -1.0 - wxm);
+    add(i, 6.0 + ax + ay + az);
+    if (x < nx - 1) add(i + 1, -1.0 - wxp);
+    if (y < ny - 1) add(i + nx, -1.0 - wyp);
+    if (z < nz - 1) add(i + nx * ny, -1.0 - wzp);
+  });
 }
 
 CsrMatrix elasticity3d(ord nx, ord ny, ord nz, bool wide, double coupling) {
   const ord nodes = nx * ny * nz;
   const ord n = 3 * nodes;
-  TripletSink s;
-  const int reach = wide ? 27 : 7;
-  s.t.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(reach) * 3);
-
-  auto node_id = [&](ord x, ord y, ord z) { return (z * ny + y) * nx + x; };
-
-  for (ord z = 0; z < nz; ++z) {
-    for (ord y = 0; y < ny; ++y) {
-      for (ord x = 0; x < nx; ++x) {
-        const ord nid = node_id(x, y, z);
-        int degree = 0;
-        for (ord dz = -1; dz <= 1; ++dz) {
-          for (ord dy = -1; dy <= 1; ++dy) {
-            for (ord dx = -1; dx <= 1; ++dx) {
-              if (dx == 0 && dy == 0 && dz == 0) continue;
-              if (!wide && (std::abs(dx) + std::abs(dy) + std::abs(dz)) != 1) {
-                continue;
-              }
-              const ord xx = x + dx, yy = y + dy, zz = z + dz;
-              if (xx < 0 || xx >= nx || yy < 0 || yy >= ny || zz < 0 ||
-                  zz >= nz) {
-                continue;
-              }
-              const ord mid = node_id(xx, yy, zz);
-              ++degree;
+  // Shared by the counting pass and the emission pass: the number of
+  // in-bounds stencil neighbors of node (x, y, z).
+  const auto node_degree = [=](ord x, ord y, ord z) {
+    int degree = 0;
+    for (ord dz = -1; dz <= 1; ++dz) {
+      for (ord dy = -1; dy <= 1; ++dy) {
+        for (ord dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0 && dz == 0) continue;
+          if (!wide && (std::abs(dx) + std::abs(dy) + std::abs(dz)) != 1) {
+            continue;
+          }
+          const ord xx = x + dx, yy = y + dy, zz = z + dz;
+          if (xx < 0 || xx >= nx || yy < 0 || yy >= ny || zz < 0 ||
+              zz >= nz) {
+            continue;
+          }
+          ++degree;
+        }
+      }
+    }
+    return degree;
+  };
+  // (degree + 1) node blocks of 3 columns each; avoids running the
+  // full block-emission sweep in the counting pass.
+  const auto row_count = [=](ord i) {
+    const ord nid = i / 3;
+    return static_cast<offset>(
+        3 * (node_degree(nid % nx, (nid / nx) % ny, nid / (nx * ny)) + 1));
+  };
+  return csr_from_rows(n, n, row_count, [=](ord i, auto&& add) {
+    const ord nid = i / 3;
+    const int c = static_cast<int>(i % 3);
+    const ord x = nid % nx, y = (nid / nx) % ny, z = nid / (nx * ny);
+    // The node-diagonal 3x3 block (dominant enough to keep the
+    // symmetric operator positive definite) needs the degree but sits
+    // mid-row in column order, so it is computed up front.
+    const int degree = node_degree(x, y, z);
+    for (ord dz = -1; dz <= 1; ++dz) {
+      for (ord dy = -1; dy <= 1; ++dy) {
+        for (ord dx = -1; dx <= 1; ++dx) {
+          const bool self = dx == 0 && dy == 0 && dz == 0;
+          if (!self && !wide &&
+              (std::abs(dx) + std::abs(dy) + std::abs(dz)) != 1) {
+            continue;
+          }
+          const ord xx = x + dx, yy = y + dy, zz = z + dz;
+          if (xx < 0 || xx >= nx || yy < 0 || yy >= ny || zz < 0 ||
+              zz >= nz) {
+            continue;
+          }
+          const ord mid = (zz * ny + yy) * nx + xx;
+          for (int d = 0; d < 3; ++d) {
+            double v;
+            if (self) {
+              v = (c == d) ? static_cast<double>(degree) + 1.0 : coupling;
+            } else {
               // Neighbor coupling: full 3x3 block.  Diagonal of the
               // block is the Laplacian stencil; off-diagonals mix
               // displacement components (shear-like terms).
-              for (int c = 0; c < 3; ++c) {
-                for (int d = 0; d < 3; ++d) {
-                  const double v = (c == d) ? -1.0 : -coupling * 0.25;
-                  s.add(3 * nid + c, 3 * mid + d, v);
-                }
-              }
+              v = (c == d) ? -1.0 : -coupling * 0.25;
             }
-          }
-        }
-        // Node-diagonal 3x3 block: dominant enough to keep the operator
-        // positive definite in its symmetric version.
-        for (int c = 0; c < 3; ++c) {
-          for (int d = 0; d < 3; ++d) {
-            const double v =
-                (c == d) ? static_cast<double>(degree) + 1.0 : coupling;
-            s.add(3 * nid + c, 3 * nid + d, v);
+            add(3 * mid + d, v);
           }
         }
       }
     }
-  }
-  return csr_from_triplets(n, n, std::move(s.t));
+  });
 }
 
 CsrMatrix heterogeneous2d(ord nx, ord ny, bool nine_point, double decades,
                           std::uint64_t seed) {
   const ord n = nx * ny;
-  TripletSink s;
-  s.t.reserve(static_cast<std::size_t>(n) * (nine_point ? 9 : 5));
 
   // Lognormal cell conductivity; edges use the harmonic mean of the two
   // cells they join (standard finite-volume treatment of jumps).
-  auto kcell = [&](ord x, ord y) {
+  auto kcell = [=](ord x, ord y) {
     return std::pow(10.0, decades * (hash01(static_cast<std::uint64_t>(y) * nx + x,
                                             seed) -
                                      0.5));
   };
-  auto kedge = [&](ord x0, ord y0, ord x1, ord y1) {
+  auto kedge = [=](ord x0, ord y0, ord x1, ord y1) {
     const double a = kcell(x0, y0), b = kcell(x1, y1);
     return 2.0 * a * b / (a + b);
   };
 
-  for (ord y = 0; y < ny; ++y) {
-    for (ord x = 0; x < nx; ++x) {
-      const ord i = y * nx + x;
-      double diag = 0.0;
-      for (ord dy = -1; dy <= 1; ++dy) {
-        for (ord dx = -1; dx <= 1; ++dx) {
-          if (dx == 0 && dy == 0) continue;
-          if (!nine_point && dx != 0 && dy != 0) continue;
-          const ord xx = x + dx, yy = y + dy;
-          if (xx < 0 || xx >= nx || yy < 0 || yy >= ny) continue;
-          // Diagonal stencil legs are weighted half (9-pt consistency).
-          const double w = (dx != 0 && dy != 0) ? 0.5 : 1.0;
-          const double k = w * kedge(x, y, xx, yy);
-          s.add(i, yy * nx + xx, -k);
-          diag += k;
-        }
+  // Closed-form count keeps the pow-heavy conductivity evaluations out
+  // of the counting pass.
+  const auto row_count = [=](ord i) {
+    const ord x = i % nx, y = i / nx;
+    offset cnt = 1;  // diagonal
+    for (ord dy = -1; dy <= 1; ++dy) {
+      for (ord dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0) continue;
+        if (!nine_point && dx != 0 && dy != 0) continue;
+        const ord xx = x + dx, yy = y + dy;
+        if (xx < 0 || xx >= nx || yy < 0 || yy >= ny) continue;
+        ++cnt;
       }
-      // +1 keeps Dirichlet-like definiteness at the boundary.
-      s.add(i, i, diag + 1e-8 + 1.0 * kcell(x, y) * 1e-2);
     }
-  }
-  return csr_from_triplets(n, n, std::move(s.t));
+    return cnt;
+  };
+
+  return csr_from_rows(n, n, row_count, [=](ord i, auto&& add) {
+    const ord x = i % nx, y = i / nx;
+    // One sweep evaluates each pow-heavy edge weight exactly once,
+    // staging the (col, value) pairs; the diagonal (accumulated in the
+    // same neighbor order as the former serial path, so its bits are
+    // unchanged) is then spliced into its ascending-column position.
+    ord ncol[8];
+    double nval[8];
+    int cnt = 0;
+    double diag = 0.0;
+    for (ord dy = -1; dy <= 1; ++dy) {
+      for (ord dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0) continue;
+        if (!nine_point && dx != 0 && dy != 0) continue;
+        const ord xx = x + dx, yy = y + dy;
+        if (xx < 0 || xx >= nx || yy < 0 || yy >= ny) continue;
+        // Diagonal stencil legs are weighted half (9-pt consistency).
+        const double k = ((dx != 0 && dy != 0) ? 0.5 : 1.0) *
+                         kedge(x, y, xx, yy);
+        diag += k;
+        ncol[cnt] = yy * nx + xx;
+        nval[cnt] = -k;
+        ++cnt;
+      }
+    }
+    // +1 keeps Dirichlet-like definiteness at the boundary.
+    const double dval = diag + 1e-8 + 1.0 * kcell(x, y) * 1e-2;
+    bool diag_emitted = false;
+    for (int t = 0; t < cnt; ++t) {
+      if (!diag_emitted && ncol[t] > i) {
+        add(i, dval);
+        diag_emitted = true;
+      }
+      add(ncol[t], nval[t]);
+    }
+    if (!diag_emitted) add(i, dval);
+  });
 }
 
 CsrMatrix anisotropic3d(ord nx, ord ny, ord nz, double eps_y, double eps_z) {
   const ord n = nx * ny * nz;
-  TripletSink s;
-  s.t.reserve(static_cast<std::size_t>(n) * 7);
-  for (ord z = 0; z < nz; ++z) {
-    for (ord y = 0; y < ny; ++y) {
-      for (ord x = 0; x < nx; ++x) {
-        const ord i = (z * ny + y) * nx + x;
-        s.add(i, i, 2.0 + 2.0 * eps_y + 2.0 * eps_z);
-        if (x > 0) s.add(i, i - 1, -1.0);
-        if (x < nx - 1) s.add(i, i + 1, -1.0);
-        if (y > 0) s.add(i, i - nx, -eps_y);
-        if (y < ny - 1) s.add(i, i + nx, -eps_y);
-        if (z > 0) s.add(i, i - nx * ny, -eps_z);
-        if (z < nz - 1) s.add(i, i + nx * ny, -eps_z);
-      }
-    }
-  }
-  return csr_from_triplets(n, n, std::move(s.t));
+  return csr_from_rows(n, n, [=](ord i, auto&& add) {
+    const ord x = i % nx, y = (i / nx) % ny, z = i / (nx * ny);
+    if (z > 0) add(i - nx * ny, -eps_z);
+    if (y > 0) add(i - nx, -eps_y);
+    if (x > 0) add(i - 1, -1.0);
+    add(i, 2.0 + 2.0 * eps_y + 2.0 * eps_z);
+    if (x < nx - 1) add(i + 1, -1.0);
+    if (y < ny - 1) add(i + nx, -eps_y);
+    if (z < nz - 1) add(i + nx * ny, -eps_z);
+  });
 }
 
 void apply_diagonal_spread(CsrMatrix& a, double decades, std::uint64_t seed) {
   assert(a.rows == a.cols);
   std::vector<double> d(static_cast<std::size_t>(a.rows));
-  for (ord i = 0; i < a.rows; ++i) {
-    d[static_cast<std::size_t>(i)] = std::pow(
-        10.0, decades * (hash01(static_cast<std::uint64_t>(i), seed) - 0.5));
-  }
-  for (ord i = 0; i < a.rows; ++i) {
-    for (offset k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
-      const std::size_t kk = static_cast<std::size_t>(k);
-      a.values[kk] *= d[static_cast<std::size_t>(i)] *
-                      d[static_cast<std::size_t>(a.col_idx[kk])];
-    }
-  }
+  par::parallel_for_grained(
+      static_cast<std::size_t>(a.rows), [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          d[i] = std::pow(
+              10.0, decades * (hash01(static_cast<std::uint64_t>(i), seed) - 0.5));
+        }
+      });
+  par::parallel_for_grained(
+      static_cast<std::size_t>(a.rows), [&](std::size_t b, std::size_t e) {
+        for (ord i = static_cast<ord>(b); i < static_cast<ord>(e); ++i) {
+          for (offset k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+            const std::size_t kk = static_cast<std::size_t>(k);
+            a.values[kk] *= d[static_cast<std::size_t>(i)] *
+                            d[static_cast<std::size_t>(a.col_idx[kk])];
+          }
+        }
+      });
 }
 
 }  // namespace tsbo::sparse

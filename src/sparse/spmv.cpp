@@ -1,6 +1,7 @@
 #include "sparse/spmv.hpp"
 
 #include "par/config.hpp"
+#include "util/simd.hpp"
 
 #include <cassert>
 
@@ -9,8 +10,45 @@ namespace tsbo::sparse {
 namespace {
 
 // Pointer-based row kernels shared by every public entry point.  Each
-// row's accumulation order is fixed by the CSR layout, so any row
-// partition across threads reproduces the serial bits exactly.
+// row's accumulation order is fixed by the CSR layout (vector lanes at
+// fixed offsets from the row start — x values gathered through the
+// 32-bit column ordinals — then the scalar tail), so any row partition
+// across threads reproduces the serial bits exactly.
+
+constexpr offset kW = static_cast<offset>(simd::kLanes);
+
+// Stencil rows (7-27 nnz) are too short to amortize gather latency and
+// the horizontal reduce; they keep the plain serial-accumulation loop
+// (measured at parity with unrolled variants — the row is index-load
+// bound, not FMA-chain bound).  Wide rows (suitesparse-like irregular
+// matrices) go through the gather-vectorized loop.  The split is on
+// the row's nnz only — a per-build constant — so any row partition
+// across threads reproduces the same bits.
+constexpr offset kGatherMinRow = 4 * kW;
+
+inline double row_dot(const double* val, const ord* col, offset len,
+                      const double* x) {
+  if (len >= kGatherMinRow) {
+    simd::Vec acc0 = simd::zero(), acc1 = simd::zero();
+    offset k = 0;
+    for (; k + 2 * kW <= len; k += 2 * kW) {
+      acc0 =
+          simd::mul_add(simd::load(val + k), simd::gather(x, col + k), acc0);
+      acc1 = simd::mul_add(simd::load(val + k + kW),
+                           simd::gather(x, col + k + kW), acc1);
+    }
+    for (; k + kW <= len; k += kW) {
+      acc0 =
+          simd::mul_add(simd::load(val + k), simd::gather(x, col + k), acc0);
+    }
+    double s = simd::reduce_add(simd::add(acc0, acc1));
+    for (; k < len; ++k) s += val[k] * x[col[k]];
+    return s;
+  }
+  double s = 0.0;
+  for (offset k = 0; k < len; ++k) s += val[k] * x[col[k]];
+  return s;
+}
 
 inline void spmv_range(const CsrMatrix& a, ord begin, ord end,
                        const double* x, double* y) {
@@ -18,9 +56,7 @@ inline void spmv_range(const CsrMatrix& a, ord begin, ord end,
   const ord* col = a.col_idx.data();
   const double* val = a.values.data();
   for (ord i = begin; i < end; ++i) {
-    double s = 0.0;
-    for (offset k = rp[i]; k < rp[i + 1]; ++k) s += val[k] * x[col[k]];
-    y[i] = s;
+    y[i] = row_dot(val + rp[i], col + rp[i], rp[i + 1] - rp[i], x);
   }
 }
 
@@ -31,8 +67,7 @@ inline void spmv_range_scaled(double alpha, const CsrMatrix& a, ord begin,
   const ord* col = a.col_idx.data();
   const double* val = a.values.data();
   for (ord i = begin; i < end; ++i) {
-    double s = 0.0;
-    for (offset k = rp[i]; k < rp[i + 1]; ++k) s += val[k] * x[col[k]];
+    const double s = row_dot(val + rp[i], col + rp[i], rp[i + 1] - rp[i], x);
     y[i] = alpha * s + beta * y[i];
   }
 }

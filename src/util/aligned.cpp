@@ -1,0 +1,64 @@
+#include "util/aligned.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace tsbo::util {
+
+namespace {
+
+double* allocate_doubles(std::size_t n) {
+  if (n == 0) return nullptr;
+  return static_cast<double*>(
+      ::operator new(n * sizeof(double), std::align_val_t{kBufferAlign}));
+}
+
+void deallocate_doubles(double* p, std::size_t n) noexcept {
+  if (p != nullptr) {
+    ::operator delete(p, n * sizeof(double), std::align_val_t{kBufferAlign});
+  }
+}
+
+}  // namespace
+
+AlignedBuffer::AlignedBuffer(std::size_t n)
+    : data_(allocate_doubles(n)), size_(n) {
+  set_zero();
+}
+
+AlignedBuffer::AlignedBuffer(const AlignedBuffer& other)
+    : data_(allocate_doubles(other.size_)), size_(other.size_) {
+  // Parallel copy doubles as the first touch of the new pages, using
+  // the same contiguous partition the kernels stream with.
+  par::parallel_for_grained(size_, [&](std::size_t b, std::size_t e) {
+    std::copy(other.data_ + b, other.data_ + e, data_ + b);
+  });
+}
+
+AlignedBuffer::AlignedBuffer(AlignedBuffer&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+AlignedBuffer& AlignedBuffer::operator=(const AlignedBuffer& other) {
+  if (this != &other) *this = AlignedBuffer(other);
+  return *this;
+}
+
+AlignedBuffer& AlignedBuffer::operator=(AlignedBuffer&& other) noexcept {
+  if (this != &other) {
+    deallocate_doubles(data_, size_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+AlignedBuffer::~AlignedBuffer() { deallocate_doubles(data_, size_); }
+
+void AlignedBuffer::set_zero() {
+  par::parallel_for_grained(size_, [&](std::size_t b, std::size_t e) {
+    std::fill(data_ + b, data_ + e, 0.0);
+  });
+}
+
+}  // namespace tsbo::util

@@ -1,0 +1,126 @@
+#pragma once
+// Cache-line-aligned storage for the kernel layer.
+//
+// Every buffer that the SIMD kernels stream (dense panels, CSR arrays,
+// ortho/krylov scratch vectors) is allocated on a 64-byte boundary:
+// loads stay unaligned-safe (the kernels use loadu), but an aligned
+// base keeps vectors from straddling cache lines and makes the panel
+// start a page-friendly first-touch target.
+//
+// Two tools:
+//   * AlignedAllocator / aligned_vector — drop-in std::vector storage
+//     at 64-byte alignment.  The allocator is stateless, so vector
+//     copy/move/swap preserve the alignment invariant by construction.
+//   * AlignedBuffer — owning double buffer for dense::Matrix panels
+//     with *parallel first-touch* initialization: the zero-fill (and
+//     the copy in the copy constructor) run through
+//     par::parallel_for_grained, so on NUMA systems the pages of a tall
+//     panel land on the threads that will stream them, in the same
+//     contiguous partition the kernels use.
+
+#include "par/config.hpp"
+
+#include <cstddef>
+#include <new>
+#include <span>
+#include <vector>
+
+namespace tsbo::util {
+
+/// Alignment of every kernel-visible buffer (one x86 cache line; also a
+/// whole number of AVX-512 vectors).
+inline constexpr std::size_t kBufferAlign = 64;
+
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}  // NOLINT
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{kBufferAlign}));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{kBufferAlign});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+/// std::vector with 64-byte-aligned storage (value semantics unchanged).
+template <typename T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+/// AlignedAllocator that default-initializes on no-argument construct:
+/// resize(n) leaves trivial element types uninitialized instead of
+/// serially zero-filling, so a parallel fill pass that writes every
+/// element is the *first* touch of the pages (NUMA placement by the
+/// writer threads).  Only for buffers whose producer provably writes
+/// every element — e.g. the CSR assembly passes.  Explicit-value forms
+/// (assign(n, v), resize(n, v), push_back) behave as usual.
+template <typename T>
+struct DefaultInitAlignedAllocator : AlignedAllocator<T> {
+  using value_type = T;
+
+  DefaultInitAlignedAllocator() noexcept = default;
+  template <typename U>
+  DefaultInitAlignedAllocator(  // NOLINT
+      const DefaultInitAlignedAllocator<U>&) noexcept {}
+
+  template <typename U>
+  void construct(U* p) noexcept(noexcept(::new (static_cast<void*>(p)) U)) {
+    ::new (static_cast<void*>(p)) U;
+  }
+
+  template <typename U>
+  bool operator==(const DefaultInitAlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+/// std::vector that is 64-byte aligned and skips zero-fill on resize
+/// (see DefaultInitAlignedAllocator's contract).
+template <typename T>
+using aligned_uninit_vector = std::vector<T, DefaultInitAlignedAllocator<T>>;
+
+/// Owning 64-byte-aligned double buffer with parallel first-touch
+/// initialization.  Copy re-touches in parallel; move transfers the
+/// (already aligned) allocation; a moved-from buffer is empty.
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+  /// Allocates n doubles and zero-fills them in parallel (first touch).
+  explicit AlignedBuffer(std::size_t n);
+  AlignedBuffer(const AlignedBuffer& other);
+  AlignedBuffer(AlignedBuffer&& other) noexcept;
+  AlignedBuffer& operator=(const AlignedBuffer& other);
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept;
+  ~AlignedBuffer();
+
+  [[nodiscard]] double* data() { return data_; }
+  [[nodiscard]] const double* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  [[nodiscard]] double& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] double operator[](std::size_t i) const { return data_[i]; }
+
+  [[nodiscard]] std::span<double> span() { return {data_, size_}; }
+  [[nodiscard]] std::span<const double> span() const {
+    return {data_, size_};
+  }
+
+  /// Parallel zero-fill (same partition as the allocating first touch).
+  void set_zero();
+
+ private:
+  double* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace tsbo::util

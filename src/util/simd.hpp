@@ -1,0 +1,316 @@
+#pragma once
+// Portable fixed-width SIMD layer for the kernel hot loops.
+//
+// One ISA is selected at compile time (no runtime dispatch — the whole
+// build agrees on one lane width, which is what makes the determinism
+// contract below checkable):
+//
+//   macro context                     Vec width   isa_name()
+//   __AVX512F__                        8 x f64     "avx512"
+//   __AVX2__ && __FMA__                4 x f64     "avx2"
+//   __ARM_NEON                         2 x f64     "neon"
+//   otherwise / TSBO_DISABLE_SIMD      4 x f64     "scalar" (plain C++)
+//
+// The CMake option TSBO_SIMD picks the ISA flags (default "native");
+// -DTSBO_DISABLE_SIMD=ON is the escape hatch that forces the scalar
+// fallback regardless of what the compiler would support.
+//
+// Determinism contract (same-build): every operation here is a fixed
+// per-lane instruction sequence, and the horizontal reductions fold
+// lanes in a fixed order (pairwise for reduce_add/reduce_max, ascending
+// lane index for the dd reduce).  A kernel built on Vec therefore
+// produces bit-identical results run-to-run and across thread counts —
+// the fixed-chunk reduction scheme of par/config.hpp is untouched and
+// lane boundaries within a chunk depend only on the chunk bounds.
+// Cross-ISA bit-identity is explicitly NOT promised: an avx512 build
+// and a scalar build associate additions differently (both are valid
+// O(eps) results; the dd kernels agree to ~u_dd either way).
+//
+// EFT primitives: vec_two_sum / vec_two_prod / dd_add on VecDD apply
+// exactly the scalar util/eft.hpp flop sequence to every lane (the EFTs
+// are branch-free, which is why they vectorize cleanly), so lane l of a
+// vectorized dd accumulation is bit-identical to a scalar eft
+// accumulation of that lane's strided subsequence — tests/test_simd.cpp
+// pins this.  vec_two_prod requires a correctly rounded fused
+// multiply-add: hardware FMA on the SIMD ISAs, std::fma on the scalar
+// fallback.
+//
+// mul_add(a, b, c) = a*b + c is the *performance* contract (fused where
+// the ISA has FMA, two roundings on the scalar fallback); use the EFT
+// primitives, never mul_add, where exactness matters.
+
+#include "util/eft.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#if !defined(TSBO_DISABLE_SIMD)
+#if defined(__AVX512F__)
+#define TSBO_SIMD_AVX512 1
+#include <immintrin.h>
+#elif defined(__AVX2__) && defined(__FMA__)
+#define TSBO_SIMD_AVX2 1
+#include <immintrin.h>
+#elif defined(__ARM_NEON)
+#define TSBO_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+#endif
+
+namespace tsbo::simd {
+
+#if defined(TSBO_SIMD_AVX512)
+
+struct Vec {
+  __m512d v;
+  static constexpr std::size_t kLanes = 8;
+};
+
+inline const char* isa_name() { return "avx512"; }
+inline Vec zero() { return {_mm512_setzero_pd()}; }
+inline Vec set1(double x) { return {_mm512_set1_pd(x)}; }
+inline Vec load(const double* p) { return {_mm512_loadu_pd(p)}; }
+inline void store(double* p, Vec a) { _mm512_storeu_pd(p, a.v); }
+inline Vec add(Vec a, Vec b) { return {_mm512_add_pd(a.v, b.v)}; }
+inline Vec sub(Vec a, Vec b) { return {_mm512_sub_pd(a.v, b.v)}; }
+inline Vec mul(Vec a, Vec b) { return {_mm512_mul_pd(a.v, b.v)}; }
+/// a*b + c, fused.
+inline Vec mul_add(Vec a, Vec b, Vec c) {
+  return {_mm512_fmadd_pd(a.v, b.v, c.v)};
+}
+/// a*b - c as a single correctly rounded operation (EFT residuals).
+inline Vec fms_exact(Vec a, Vec b, Vec c) {
+  return {_mm512_fmsub_pd(a.v, b.v, c.v)};
+}
+inline Vec abs(Vec a) { return {_mm512_abs_pd(a.v)}; }
+inline Vec max(Vec a, Vec b) { return {_mm512_max_pd(a.v, b.v)}; }
+/// Loads lanes base[idx[0..kLanes)] (32-bit indices, CSR ordinals).
+inline Vec gather(const double* base, const std::int32_t* idx) {
+  const __m256i vi =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx));
+  return {_mm512_i32gather_pd(vi, base, 8)};
+}
+
+#elif defined(TSBO_SIMD_AVX2)
+
+struct Vec {
+  __m256d v;
+  static constexpr std::size_t kLanes = 4;
+};
+
+inline const char* isa_name() { return "avx2"; }
+inline Vec zero() { return {_mm256_setzero_pd()}; }
+inline Vec set1(double x) { return {_mm256_set1_pd(x)}; }
+inline Vec load(const double* p) { return {_mm256_loadu_pd(p)}; }
+inline void store(double* p, Vec a) { _mm256_storeu_pd(p, a.v); }
+inline Vec add(Vec a, Vec b) { return {_mm256_add_pd(a.v, b.v)}; }
+inline Vec sub(Vec a, Vec b) { return {_mm256_sub_pd(a.v, b.v)}; }
+inline Vec mul(Vec a, Vec b) { return {_mm256_mul_pd(a.v, b.v)}; }
+inline Vec mul_add(Vec a, Vec b, Vec c) {
+  return {_mm256_fmadd_pd(a.v, b.v, c.v)};
+}
+inline Vec fms_exact(Vec a, Vec b, Vec c) {
+  return {_mm256_fmsub_pd(a.v, b.v, c.v)};
+}
+inline Vec abs(Vec a) {
+  return {_mm256_andnot_pd(_mm256_set1_pd(-0.0), a.v)};
+}
+inline Vec max(Vec a, Vec b) { return {_mm256_max_pd(a.v, b.v)}; }
+inline Vec gather(const double* base, const std::int32_t* idx) {
+  const __m128i vi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx));
+  return {_mm256_i32gather_pd(base, vi, 8)};
+}
+
+#elif defined(TSBO_SIMD_NEON)
+
+struct Vec {
+  float64x2_t v;
+  static constexpr std::size_t kLanes = 2;
+};
+
+inline const char* isa_name() { return "neon"; }
+inline Vec zero() { return {vdupq_n_f64(0.0)}; }
+inline Vec set1(double x) { return {vdupq_n_f64(x)}; }
+inline Vec load(const double* p) { return {vld1q_f64(p)}; }
+inline void store(double* p, Vec a) { vst1q_f64(p, a.v); }
+inline Vec add(Vec a, Vec b) { return {vaddq_f64(a.v, b.v)}; }
+inline Vec sub(Vec a, Vec b) { return {vsubq_f64(a.v, b.v)}; }
+inline Vec mul(Vec a, Vec b) { return {vmulq_f64(a.v, b.v)}; }
+inline Vec mul_add(Vec a, Vec b, Vec c) {
+  return {vfmaq_f64(c.v, a.v, b.v)};
+}
+inline Vec fms_exact(Vec a, Vec b, Vec c) {
+  return {vfmaq_f64(vnegq_f64(c.v), a.v, b.v)};
+}
+inline Vec abs(Vec a) { return {vabsq_f64(a.v)}; }
+inline Vec max(Vec a, Vec b) { return {vmaxq_f64(a.v, b.v)}; }
+inline Vec gather(const double* base, const std::int32_t* idx) {
+  const double t[2] = {base[idx[0]], base[idx[1]]};
+  return {vld1q_f64(t)};
+}
+
+#else  // scalar fallback (also selected by TSBO_DISABLE_SIMD)
+
+struct Vec {
+  static constexpr std::size_t kLanes = 4;
+  double v[kLanes];
+};
+
+inline const char* isa_name() { return "scalar"; }
+inline Vec zero() { return {{0.0, 0.0, 0.0, 0.0}}; }
+inline Vec set1(double x) { return {{x, x, x, x}}; }
+inline Vec load(const double* p) { return {{p[0], p[1], p[2], p[3]}}; }
+inline void store(double* p, Vec a) {
+  for (std::size_t l = 0; l < Vec::kLanes; ++l) p[l] = a.v[l];
+}
+inline Vec add(Vec a, Vec b) {
+  Vec r;
+  for (std::size_t l = 0; l < Vec::kLanes; ++l) r.v[l] = a.v[l] + b.v[l];
+  return r;
+}
+inline Vec sub(Vec a, Vec b) {
+  Vec r;
+  for (std::size_t l = 0; l < Vec::kLanes; ++l) r.v[l] = a.v[l] - b.v[l];
+  return r;
+}
+inline Vec mul(Vec a, Vec b) {
+  Vec r;
+  for (std::size_t l = 0; l < Vec::kLanes; ++l) r.v[l] = a.v[l] * b.v[l];
+  return r;
+}
+inline Vec mul_add(Vec a, Vec b, Vec c) {
+  Vec r;
+  for (std::size_t l = 0; l < Vec::kLanes; ++l) {
+    r.v[l] = a.v[l] * b.v[l] + c.v[l];
+  }
+  return r;
+}
+inline Vec fms_exact(Vec a, Vec b, Vec c) {
+  Vec r;
+  for (std::size_t l = 0; l < Vec::kLanes; ++l) {
+    r.v[l] = std::fma(a.v[l], b.v[l], -c.v[l]);
+  }
+  return r;
+}
+inline Vec abs(Vec a) {
+  Vec r;
+  for (std::size_t l = 0; l < Vec::kLanes; ++l) r.v[l] = std::abs(a.v[l]);
+  return r;
+}
+inline Vec max(Vec a, Vec b) {
+  Vec r;
+  for (std::size_t l = 0; l < Vec::kLanes; ++l) {
+    r.v[l] = a.v[l] > b.v[l] ? a.v[l] : b.v[l];
+  }
+  return r;
+}
+inline Vec gather(const double* base, const std::int32_t* idx) {
+  Vec r;
+  for (std::size_t l = 0; l < Vec::kLanes; ++l) r.v[l] = base[idx[l]];
+  return r;
+}
+
+#endif
+
+inline constexpr std::size_t kLanes = Vec::kLanes;
+
+/// Scalar counterpart of mul_add with the same rounding behavior (one
+/// rounding on FMA ISAs, two on the scalar fallback).  Remainder loops
+/// of *element-wise* kernels whose partition boundaries move with the
+/// thread count (axpy-style) must use this so an element's bits do not
+/// depend on whether it fell in the vector body or the scalar tail.
+inline double mul_add(double a, double b, double c) {
+#if defined(TSBO_SIMD_AVX512) || defined(TSBO_SIMD_AVX2) || \
+    defined(TSBO_SIMD_NEON)
+  return std::fma(a, b, c);
+#else
+  return a * b + c;
+#endif
+}
+
+// ---- horizontal reductions (fixed order) -----------------------------
+
+/// Pairwise fold in fixed order: ((l0+l1)+(l2+l3))+((l4+l5)+(l6+l7)).
+inline double reduce_add(Vec a) {
+  double t[Vec::kLanes];
+  store(t, a);
+  for (std::size_t width = Vec::kLanes; width > 1; width /= 2) {
+    for (std::size_t l = 0; l < width / 2; ++l) {
+      t[l] = t[2 * l] + t[2 * l + 1];
+    }
+  }
+  return t[0];
+}
+
+/// Same fixed pairwise fold with max (order is moot for max but fixed).
+inline double reduce_max(Vec a) {
+  double t[Vec::kLanes];
+  store(t, a);
+  for (std::size_t width = Vec::kLanes; width > 1; width /= 2) {
+    for (std::size_t l = 0; l < width / 2; ++l) {
+      t[l] = t[2 * l] > t[2 * l + 1] ? t[2 * l] : t[2 * l + 1];
+    }
+  }
+  return t[0];
+}
+
+// ---- vectorized error-free transformations ---------------------------
+// Per-lane the flop sequences are identical to util/eft.hpp; see the
+// header comment for the exactness and determinism contracts.
+
+/// Unevaluated per-lane sum hi + lo (a dd value in every lane).
+struct VecDD {
+  Vec hi, lo;
+};
+
+inline VecDD dd_zero() { return {zero(), zero()}; }
+
+/// Per-lane eft::quick_two_sum (requires |a| >= |b| lane-wise).
+inline VecDD vec_quick_two_sum(Vec a, Vec b) {
+  const Vec s = add(a, b);
+  return {s, sub(b, sub(s, a))};
+}
+
+/// Per-lane eft::two_sum (branch-free Knuth).
+inline VecDD vec_two_sum(Vec a, Vec b) {
+  const Vec s = add(a, b);
+  const Vec bb = sub(s, a);
+  const Vec err = add(sub(a, sub(s, bb)), sub(b, bb));
+  return {s, err};
+}
+
+/// Per-lane eft::two_prod (FMA residual).
+inline VecDD vec_two_prod(Vec a, Vec b) {
+  const Vec p = mul(a, b);
+  return {p, fms_exact(a, b, p)};
+}
+
+/// Per-lane eft::dd_add(dd&, double), renormalized.
+inline void dd_add(VecDD& x, Vec y) {
+  const VecDD s = vec_two_sum(x.hi, y);
+  x = vec_quick_two_sum(s.hi, add(s.lo, x.lo));
+}
+
+/// Per-lane eft::dd_add(dd&, dd) (QD accurate variant), renormalized.
+inline void dd_add(VecDD& x, const VecDD& y) {
+  VecDD s = vec_two_sum(x.hi, y.hi);
+  const VecDD t = vec_two_sum(x.lo, y.lo);
+  s = vec_quick_two_sum(s.hi, add(s.lo, t.hi));
+  x = vec_quick_two_sum(s.hi, add(s.lo, t.lo));
+}
+
+/// Folds the per-lane dd partials into one scalar dd in ascending lane
+/// order with the scalar renormalized eft::dd_add.
+inline eft::dd reduce(const VecDD& x) {
+  double hi[Vec::kLanes], lo[Vec::kLanes];
+  store(hi, x.hi);
+  store(lo, x.lo);
+  eft::dd acc{hi[0], lo[0]};
+  for (std::size_t l = 1; l < Vec::kLanes; ++l) {
+    eft::dd_add(acc, eft::dd{hi[l], lo[l]});
+  }
+  return acc;
+}
+
+}  // namespace tsbo::simd
