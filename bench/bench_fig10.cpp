@@ -47,7 +47,8 @@ inline int run_breakdown_figure(int argc, char** argv, const char* figure,
       figure, scheme_name, nx, nx, restarts);
 
   util::Table table({"ranks", "dot s", "reduce s", "update s", "factor s",
-                     "small s", "dot %", "reduce %", "update %", "factor %"});
+                     "small s", "dot %", "reduce %", "update %", "factor %",
+                     "comm exp s", "comm ovl s"});
   api::ReportLog log(figure);
 
   for (const int p : rank_list) {
@@ -69,7 +70,9 @@ inline int run_breakdown_figure(int argc, char** argv, const char* figure,
         .add(100.0 * bd.dot / tot, 1)
         .add(100.0 * bd.reduce / tot, 1)
         .add(100.0 * bd.update / tot, 1)
-        .add(100.0 * bd.factor / tot, 1);
+        .add(100.0 * bd.factor / tot, 1)
+        .add(rep.result.comm_stats.injected_seconds, 3)
+        .add(rep.result.comm_stats.overlapped_seconds, 3);
     log.add(rep);
   }
   table.print();

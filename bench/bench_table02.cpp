@@ -46,7 +46,8 @@ int main(int argc, char** argv) {
       "SpMV flat\n\n",
       nx, nx, ranks, restarts, 60L * restarts);
 
-  util::Table table({"solver", "# iters", "SpMV", "Ortho", "Total"});
+  util::Table table({"solver", "# iters", "SpMV", "Ortho", "Total",
+                     "comm exp s", "comm ovl s"});
   api::ReportLog log("table02");
 
   const auto run = [&](const std::string& name, const std::string& spec) {
@@ -59,7 +60,9 @@ int main(int argc, char** argv) {
         .add(rep.result.iters)
         .add(rep.result.time_spmv(), 3)
         .add(rep.result.time_ortho(), 3)
-        .add(rep.result.time_total(), 3);
+        .add(rep.result.time_total(), 3)
+        .add(rep.result.comm_stats.injected_seconds, 3)
+        .add(rep.result.comm_stats.overlapped_seconds, 3);
     log.add(rep);
   };
 

@@ -49,7 +49,8 @@ int main(int argc, char** argv) {
       nx, nx, restarts, 60L * restarts);
 
   util::Table table({"ranks", "solver", "SpMV", "Ortho", "Total",
-                     "ortho speedup", "total speedup", "allreduces"});
+                     "ortho speedup", "total speedup", "allreduces",
+                     "comm exp s", "comm ovl s"});
   api::ReportLog log("table03");
 
   for (const int p : rank_list) {
@@ -74,7 +75,9 @@ int main(int argc, char** argv) {
           .add(r.time_total(), 3)
           .add(util::speedup_str(base_ortho, r.time_ortho()))
           .add(util::speedup_str(base_total, r.time_total()))
-          .add(static_cast<long>(r.comm_stats.allreduces));
+          .add(static_cast<long>(r.comm_stats.allreduces))
+          .add(r.comm_stats.injected_seconds, 3)
+          .add(r.comm_stats.overlapped_seconds, 3);
       log.add(rep);
     }
     table.separator();

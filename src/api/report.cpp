@@ -69,7 +69,10 @@ void SolveReport::write_json(util::JsonWriter& w) const {
       .kv("p2p_rounds", result.comm_stats.p2p_rounds)
       .kv("barriers", result.comm_stats.barriers)
       .kv("bytes_allreduced", result.comm_stats.bytes_allreduced)
-      .kv("injected_seconds", result.comm_stats.injected_seconds);
+      .kv("bytes_exchanged", result.comm_stats.bytes_exchanged)
+      .kv("injected_seconds", result.comm_stats.injected_seconds)
+      .kv("exposed_seconds", result.comm_stats.injected_seconds)
+      .kv("overlapped_seconds", result.comm_stats.overlapped_seconds);
   w.end_object();
   w.end_object();  // result
 

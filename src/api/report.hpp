@@ -20,8 +20,13 @@
 namespace tsbo::api {
 
 /// Schema tags embedded in the JSON artifacts; bump on breaking layout
-/// changes.
-inline constexpr const char* kSolveReportSchema = "tsbo.solve_report/1";
+/// changes.  /2: the comm section grew bytes_exchanged plus the
+/// split-phase overlap accounting (exposed_seconds == the modeled
+/// fabric time actually spun, overlapped_seconds == the share hidden
+/// behind compute between a begin and its wait; their sum is the total
+/// modeled cost).  injected_seconds is kept as an alias of
+/// exposed_seconds for older tooling.
+inline constexpr const char* kSolveReportSchema = "tsbo.solve_report/2";
 inline constexpr const char* kReportLogSchema = "tsbo.report_log/1";
 
 struct MatrixStats {

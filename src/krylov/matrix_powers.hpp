@@ -5,7 +5,10 @@
 // MPK — s sequential applications of (preconditioned) SpMV, each with
 // neighborhood communication — rather than a communication-avoiding
 // MPK, because CA-MPK composes poorly with general preconditioners
-// (Section III).  We implement the same.
+// (Section III).  We implement the same, driving the split-phase
+// DistCsr::spmv so each of the s halo exchanges is overlapped with the
+// interior rows of its own product (the modeled p2p latency is
+// discounted by that compute; see par/communicator.hpp).
 
 #include "krylov/basis.hpp"
 #include "precond/preconditioner.hpp"

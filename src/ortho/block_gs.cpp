@@ -27,10 +27,13 @@ void reortho_fixup(ConstMatrixView t_prev, ConstMatrixView t_diag,
 }  // namespace
 
 void bcgs_project(OrthoContext& ctx, ConstMatrixView q, MatrixView v,
-                  MatrixView r_prev) {
+                  MatrixView r_prev, const OverlapHook& overlap) {
   assert(r_prev.rows == q.cols && r_prev.cols == v.cols);
-  if (q.cols == 0) return;
-  block_dot(ctx, q, v, r_prev);
+  if (q.cols == 0) {
+    if (overlap) overlap();
+    return;
+  }
+  block_dot(ctx, q, v, r_prev, overlap);
   block_update(ctx, q, r_prev, v);
 }
 
@@ -39,8 +42,15 @@ void bcgs2(OrthoContext& ctx, ConstMatrixView q, MatrixView v,
   assert(r_diag.rows == v.cols && r_diag.cols == v.cols);
   const int breakdowns_before = ctx.cholesky_breakdowns;
 
-  // First inter-block pass.
-  bcgs_project(ctx, q, v, r_prev);
+  // First inter-block pass; the second pass's scratch allocation rides
+  // in the reduce's overlap window (result-independent local work).
+  dense::Matrix t_prev, t_diag;
+  bcgs_project(ctx, q, v, r_prev, [&] {
+    if (q.cols > 0) {
+      t_prev = dense::Matrix(q.cols, v.cols);
+      t_diag = dense::Matrix(v.cols, v.cols);
+    }
+  });
 
   // First intra-block factorization.
   switch (intra) {
@@ -60,8 +70,6 @@ void bcgs2(OrthoContext& ctx, ConstMatrixView q, MatrixView v,
   // Second inter-block pass + CholQR (paper Fig. 2b lines 10-15).
   // After a clean first pass kappa(V) = O(1), so the dd Gram buys no
   // stability here — drop to plain double (see ScopedGramPrecision).
-  dense::Matrix t_prev(q.cols, v.cols);
-  dense::Matrix t_diag(v.cols, v.cols);
   ScopedGramPrecision guard(ctx,
                             ctx.mixed_precision_gram &&
                                 ctx.cholesky_breakdowns != breakdowns_before);
@@ -71,7 +79,8 @@ void bcgs2(OrthoContext& ctx, ConstMatrixView q, MatrixView v,
 }
 
 void bcgs_pip(OrthoContext& ctx, ConstMatrixView q, MatrixView v,
-              MatrixView r_prev, MatrixView r_diag) {
+              MatrixView r_prev, MatrixView r_diag,
+              const OverlapHook& overlap) {
   assert(r_prev.rows == q.cols && r_prev.cols == v.cols);
   assert(r_diag.rows == v.cols && r_diag.cols == v.cols);
   const index_t nq = q.cols;
@@ -89,12 +98,20 @@ void bcgs_pip(OrthoContext& ctx, ConstMatrixView q, MatrixView v,
     // applied.
     dense::Matrix g_lo(nq + s, s);
     dense::Matrix g_hi(nq + s, s);
-    fused_gram_dd(ctx, q, v, g_hi.view(), g_lo.view());
+    dense::Matrix s_lo, s_hi;
+    {
+      // Pythagorean scratch allocation and caller-supplied trailing
+      // work ride in the fused-reduce overlap window.
+      PendingReduce pending =
+          fused_gram_dd_ireduce(ctx, q, v, g_hi.view(), g_lo.view());
+      s_lo = dense::Matrix(s, s);
+      s_hi = dense::Matrix(s, s);
+      if (overlap) overlap();
+      pending.wait();
+    }
     dense::dd_round(g_hi.view().block(0, 0, nq, s),
                     g_lo.view().block(0, 0, nq, s), r_prev);
 
-    dense::Matrix s_lo(s, s);
-    dense::Matrix s_hi(s, s);
     if (ctx.timers) ctx.timers->start("ortho/chol");
     if (nq > 0) {
       // r_prev^T r_prev on the threaded pair kernel, then one
@@ -119,9 +136,19 @@ void bcgs_pip(OrthoContext& ctx, ConstMatrixView q, MatrixView v,
     chol_factor_dd(ctx, s_hi.view(), s_lo.view(), "BCGS-PIP");
     dense::dd_round(s_hi.view(), s_lo.view(), r_diag);
   } else {
-    // Single fused reduce: G = [Q, V]^T V (paper Fig. 4a line 1).
+    // Single fused reduce: G = [Q, V]^T V (paper Fig. 4a line 1),
+    // issued split-phase so the caller's trailing local panel work
+    // hides behind the modeled reduce latency.
     dense::Matrix g(nq + s, s);
-    fused_gram(ctx, q, v, g.view());
+    {
+      PendingReduce pending = fused_gram_ireduce(ctx, q, v, g.view());
+      if (overlap) {
+        overlap();
+      } else {
+        pending.no_overlap_credit();  // empty window
+      }
+      pending.wait();
+    }
 
     // r_prev = Q^T V (top block of G).
     dense::copy(g.view().block(0, 0, nq, s), r_prev);
@@ -145,9 +172,13 @@ void bcgs_pip(OrthoContext& ctx, ConstMatrixView q, MatrixView v,
 void bcgs_pip2(OrthoContext& ctx, ConstMatrixView q, MatrixView v,
                MatrixView r_prev, MatrixView r_diag) {
   const int breakdowns_before = ctx.cholesky_breakdowns;
-  bcgs_pip(ctx, q, v, r_prev, r_diag);
-  dense::Matrix t_prev(q.cols, v.cols);
-  dense::Matrix t_diag(v.cols, v.cols);
+  // The second pass's scratch allocation overlaps the first pass's
+  // fused-Gram reduce.
+  dense::Matrix t_prev, t_diag;
+  bcgs_pip(ctx, q, v, r_prev, r_diag, [&] {
+    t_prev = dense::Matrix(q.cols, v.cols);
+    t_diag = dense::Matrix(v.cols, v.cols);
+  });
   // Re-orthogonalization of an O(1)-conditioned panel: plain double
   // suffices unless the first pass had to shift (see cholqr2).
   ScopedGramPrecision guard(ctx,

@@ -24,67 +24,89 @@ void time_stop(OrthoContext& ctx, const char* phase) {
   if (ctx.timers) ctx.timers->stop(phase);
 }
 
-void reduce_sum(OrthoContext& ctx, MatrixView c) {
-  time_start(ctx, "ortho/reduce");
+}  // namespace
+
+PendingReduce ireduce_sum(OrthoContext& ctx, MatrixView c) {
+  PendingReduce p;
+  p.ctx_ = &ctx;
+  p.hi_ = c;
+  p.pending_ = true;
   if (ctx.comm) {
+    time_start(ctx, "ortho/reduce");
     if (c.ld == c.rows) {
-      ctx.comm->allreduce_sum(std::span<double>(
+      p.req_ = ctx.comm->iallreduce_sum(std::span<double>(
           c.data,
           static_cast<std::size_t>(c.rows) * static_cast<std::size_t>(c.cols)));
     } else {
       // Strided view (a sub-block of the solver's global R matrix):
-      // pack, reduce, unpack.  Reducing the raw strided memory would
-      // corrupt the surrounding coefficients.
-      util::aligned_vector<double> packed(static_cast<std::size_t>(c.rows) *
-                                 static_cast<std::size_t>(c.cols));
+      // pack, reduce, unpack at wait().  Reducing the raw strided
+      // memory would corrupt the surrounding coefficients.
+      p.packed_hi_.resize(static_cast<std::size_t>(c.rows) *
+                          static_cast<std::size_t>(c.cols));
       for (dense::index_t j = 0; j < c.cols; ++j) {
         std::copy_n(c.col(j), c.rows,
-                    packed.data() + static_cast<std::size_t>(j) * c.rows);
+                    p.packed_hi_.data() + static_cast<std::size_t>(j) * c.rows);
       }
-      ctx.comm->allreduce_sum(packed);
-      for (dense::index_t j = 0; j < c.cols; ++j) {
-        std::copy_n(packed.data() + static_cast<std::size_t>(j) * c.rows,
-                    c.rows, c.col(j));
-      }
+      p.req_ = ctx.comm->iallreduce_sum(p.packed_hi_);
     }
+    time_stop(ctx, "ortho/reduce");
   }
-  time_stop(ctx, "ortho/reduce");
+  return p;
 }
 
-/// Fused dd all-reduce of a pair-form matrix; packs strided views the
-/// same way reduce_sum does for double matrices.
-void reduce_sum_dd(OrthoContext& ctx, MatrixView hi, MatrixView lo) {
-  time_start(ctx, "ortho/reduce");
+PendingReduce ireduce_sum_dd(OrthoContext& ctx, MatrixView hi, MatrixView lo) {
+  PendingReduce p;
+  p.ctx_ = &ctx;
+  p.hi_ = hi;
+  p.lo_ = lo;
+  p.dd_ = true;
+  p.pending_ = true;
   if (ctx.comm) {
+    time_start(ctx, "ortho/reduce");
     const std::size_t total =
         static_cast<std::size_t>(hi.rows) * static_cast<std::size_t>(hi.cols);
     if (hi.ld == hi.rows && lo.ld == lo.rows) {
-      ctx.comm->allreduce_sum_dd(std::span<double>(hi.data, total),
-                                 std::span<double>(lo.data, total));
+      p.req_ = ctx.comm->iallreduce_sum_dd(std::span<double>(hi.data, total),
+                                           std::span<double>(lo.data, total));
     } else {
-      util::aligned_vector<double> packed_hi(total), packed_lo(total);
+      p.packed_hi_.resize(total);
+      p.packed_lo_.resize(total);
       for (dense::index_t j = 0; j < hi.cols; ++j) {
         std::copy_n(hi.col(j), hi.rows,
-                    packed_hi.data() + static_cast<std::size_t>(j) * hi.rows);
+                    p.packed_hi_.data() + static_cast<std::size_t>(j) * hi.rows);
         std::copy_n(lo.col(j), lo.rows,
-                    packed_lo.data() + static_cast<std::size_t>(j) * lo.rows);
+                    p.packed_lo_.data() + static_cast<std::size_t>(j) * lo.rows);
       }
-      ctx.comm->allreduce_sum_dd(packed_hi, packed_lo);
-      for (dense::index_t j = 0; j < hi.cols; ++j) {
-        std::copy_n(packed_hi.data() + static_cast<std::size_t>(j) * hi.rows,
-                    hi.rows, hi.col(j));
-        std::copy_n(packed_lo.data() + static_cast<std::size_t>(j) * lo.rows,
-                    lo.rows, lo.col(j));
-      }
+      p.req_ = ctx.comm->iallreduce_sum_dd(p.packed_hi_, p.packed_lo_);
     }
+    time_stop(ctx, "ortho/reduce");
   }
-  time_stop(ctx, "ortho/reduce");
+  return p;
 }
 
-}  // namespace
+void PendingReduce::wait() {
+  if (!pending_) return;
+  pending_ = false;
+  if (ctx_ == nullptr || ctx_->comm == nullptr) return;
+  if (ctx_->timers) ctx_->timers->start("ortho/reduce");
+  req_.wait();
+  if (!packed_hi_.empty()) {
+    for (dense::index_t j = 0; j < hi_.cols; ++j) {
+      std::copy_n(packed_hi_.data() + static_cast<std::size_t>(j) * hi_.rows,
+                  hi_.rows, hi_.col(j));
+    }
+  }
+  if (dd_ && !packed_lo_.empty()) {
+    for (dense::index_t j = 0; j < lo_.cols; ++j) {
+      std::copy_n(packed_lo_.data() + static_cast<std::size_t>(j) * lo_.rows,
+                  lo_.rows, lo_.col(j));
+    }
+  }
+  if (ctx_->timers) ctx_->timers->stop("ortho/reduce");
+}
 
 void block_dot(OrthoContext& ctx, ConstMatrixView a, ConstMatrixView b,
-               MatrixView c) {
+               MatrixView c, const OverlapHook& overlap) {
   time_start(ctx, "ortho/dot");
   if (ctx.mixed_precision_gram) {
     dense::gemm_tn_dd(a, b, c);
@@ -92,7 +114,13 @@ void block_dot(OrthoContext& ctx, ConstMatrixView a, ConstMatrixView b,
     dense::gemm_tn(1.0, a, b, 0.0, c);
   }
   time_stop(ctx, "ortho/dot");
-  reduce_sum(ctx, c);
+  PendingReduce pending = ireduce_sum(ctx, c);
+  if (overlap) {
+    overlap();
+  } else {
+    pending.no_overlap_credit();  // empty window: nothing was hidden
+  }
+  pending.wait();
 }
 
 void block_dot_dd(OrthoContext& ctx, ConstMatrixView a, ConstMatrixView b,
@@ -100,11 +128,13 @@ void block_dot_dd(OrthoContext& ctx, ConstMatrixView a, ConstMatrixView b,
   time_start(ctx, "ortho/dot");
   dense::gemm_tn_dd(a, b, c_hi, c_lo);
   time_stop(ctx, "ortho/dot");
-  reduce_sum_dd(ctx, c_hi, c_lo);
+  PendingReduce pending = ireduce_sum_dd(ctx, c_hi, c_lo);
+  pending.no_overlap_credit();
+  pending.wait();
 }
 
-void fused_gram(OrthoContext& ctx, ConstMatrixView q, ConstMatrixView v,
-                MatrixView g) {
+PendingReduce fused_gram_ireduce(OrthoContext& ctx, ConstMatrixView q,
+                                 ConstMatrixView v, MatrixView g) {
   assert(g.rows == q.cols + v.cols && g.cols == v.cols);
   time_start(ctx, "ortho/dot");
   MatrixView top = g.block(0, 0, q.cols, v.cols);
@@ -116,11 +146,19 @@ void fused_gram(OrthoContext& ctx, ConstMatrixView q, ConstMatrixView v,
   if (q.cols > 0) dense::gemm_tn(1.0, q, v, 0.0, top);
   dense::gemm_tn(1.0, v, v, 0.0, bottom);
   time_stop(ctx, "ortho/dot");
-  reduce_sum(ctx, g);
+  return ireduce_sum(ctx, g);
 }
 
-void fused_gram_dd(OrthoContext& ctx, ConstMatrixView q, ConstMatrixView v,
-                   MatrixView g_hi, MatrixView g_lo) {
+void fused_gram(OrthoContext& ctx, ConstMatrixView q, ConstMatrixView v,
+                MatrixView g) {
+  PendingReduce pending = fused_gram_ireduce(ctx, q, v, g);
+  pending.no_overlap_credit();
+  pending.wait();
+}
+
+PendingReduce fused_gram_dd_ireduce(OrthoContext& ctx, ConstMatrixView q,
+                                    ConstMatrixView v, MatrixView g_hi,
+                                    MatrixView g_lo) {
   assert(g_hi.rows == q.cols + v.cols && g_hi.cols == v.cols);
   assert(g_lo.rows == g_hi.rows && g_lo.cols == g_hi.cols);
   time_start(ctx, "ortho/dot");
@@ -131,7 +169,14 @@ void fused_gram_dd(OrthoContext& ctx, ConstMatrixView q, ConstMatrixView v,
   dense::gemm_tn_dd(v, v, g_hi.block(q.cols, 0, v.cols, v.cols),
                     g_lo.block(q.cols, 0, v.cols, v.cols));
   time_stop(ctx, "ortho/dot");
-  reduce_sum_dd(ctx, g_hi, g_lo);
+  return ireduce_sum_dd(ctx, g_hi, g_lo);
+}
+
+void fused_gram_dd(OrthoContext& ctx, ConstMatrixView q, ConstMatrixView v,
+                   MatrixView g_hi, MatrixView g_lo) {
+  PendingReduce pending = fused_gram_dd_ireduce(ctx, q, v, g_hi, g_lo);
+  pending.no_overlap_credit();
+  pending.wait();
 }
 
 void block_update(OrthoContext& ctx, ConstMatrixView q, ConstMatrixView c,

@@ -196,12 +196,17 @@ class TwoStageManager final : public BlockOrthoManager {
     MatrixView big = basis.columns(qprev, nbig);
     dense::Matrix t_prev(qprev, nbig);
     dense::Matrix t_diag(nbig, nbig);
-    bcgs_pip(ctx, qfinal, big, t_prev.view(), t_diag.view());
+    // The stage-1 coefficients are fixed before stage 2 runs, so the
+    // fix-up's R-block snapshot is result-independent trailing work:
+    // it rides in the stage-2 fused-Gram reduce window.
+    dense::Matrix rbig;
+    bcgs_pip(ctx, qfinal, big, t_prev.view(), t_diag.view(), [&] {
+      rbig = dense::copy_of(r.block(qprev, qprev, nbig, nbig));
+    });
 
     // R fix-up (Fig. 5 lines 18-19):
     //   R[0:qprev, big]   += T_prev * R[big, big]
     //   R[big,  big]       = T_diag * R[big, big]
-    dense::Matrix rbig = dense::copy_of(r.block(qprev, qprev, nbig, nbig));
     if (qprev > 0) {
       dense::gemm_nn(1.0, t_prev.view(), rbig.view(), 1.0,
                      r.block(0, qprev, qprev, nbig));

@@ -5,6 +5,7 @@
 
 #include <cassert>
 #include <cstring>
+#include <utility>
 #include <vector>
 
 namespace tsbo::par {
@@ -16,8 +17,31 @@ CommStats subtract(const CommStats& after, const CommStats& before) {
   d.p2p_rounds = after.p2p_rounds - before.p2p_rounds;
   d.barriers = after.barriers - before.barriers;
   d.bytes_allreduced = after.bytes_allreduced - before.bytes_allreduced;
+  d.bytes_exchanged = after.bytes_exchanged - before.bytes_exchanged;
   d.injected_seconds = after.injected_seconds - before.injected_seconds;
+  d.overlapped_seconds = after.overlapped_seconds - before.overlapped_seconds;
   return d;
+}
+
+CommRequest& CommRequest::operator=(CommRequest&& o) noexcept {
+  if (this != &o) {
+    wait();  // complete anything this handle still owns
+    comm_ = std::exchange(o.comm_, nullptr);
+    kind_ = o.kind_;
+    a_ = o.a_;
+    b_ = o.b_;
+    root_ = o.root_;
+    modeled_seconds_ = o.modeled_seconds_;
+    overlap_credit_ = o.overlap_credit_;
+    begin_ = o.begin_;
+  }
+  return *this;
+}
+
+void CommRequest::wait() {
+  if (comm_ == nullptr) return;
+  Communicator* c = std::exchange(comm_, nullptr);
+  c->complete(*this);
 }
 
 SpmdContext::SpmdContext(int nranks, NetworkModel model)
@@ -54,62 +78,161 @@ void Communicator::inject(double seconds) {
   util::spin_wait(seconds);
 }
 
-void Communicator::allreduce_sum(std::span<double> inout) {
+void Communicator::inject_with_overlap(double modeled,
+                                       double compute_seconds) {
+  if (modeled <= 0.0) return;
+  const NetworkModel::OverlapSplit split =
+      NetworkModel::split_overlap(modeled, compute_seconds);
+  stats_.overlapped_seconds += split.overlapped;
+  inject(split.exposed);
+}
+
+CommRequest Communicator::make_request(CommRequest::Kind kind,
+                                       std::span<double> a,
+                                       std::span<double> b, int root,
+                                       double modeled) {
+  assert(!request_outstanding_ &&
+         "one outstanding split-phase collective per rank");
+  request_outstanding_ = true;
+  CommRequest req;
+  req.comm_ = this;
+  req.kind_ = kind;
+  req.a_ = a;
+  req.b_ = b;
+  req.root_ = root;
+  req.modeled_seconds_ = modeled;
+  req.begin_ = std::chrono::steady_clock::now();
+  return req;
+}
+
+CommRequest Communicator::iallreduce_sum(std::span<double> inout) {
   stats_.allreduces += 1;
   stats_.bytes_allreduced += inout.size_bytes();
   if (ctx_.nranks_ > 1) {
     ctx_.slots_[rank_] = inout.data();
     ctx_.sizes_[rank_] = inout.size();
-    barrier();
-    // Deterministic order: sum rank 0..p-1 contributions.
-    scratch_.assign(inout.size(), 0.0);
-    for (int r = 0; r < ctx_.nranks_; ++r) {
-      assert(ctx_.sizes_[r] == inout.size());
-      const double* src = static_cast<const double*>(ctx_.slots_[r]);
-      for (std::size_t i = 0; i < inout.size(); ++i) scratch_[i] += src[i];
-    }
-    barrier();  // all ranks finished reading before buffers are reused
-    std::memcpy(inout.data(), scratch_.data(), inout.size_bytes());
   }
-  inject(ctx_.model_.allreduce_seconds(ctx_.nranks_, inout.size_bytes()));
+  return make_request(
+      CommRequest::Kind::kSum, inout, {}, 0,
+      ctx_.model_.allreduce_seconds(ctx_.nranks_, inout.size_bytes()));
 }
 
-void Communicator::allreduce_sum_dd(std::span<double> hi,
-                                    std::span<double> lo) {
+CommRequest Communicator::iallreduce_sum_dd(std::span<double> hi,
+                                            std::span<double> lo) {
   assert(hi.size() == lo.size());
   const std::size_t n = hi.size();
   stats_.allreduces += 1;
   stats_.bytes_allreduced += hi.size_bytes() + lo.size_bytes();
   if (ctx_.nranks_ > 1) {
     // Publish one packed [hi..., lo...] buffer per rank; every rank
-    // then folds the pairs in rank order with normalized dd adds, so
-    // all ranks hold the identical extended-precision sum.
+    // then folds the pairs in rank order with normalized dd adds at
+    // wait(), so all ranks hold the identical extended-precision sum.
     scratch_.resize(2 * n);
     std::memcpy(scratch_.data(), hi.data(), hi.size_bytes());
     std::memcpy(scratch_.data() + n, lo.data(), lo.size_bytes());
     ctx_.slots_[rank_] = scratch_.data();
     ctx_.sizes_[rank_] = 2 * n;
-    barrier();
-    scratch2_.resize(2 * n);
-    for (std::size_t i = 0; i < n; ++i) {
-      eft::dd acc;
-      for (int r = 0; r < ctx_.nranks_; ++r) {
-        assert(ctx_.sizes_[r] == 2 * n);
-        const double* src = static_cast<const double*>(ctx_.slots_[r]);
-        eft::dd_add(acc, eft::dd{src[i], src[n + i]});
-      }
-      scratch2_[i] = acc.hi;
-      scratch2_[n + i] = acc.lo;
-    }
-    barrier();  // all ranks finished reading before buffers are reused
-    std::memcpy(hi.data(), scratch2_.data(), hi.size_bytes());
-    std::memcpy(lo.data(), scratch2_.data() + n, lo.size_bytes());
   }
-  inject(ctx_.model_.allreduce_seconds(ctx_.nranks_,
-                                       hi.size_bytes() + lo.size_bytes()));
+  return make_request(CommRequest::Kind::kSumDd, hi, lo, 0,
+                      ctx_.model_.allreduce_seconds(
+                          ctx_.nranks_, hi.size_bytes() + lo.size_bytes()));
+}
+
+CommRequest Communicator::ibroadcast(std::span<double> data, int root) {
+  stats_.broadcasts += 1;
+  if (ctx_.nranks_ > 1 && rank_ == root) {
+    ctx_.slots_[root] = data.data();
+    ctx_.sizes_[root] = data.size();
+  }
+  return make_request(
+      CommRequest::Kind::kBcast, data, {}, root,
+      ctx_.model_.allreduce_seconds(ctx_.nranks_, data.size_bytes()));
+}
+
+void Communicator::complete(CommRequest& req) {
+  assert(request_outstanding_);
+  // Compute performed since begin is what the fabric latency hides.
+  const double elapsed =
+      req.overlap_credit_
+          ? std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          req.begin_)
+                .count()
+          : 0.0;
+  switch (req.kind_) {
+    case CommRequest::Kind::kSum: {
+      std::span<double> inout = req.a_;
+      if (ctx_.nranks_ > 1) {
+        barrier();  // all ranks published
+        // Deterministic order: sum rank 0..p-1 contributions.
+        scratch_.assign(inout.size(), 0.0);
+        for (int r = 0; r < ctx_.nranks_; ++r) {
+          assert(ctx_.sizes_[r] == inout.size());
+          const double* src = static_cast<const double*>(ctx_.slots_[r]);
+          for (std::size_t i = 0; i < inout.size(); ++i) scratch_[i] += src[i];
+        }
+        barrier();  // all ranks finished reading before buffers are reused
+        std::memcpy(inout.data(), scratch_.data(), inout.size_bytes());
+      }
+      break;
+    }
+    case CommRequest::Kind::kSumDd: {
+      std::span<double> hi = req.a_;
+      std::span<double> lo = req.b_;
+      const std::size_t n = hi.size();
+      if (ctx_.nranks_ > 1) {
+        barrier();
+        scratch2_.resize(2 * n);
+        for (std::size_t i = 0; i < n; ++i) {
+          eft::dd acc;
+          for (int r = 0; r < ctx_.nranks_; ++r) {
+            assert(ctx_.sizes_[r] == 2 * n);
+            const double* src = static_cast<const double*>(ctx_.slots_[r]);
+            eft::dd_add(acc, eft::dd{src[i], src[n + i]});
+          }
+          scratch2_[i] = acc.hi;
+          scratch2_[n + i] = acc.lo;
+        }
+        barrier();  // all ranks finished reading before buffers are reused
+        std::memcpy(hi.data(), scratch2_.data(), hi.size_bytes());
+        std::memcpy(lo.data(), scratch2_.data() + n, lo.size_bytes());
+      }
+      break;
+    }
+    case CommRequest::Kind::kBcast: {
+      std::span<double> data = req.a_;
+      if (ctx_.nranks_ > 1) {
+        barrier();  // root published
+        if (rank_ != req.root_) {
+          assert(ctx_.sizes_[req.root_] == data.size());
+          std::memcpy(data.data(),
+                      static_cast<const double*>(ctx_.slots_[req.root_]),
+                      data.size_bytes());
+        }
+        barrier();
+      }
+      break;
+    }
+  }
+  request_outstanding_ = false;
+  inject_with_overlap(req.modeled_seconds_, elapsed);
+}
+
+void Communicator::allreduce_sum(std::span<double> inout) {
+  CommRequest req = iallreduce_sum(inout);
+  req.no_overlap_credit();  // no compute inside a blocking call
+  req.wait();
+}
+
+void Communicator::allreduce_sum_dd(std::span<double> hi,
+                                    std::span<double> lo) {
+  CommRequest req = iallreduce_sum_dd(hi, lo);
+  req.no_overlap_credit();
+  req.wait();
 }
 
 void Communicator::allreduce_max(std::span<double> inout) {
+  assert(!request_outstanding_ &&
+         "collective may not overlap an in-flight split-phase request");
   stats_.allreduces += 1;
   stats_.bytes_allreduced += inout.size_bytes();
   if (ctx_.nranks_ > 1) {
@@ -142,26 +265,15 @@ double Communicator::allreduce_max_scalar(double x) {
 }
 
 void Communicator::broadcast(std::span<double> data, int root) {
-  stats_.broadcasts += 1;
-  if (ctx_.nranks_ > 1) {
-    if (rank_ == root) {
-      ctx_.slots_[root] = data.data();
-      ctx_.sizes_[root] = data.size();
-    }
-    barrier();
-    if (rank_ != root) {
-      assert(ctx_.sizes_[root] == data.size());
-      std::memcpy(data.data(),
-                  static_cast<const double*>(ctx_.slots_[root]),
-                  data.size_bytes());
-    }
-    barrier();
-  }
-  inject(ctx_.model_.allreduce_seconds(ctx_.nranks_, data.size_bytes()));
+  CommRequest req = ibroadcast(data, root);
+  req.no_overlap_credit();
+  req.wait();
 }
 
 std::vector<double> Communicator::gather(std::span<const double> local,
                                          int root) {
+  assert(!request_outstanding_ &&
+         "collective may not overlap an in-flight split-phase request");
   ctx_.slots_[rank_] = local.data();
   ctx_.sizes_[rank_] = local.size();
   barrier();
@@ -180,9 +292,15 @@ std::vector<double> Communicator::gather(std::span<const double> local,
 }
 
 void Communicator::exchange_begin(std::span<const double> send) {
+  assert(!request_outstanding_ &&
+         "exchange may not overlap an in-flight collective");
   ctx_.slots_[rank_] = send.data();
   ctx_.sizes_[rank_] = send.size();
   barrier();
+  // The overlap window opens once every peer has published: compute
+  // from here to exchange_end stands in for interior work behind
+  // MPI_Irecv/Isend.
+  exchange_begin_ = std::chrono::steady_clock::now();
 }
 
 std::span<const double> Communicator::peer_buffer(int peer) const {
@@ -190,10 +308,16 @@ std::span<const double> Communicator::peer_buffer(int peer) const {
   return {static_cast<const double*>(ctx_.slots_[peer]), ctx_.sizes_[peer]};
 }
 
-void Communicator::exchange_end(std::size_t max_recv_bytes) {
+void Communicator::exchange_end(std::size_t max_recv_bytes,
+                                std::size_t total_recv_bytes) {
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    exchange_begin_)
+          .count();
   barrier();
   stats_.p2p_rounds += 1;
-  inject(ctx_.model_.p2p_seconds(max_recv_bytes));
+  stats_.bytes_exchanged += total_recv_bytes;
+  inject_with_overlap(ctx_.model_.p2p_seconds(max_recv_bytes), elapsed);
 }
 
 }  // namespace tsbo::par

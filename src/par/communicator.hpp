@@ -9,16 +9,32 @@
 // implementation relies on.  The attached NetworkModel injects fabric
 // latency per operation; CommStats counts synchronizations so tests can
 // assert the paper's per-algorithm sync counts (5 / 2 / 1 + s/bs).
+//
+// Split-phase runtime: every collective exists in a nonblocking
+// begin+wait form (iallreduce_sum / iallreduce_sum_dd / ibroadcast
+// returning a CommRequest, and the exchange_begin/exchange_end pair for
+// neighbor rounds).  The modeled fabric latency of a split-phase
+// operation is *discounted* by the wall-clock compute performed between
+// begin and wait — CommStats::overlapped_seconds accounts the hidden
+// share, injected_seconds the exposed share actually spun — so
+// compute–communication overlap changes the measured time exactly as
+// MPI_Iallreduce + MPI_Wait would on a real fabric, while the reduced
+// values themselves stay bitwise independent of the overlap window.
+// The blocking collectives are thin begin+wait pairs over the same
+// machinery (with no overlap credit: their window contains no compute).
 
 #include "par/network_model.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 namespace tsbo::par {
+
+class Communicator;
 
 /// Per-rank communication counters.
 struct CommStats {
@@ -27,11 +43,59 @@ struct CommStats {
   std::uint64_t p2p_rounds = 0;
   std::uint64_t barriers = 0;
   std::uint64_t bytes_allreduced = 0;
-  double injected_seconds = 0.0;  // total modeled fabric time
+  std::uint64_t bytes_exchanged = 0;  // p2p payload pulled by this rank
+  /// Modeled fabric time actually spun (exposed to the critical path).
+  double injected_seconds = 0.0;
+  /// Modeled fabric time hidden behind compute between a split-phase
+  /// begin and its wait.  injected + overlapped == total modeled cost.
+  double overlapped_seconds = 0.0;
 };
 
 /// after - before, for windowed accounting around a solver call.
 CommStats subtract(const CommStats& after, const CommStats& before);
+
+/// Handle for one in-flight split-phase collective.  Move-only; the
+/// communicator supports ONE outstanding request per rank (the
+/// publication slots are single-buffered, like an MPI implementation
+/// with one pre-posted envelope).  wait() completes the operation —
+/// called implicitly by the destructor so an exception unwinding
+/// through an overlap window keeps all ranks in lockstep.  Between
+/// begin and wait the caller must not touch the published buffers.
+class CommRequest {
+ public:
+  CommRequest() = default;
+  CommRequest(CommRequest&& o) noexcept { *this = std::move(o); }
+  CommRequest& operator=(CommRequest&& o) noexcept;
+  CommRequest(const CommRequest&) = delete;
+  CommRequest& operator=(const CommRequest&) = delete;
+  ~CommRequest() { wait(); }
+
+  /// Completes the collective: synchronizes with peers, materializes
+  /// the result in the begin-call's buffers, and injects the exposed
+  /// share of the modeled latency.  No-op on an empty/completed handle.
+  void wait();
+
+  /// Opts this request out of overlap accounting: the full modeled
+  /// latency is charged as exposed at wait().  The blocking wrappers
+  /// (Communicator's and the ortho layer's) use it so only engineered
+  /// begin/wait windows earn overlapped_seconds.
+  void no_overlap_credit() { overlap_credit_ = false; }
+
+  [[nodiscard]] bool active() const { return comm_ != nullptr; }
+
+ private:
+  friend class Communicator;
+  enum class Kind { kSum, kSumDd, kBcast };
+
+  Communicator* comm_ = nullptr;
+  Kind kind_ = Kind::kSum;
+  std::span<double> a_{};  // inout payload (hi plane for kSumDd)
+  std::span<double> b_{};  // lo plane (kSumDd only)
+  int root_ = 0;           // kBcast only
+  double modeled_seconds_ = 0.0;
+  bool overlap_credit_ = true;  // blocking wrappers opt out
+  std::chrono::steady_clock::time_point begin_{};
+};
 
 /// Shared state of one SPMD execution; owned by spmd_run().
 class SpmdContext {
@@ -86,6 +150,16 @@ class Communicator {
   /// payload, exactly like MPI's MPI_SUM on a paired custom datatype).
   void allreduce_sum_dd(std::span<double> hi, std::span<double> lo);
 
+  /// Split-phase counterparts: publish the payload and return
+  /// immediately; the reduction completes (and the result lands in the
+  /// caller's buffers) at CommRequest::wait().  Compute performed
+  /// between begin and wait is credited against the modeled fabric
+  /// latency (CommStats::overlapped_seconds).  The sum is bitwise
+  /// identical to the blocking form regardless of the overlap window.
+  [[nodiscard]] CommRequest iallreduce_sum(std::span<double> inout);
+  [[nodiscard]] CommRequest iallreduce_sum_dd(std::span<double> hi,
+                                              std::span<double> lo);
+
   /// Convenience scalar all-reduce.
   double allreduce_sum_scalar(double x);
   double allreduce_max_scalar(double x);
@@ -93,33 +167,52 @@ class Communicator {
   /// Copies root's buffer into every rank's `data`.
   void broadcast(std::span<double> data, int root);
 
+  /// Split-phase broadcast: root publishes at begin; every rank's
+  /// `data` holds root's payload after wait().
+  [[nodiscard]] CommRequest ibroadcast(std::span<double> data, int root);
+
   /// Gathers variable-length rank-local blocks to `root`; returns the
   /// concatenation (rank order) on root and an empty vector elsewhere.
   std::vector<double> gather(std::span<const double> local, int root);
 
-  /// One neighbor-exchange round: `pull` describes, for each source
-  /// rank this rank needs data from, a callback-free copy plan.  The
-  /// caller publishes its own send buffer and reads peers' buffers; the
-  /// communicator handles the two-phase synchronization and charges one
-  /// p2p round of `max_recv_bytes` to the cost model.
+  /// One neighbor-exchange round: the caller publishes its own send
+  /// buffer and reads peers' buffers; the communicator handles the
+  /// two-phase synchronization and charges one p2p round of
+  /// `max_recv_bytes` to the cost model.  Compute performed between
+  /// exchange_begin and exchange_end (interior SpMV rows in the
+  /// overlapped DistCsr::spmv) is credited against the modeled p2p
+  /// latency, mirroring MPI_Irecv/Isend + interior work + Waitall.
   ///
   /// Usage:
   ///   comm.exchange_begin(my_send_buffer);
-  ///   ... read peer buffers via comm.peer_buffer(r) ...
-  ///   comm.exchange_end(max_recv_bytes);
+  ///   ... local compute, then read peer buffers via peer_buffer(r) ...
+  ///   comm.exchange_end(max_recv_bytes, total_recv_bytes);
   void exchange_begin(std::span<const double> send);
   [[nodiscard]] std::span<const double> peer_buffer(int peer) const;
-  void exchange_end(std::size_t max_recv_bytes);
+  void exchange_end(std::size_t max_recv_bytes, std::size_t total_recv_bytes);
+  void exchange_end(std::size_t max_recv_bytes) {
+    exchange_end(max_recv_bytes, max_recv_bytes);
+  }
 
   [[nodiscard]] const CommStats& stats() const { return stats_; }
   void reset_stats() { stats_ = CommStats{}; }
 
  private:
+  friend class CommRequest;
+
   void inject(double seconds);
+  /// Charges `modeled` fabric seconds, crediting `compute_seconds` of
+  /// it as overlapped and spinning only the exposed remainder.
+  void inject_with_overlap(double modeled, double compute_seconds);
+  CommRequest make_request(CommRequest::Kind kind, std::span<double> a,
+                           std::span<double> b, int root, double modeled);
+  void complete(CommRequest& req);
 
   SpmdContext& ctx_;
   int rank_;
   int local_sense_ = 0;
+  bool request_outstanding_ = false;  // single-slot publication guard
+  std::chrono::steady_clock::time_point exchange_begin_{};
   std::vector<double> scratch_;   // published send buffer / reduce result
   std::vector<double> scratch2_;  // dd fold result (scratch_ stays published)
   CommStats stats_;

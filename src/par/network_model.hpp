@@ -41,6 +41,25 @@ struct NetworkModel {
     return alpha_p2p + static_cast<double>(max_bytes) * beta_per_byte;
   }
 
+  /// Overlap accounting for the split-phase runtime: of `modeled`
+  /// fabric seconds, the share hidden behind `compute_seconds` of local
+  /// work performed between begin and wait is `overlapped`; only the
+  /// remainder is `exposed` (spun on the critical path).  This is the
+  /// standard nonblocking-collective model — latency progresses while
+  /// the host computes, and the wait pays max(0, modeled - compute).
+  struct OverlapSplit {
+    double exposed = 0.0;
+    double overlapped = 0.0;
+  };
+  [[nodiscard]] static OverlapSplit split_overlap(double modeled,
+                                                  double compute_seconds) {
+    const double hidden =
+        modeled < compute_seconds
+            ? modeled
+            : (compute_seconds > 0.0 ? compute_seconds : 0.0);
+    return {modeled - hidden, hidden};
+  }
+
   /// No injected cost: pure shared-memory collectives (unit tests).
   static NetworkModel off() { return NetworkModel{}; }
 

@@ -17,18 +17,10 @@ ChebyshevPolynomial::ChebyshevPolynomial(const sparse::DistCsr& a, int degree,
 ChebyshevPolynomial::ChebyshevPolynomial(const sparse::DistCsr& a, int degree,
                                          int power_iters)
     : degree_(degree) {
-  const sparse::CsrMatrix& local = a.local_matrix();
-  const sparse::ord n = local.rows;
-
-  std::vector<sparse::Triplet> t;
-  t.reserve(static_cast<std::size_t>(local.nnz()));
-  for (sparse::ord i = 0; i < n; ++i) {
-    for (sparse::offset k = local.row_ptr[i]; k < local.row_ptr[i + 1]; ++k) {
-      const sparse::ord j = local.col_idx[static_cast<std::size_t>(k)];
-      if (j < n) t.push_back({i, j, local.values[static_cast<std::size_t>(k)]});
-    }
-  }
-  block_ = sparse::csr_from_triplets(n, n, std::move(t));
+  // Rank-local diagonal block (ghosts dropped), built from the
+  // DistCsr interior/boundary split — see local_diagonal_block().
+  block_ = a.local_diagonal_block();
+  const sparse::ord n = block_.rows;
 
   inv_diag_.assign(static_cast<std::size_t>(n), 1.0);
   for (sparse::ord i = 0; i < n; ++i) {

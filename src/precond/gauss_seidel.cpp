@@ -33,20 +33,11 @@ std::vector<int> greedy_coloring(const sparse::CsrMatrix& local,
 MulticolorGaussSeidel::MulticolorGaussSeidel(const sparse::DistCsr& a,
                                              int sweeps, bool symmetric)
     : sweeps_(sweeps), symmetric_(symmetric) {
-  const sparse::CsrMatrix& local = a.local_matrix();
-  const sparse::ord n = local.rows;
-
-  // Drop ghost columns: the preconditioner acts on the rank-local
-  // diagonal block (block Jacobi across ranks).
-  std::vector<sparse::Triplet> t;
-  t.reserve(static_cast<std::size_t>(local.nnz()));
-  for (sparse::ord i = 0; i < n; ++i) {
-    for (sparse::offset k = local.row_ptr[i]; k < local.row_ptr[i + 1]; ++k) {
-      const sparse::ord j = local.col_idx[static_cast<std::size_t>(k)];
-      if (j < n) t.push_back({i, j, local.values[static_cast<std::size_t>(k)]});
-    }
-  }
-  block_ = sparse::csr_from_triplets(n, n, std::move(t));
+  // Rank-local diagonal block (ghosts dropped: block Jacobi across
+  // ranks), built from the interior/boundary split so only boundary
+  // rows pay the ghost-column filter.
+  block_ = a.local_diagonal_block();
+  const sparse::ord n = block_.rows;
 
   inv_diag_.assign(static_cast<std::size_t>(n), 1.0);
   for (sparse::ord i = 0; i < n; ++i) {

@@ -103,4 +103,19 @@ void spmv_rows(const CsrMatrix& a, ord begin, ord end,
       });
 }
 
+void spmv_rows_mapped(const CsrMatrix& a, std::span<const ord> rows,
+                      std::span<const double> x, std::span<double> y) {
+  assert(rows.size() == static_cast<std::size_t>(a.rows));
+  if (rows.empty()) return;
+  const offset* rp = a.row_ptr.data();
+  const ord* col = a.col_idx.data();
+  const double* val = a.values.data();
+  par::parallel_for_grained(rows.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      y[static_cast<std::size_t>(rows[i])] =
+          row_dot(val + rp[i], col + rp[i], rp[i + 1] - rp[i], x.data());
+    }
+  });
+}
+
 }  // namespace tsbo::sparse

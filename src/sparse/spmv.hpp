@@ -25,4 +25,12 @@ void spmv(double alpha, const CsrMatrix& a, std::span<const double> x,
 void spmv_rows(const CsrMatrix& a, ord begin, ord end,
                std::span<const double> x, std::span<double> y);
 
+/// Row-mapped product for split row sets: row i of `a` is scattered to
+/// y[rows[i]].  Same per-row kernel and accumulation order as
+/// spmv_rows, so a partition of a matrix into row-subset blocks (e.g.
+/// DistCsr's interior/boundary split) reproduces the unsplit product
+/// bit for bit at any thread count.
+void spmv_rows_mapped(const CsrMatrix& a, std::span<const ord> rows,
+                      std::span<const double> x, std::span<double> y);
+
 }  // namespace tsbo::sparse

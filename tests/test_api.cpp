@@ -253,12 +253,13 @@ TEST(SolveReport, JsonMatchesGoldenSchema) {
   // Golden schema: the keys every consumer (compare tooling, plotting)
   // relies on must be present.
   for (const char* needle :
-       {"\"schema\": \"tsbo.solve_report/1\"", "\"options\"", "\"matrix\"",
+       {"\"schema\": \"tsbo.solve_report/2\"", "\"options\"", "\"matrix\"",
         "\"environment\"", "\"ranks\"", "\"threads\"", "\"result\"",
         "\"converged\"", "\"iters\"", "\"restarts\"", "\"relres\"",
         "\"true_relres\"", "\"time\"", "\"spmv\"", "\"ortho\"", "\"total\"",
         "\"ortho_breakdown\"", "\"phase_seconds\"", "\"comm\"",
-        "\"allreduces\"", "\"history\"", "\"explicit_relres\"",
+        "\"allreduces\"", "\"bytes_exchanged\"", "\"exposed_seconds\"",
+        "\"overlapped_seconds\"", "\"history\"", "\"explicit_relres\"",
         "\"ortho\": \"two_stage\"", "\"matrix\": \"laplace2d_5pt\""}) {
     EXPECT_NE(text.find(needle), std::string::npos) << "missing " << needle;
   }

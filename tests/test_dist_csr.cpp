@@ -1,5 +1,6 @@
 // Distributed CSR: partition, halo exchange, distributed SpMV.
 
+#include "par/config.hpp"
 #include "par/spmd.hpp"
 #include "sparse/dist_csr.hpp"
 #include "sparse/generators.hpp"
@@ -9,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -132,6 +134,178 @@ TEST(DistCsr, P2pRoundsCounted) {
     dist.spmv(comm, x, y);
     EXPECT_EQ(comm.stats().p2p_rounds, 2u);
     EXPECT_EQ(comm.stats().allreduces, 0u);  // SpMV is reduce-free
+  });
+}
+
+// ---- interior/boundary split ----------------------------------------
+
+/// Pre-split reference apply: rebuild the gathered [own | ghosts]
+/// buffer from the global data (same sorted-unique ghost ordering the
+/// constructor uses) and run the UNSPLIT per-row kernel over all local
+/// rows of the remapped local matrix — exactly what DistCsr::spmv did
+/// before the interior/boundary refactor.
+std::vector<double> presplit_apply(const sparse::CsrMatrix& global,
+                                   const sparse::DistCsr& dist,
+                                   std::span<const double> x_global) {
+  const sparse::ord begin = dist.row_begin();
+  const auto nloc = static_cast<std::size_t>(dist.n_local());
+  const sparse::ord end = begin + static_cast<sparse::ord>(nloc);
+  std::vector<sparse::ord> ghosts;
+  for (sparse::ord i = begin; i < end; ++i) {
+    for (sparse::offset k = global.row_ptr[i]; k < global.row_ptr[i + 1];
+         ++k) {
+      const sparse::ord c = global.col_idx[static_cast<std::size_t>(k)];
+      if (c < begin || c >= end) ghosts.push_back(c);
+    }
+  }
+  std::sort(ghosts.begin(), ghosts.end());
+  ghosts.erase(std::unique(ghosts.begin(), ghosts.end()), ghosts.end());
+
+  std::vector<double> xbuf(nloc + ghosts.size());
+  std::copy_n(x_global.data() + begin, nloc, xbuf.begin());
+  for (std::size_t g = 0; g < ghosts.size(); ++g) {
+    xbuf[nloc + g] = x_global[static_cast<std::size_t>(ghosts[g])];
+  }
+  std::vector<double> y(nloc, 0.0);
+  sparse::spmv_rows(dist.local_matrix(), 0, dist.n_local(), xbuf, y);
+  return y;
+}
+
+class SplitParityRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(SplitParityRanks, SplitApplyBitwiseEqualsUnsplitReference) {
+  // The acceptance bar: the interior/boundary-split apply must be
+  // BITWISE identical to the pre-split apply (and to the sequential
+  // product: per-row accumulation order is unchanged by partitioning).
+  const int p = GetParam();
+  for (const unsigned threads : {1u, 2u, 7u}) {
+    par::set_num_threads(threads);
+    const auto a = sparse::laplace2d_9pt(23, 17);
+    std::vector<double> x(static_cast<std::size_t>(a.rows));
+    util::Xoshiro256 rng(29);
+    util::fill_normal(rng, x);
+    std::vector<double> y_seq(static_cast<std::size_t>(a.rows));
+    sparse::spmv(a, x, y_seq);
+
+    par::spmd_run(p, [&](par::Communicator& comm) {
+      const sparse::RowPartition part(a.rows, comm.size());
+      const sparse::DistCsr dist(a, part, comm.rank());
+      const auto begin = static_cast<std::size_t>(part.begin(comm.rank()));
+      const auto nloc = static_cast<std::size_t>(dist.n_local());
+      const std::span<const double> x_local(x.data() + begin, nloc);
+
+      std::vector<double> y_split(nloc, 0.0);
+      dist.spmv(comm, x_local, y_split);
+      const std::vector<double> y_ref = presplit_apply(a, dist, x);
+
+      for (std::size_t i = 0; i < nloc; ++i) {
+        // EXPECT_EQ on doubles: bit-for-bit (no NaNs in this product).
+        EXPECT_EQ(y_split[i], y_ref[i]) << "rank " << comm.rank() << " row "
+                                        << i << " threads " << threads;
+        EXPECT_EQ(y_split[i], y_seq[begin + i]) << "vs sequential, row " << i;
+      }
+      // Split covers every local row exactly once.
+      EXPECT_EQ(dist.interior_rows().size() + dist.boundary_rows().size(),
+                nloc);
+      EXPECT_EQ(dist.interior_matrix().nnz() + dist.boundary_matrix().nnz(),
+                dist.local_matrix().nnz());
+    });
+  }
+  par::set_num_threads(0);  // restore default resolution
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, SplitParityRanks,
+                         ::testing::Values(1, 2, 7));
+
+TEST(DistCsr, EmptyBoundaryPartition) {
+  // Block-diagonal matrix: no rank needs ghosts, every row is interior;
+  // the exchange round still runs (it is collective) but moves 0 bytes.
+  const sparse::ord n = 24;
+  std::vector<sparse::Triplet> t;
+  for (sparse::ord i = 0; i < n; ++i) t.push_back({i, i, 2.0 + i});
+  const auto a = sparse::csr_from_triplets(n, n, std::move(t));
+  par::spmd_run(3, [&](par::Communicator& comm) {
+    const sparse::RowPartition part(a.rows, comm.size());
+    const sparse::DistCsr dist(a, part, comm.rank());
+    EXPECT_EQ(dist.n_ghost(), 0);
+    EXPECT_EQ(dist.boundary_rows().size(), 0u);
+    EXPECT_EQ(dist.boundary_matrix().rows, 0);
+    const auto nloc = static_cast<std::size_t>(dist.n_local());
+    std::vector<double> x(nloc, 1.0), y(nloc, -1.0);
+    comm.reset_stats();
+    dist.spmv(comm, x, y);
+    EXPECT_EQ(comm.stats().p2p_rounds, 1u);
+    EXPECT_EQ(comm.stats().bytes_exchanged, 0u);
+    const auto begin = part.begin(comm.rank());
+    for (std::size_t i = 0; i < nloc; ++i) {
+      EXPECT_DOUBLE_EQ(y[i], 2.0 + begin + static_cast<sparse::ord>(i));
+    }
+  });
+}
+
+TEST(DistCsr, EmptyInteriorPartition) {
+  // Every row touches both global corners, so on 2 ranks every row of
+  // both ranks holds an off-rank column: the interior block is empty.
+  const sparse::ord n = 16;
+  std::vector<sparse::Triplet> t;
+  for (sparse::ord i = 0; i < n; ++i) {
+    t.push_back({i, i, 4.0});
+    t.push_back({i, 0, 1.0});
+    t.push_back({i, n - 1, 1.0});
+  }
+  const auto a = sparse::csr_from_triplets(n, n, std::move(t));
+  std::vector<double> x(static_cast<std::size_t>(n));
+  util::Xoshiro256 rng(31);
+  util::fill_normal(rng, x);
+  std::vector<double> y_ref(static_cast<std::size_t>(n));
+  sparse::spmv(a, x, y_ref);
+
+  par::spmd_run(2, [&](par::Communicator& comm) {
+    const sparse::RowPartition part(a.rows, comm.size());
+    const sparse::DistCsr dist(a, part, comm.rank());
+    EXPECT_EQ(dist.interior_rows().size(), 0u);
+    EXPECT_EQ(dist.interior_matrix().rows, 0);
+    EXPECT_EQ(dist.boundary_rows().size(),
+              static_cast<std::size_t>(dist.n_local()));
+    const auto begin = static_cast<std::size_t>(part.begin(comm.rank()));
+    const auto nloc = static_cast<std::size_t>(dist.n_local());
+    std::vector<double> y(nloc);
+    dist.spmv(comm, std::span<const double>(x.data() + begin, nloc), y);
+    for (std::size_t i = 0; i < nloc; ++i) {
+      EXPECT_EQ(y[i], y_ref[begin + i]) << "row " << i;
+    }
+  });
+}
+
+TEST(DistCsr, LocalDiagonalBlockMatchesGhostFilter) {
+  // local_diagonal_block() (built from the split) must equal the plain
+  // every-row ghost filter the preconditioners used to perform.
+  const auto a = sparse::laplace2d_5pt(14, 11);
+  par::spmd_run(3, [&](par::Communicator& comm) {
+    const sparse::RowPartition part(a.rows, comm.size());
+    const sparse::DistCsr dist(a, part, comm.rank());
+    const sparse::CsrMatrix& local = dist.local_matrix();
+    const sparse::ord n = local.rows;
+    std::vector<sparse::Triplet> t;
+    for (sparse::ord i = 0; i < n; ++i) {
+      for (sparse::offset k = local.row_ptr[i]; k < local.row_ptr[i + 1];
+           ++k) {
+        const sparse::ord j = local.col_idx[static_cast<std::size_t>(k)];
+        if (j < n) {
+          t.push_back({i, j, local.values[static_cast<std::size_t>(k)]});
+        }
+      }
+    }
+    const auto expect = sparse::csr_from_triplets(n, n, std::move(t));
+    const auto got = dist.local_diagonal_block();
+    ASSERT_EQ(got.rows, expect.rows);
+    ASSERT_EQ(got.nnz(), expect.nnz());
+    EXPECT_TRUE(std::equal(got.row_ptr.begin(), got.row_ptr.end(),
+                           expect.row_ptr.begin()));
+    EXPECT_TRUE(std::equal(got.col_idx.begin(), got.col_idx.end(),
+                           expect.col_idx.begin()));
+    EXPECT_TRUE(std::equal(got.values.begin(), got.values.end(),
+                           expect.values.begin()));
   });
 }
 

@@ -176,11 +176,171 @@ TEST(Spmd, StatsSubtractGivesWindow) {
   par::CommStats a, b;
   a.allreduces = 10;
   a.injected_seconds = 2.0;
+  a.bytes_exchanged = 300;
+  a.overlapped_seconds = 0.75;
   b.allreduces = 4;
   b.injected_seconds = 0.5;
+  b.bytes_exchanged = 100;
+  b.overlapped_seconds = 0.25;
   const auto d = par::subtract(a, b);
   EXPECT_EQ(d.allreduces, 6u);
   EXPECT_DOUBLE_EQ(d.injected_seconds, 1.5);
+  EXPECT_EQ(d.bytes_exchanged, 200u);
+  EXPECT_DOUBLE_EQ(d.overlapped_seconds, 0.5);
+}
+
+// ---- split-phase collectives ----------------------------------------
+
+TEST_P(SpmdRanks, IallreduceSumMatchesBlockingBitwise) {
+  const int p = GetParam();
+  std::vector<std::vector<double>> blocking(static_cast<std::size_t>(p));
+  std::vector<std::vector<double>> split(static_cast<std::size_t>(p));
+  par::spmd_run(p, [&](par::Communicator& comm) {
+    const double r = comm.rank();
+    std::vector<double> v1 = {0.1 * r, -3.0 * r, 7.5, r * r};
+    std::vector<double> v2 = v1;
+    comm.allreduce_sum(v1);
+    auto req = comm.iallreduce_sum(v2);
+    // Local compute inside the overlap window must not perturb bits.
+    volatile double sink = 0.0;
+    for (int i = 0; i < 1000; ++i) sink = sink + 1.0;
+    req.wait();
+    blocking[static_cast<std::size_t>(comm.rank())] = v1;
+    split[static_cast<std::size_t>(comm.rank())] = v2;
+  });
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(blocking[static_cast<std::size_t>(r)],
+              split[static_cast<std::size_t>(r)]);
+  }
+}
+
+TEST_P(SpmdRanks, IallreduceSumDdMatchesBlockingBitwise) {
+  const int p = GetParam();
+  std::vector<std::vector<double>> blocking(static_cast<std::size_t>(p));
+  std::vector<std::vector<double>> split(static_cast<std::size_t>(p));
+  par::spmd_run(p, [&](par::Communicator& comm) {
+    const double r = comm.rank();
+    std::vector<double> hi1 = {1.0 + r, 1e-30 * r, -2.5};
+    std::vector<double> lo1 = {1e-18 * r, 3e-40, 0.0};
+    std::vector<double> hi2 = hi1, lo2 = lo1;
+    comm.allreduce_sum_dd(hi1, lo1);
+    auto req = comm.iallreduce_sum_dd(hi2, lo2);
+    req.wait();
+    std::vector<double> b = hi1;
+    b.insert(b.end(), lo1.begin(), lo1.end());
+    std::vector<double> s = hi2;
+    s.insert(s.end(), lo2.begin(), lo2.end());
+    blocking[static_cast<std::size_t>(comm.rank())] = b;
+    split[static_cast<std::size_t>(comm.rank())] = s;
+  });
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(blocking[static_cast<std::size_t>(r)],
+              split[static_cast<std::size_t>(r)]);
+  }
+}
+
+TEST_P(SpmdRanks, IbroadcastDeliversFromEveryRoot) {
+  const int p = GetParam();
+  for (int root = 0; root < p; ++root) {
+    std::vector<double> seen(static_cast<std::size_t>(p));
+    par::spmd_run(p, [&](par::Communicator& comm) {
+      std::vector<double> v = {comm.rank() == root ? 19.25 : -1.0};
+      auto req = comm.ibroadcast(v, root);
+      req.wait();
+      seen[static_cast<std::size_t>(comm.rank())] = v[0];
+    });
+    for (const double v : seen) EXPECT_DOUBLE_EQ(v, 19.25);
+  }
+}
+
+TEST(CommRequest, EmptyAndCompletedWaitAreNoOps) {
+  par::CommRequest empty;
+  EXPECT_FALSE(empty.active());
+  empty.wait();  // no-op
+  par::spmd_run(2, [&](par::Communicator& comm) {
+    double v = 1.0;
+    auto req = comm.iallreduce_sum(std::span<double>(&v, 1));
+    EXPECT_TRUE(req.active());
+    req.wait();
+    EXPECT_FALSE(req.active());
+    req.wait();  // second wait is a no-op
+    EXPECT_DOUBLE_EQ(v, 2.0);
+    // Move transfers ownership; the moved-from handle is inert.
+    auto req2 = comm.iallreduce_sum(std::span<double>(&v, 1));
+    par::CommRequest req3 = std::move(req2);
+    EXPECT_FALSE(req2.active());
+    EXPECT_TRUE(req3.active());
+    req3.wait();
+  });
+}
+
+TEST(CommRequest, DestructorCompletesOutstandingRequest) {
+  // Dropping an active request must keep the ranks collective (the
+  // destructor waits) and still deliver the reduced values.
+  std::vector<double> out(3, 0.0);
+  par::spmd_run(3, [&](par::Communicator& comm) {
+    double v = 1.0;
+    {
+      auto req = comm.iallreduce_sum(std::span<double>(&v, 1));
+    }  // destructor waits here
+    out[static_cast<std::size_t>(comm.rank())] = v;
+  });
+  for (const double v : out) EXPECT_DOUBLE_EQ(v, 3.0);
+}
+
+TEST(CommRequest, OverlapWindowDiscountsModeledLatency) {
+  // With compute between begin and wait that exceeds the modeled
+  // allreduce cost, (almost) the whole latency must be accounted as
+  // overlapped rather than injected.
+  const auto model = par::NetworkModel::cluster();
+  const double modeled = model.allreduce_seconds(4, 8);
+  ASSERT_GT(modeled, 0.0);
+  par::spmd_run(4, model, [&](par::Communicator& comm) {
+    comm.reset_stats();
+    double v = comm.rank();
+    auto req = comm.iallreduce_sum(std::span<double>(&v, 1));
+    util::spin_wait(4.0 * modeled);  // "interior work"
+    req.wait();
+    EXPECT_NEAR(comm.stats().overlapped_seconds, modeled, 1e-12);
+    EXPECT_DOUBLE_EQ(comm.stats().injected_seconds, 0.0);
+    // Blocking calls take no overlap credit: full cost is exposed.
+    comm.allreduce_sum(std::span<double>(&v, 1));
+    EXPECT_NEAR(comm.stats().injected_seconds, modeled, 1e-12);
+    EXPECT_NEAR(comm.stats().overlapped_seconds, modeled, 1e-12);
+  });
+}
+
+TEST(CommRequest, ExchangeWindowDiscountsP2pLatency) {
+  const auto model = par::NetworkModel::cluster();
+  const double modeled = model.p2p_seconds(64);
+  par::spmd_run(2, model, [&](par::Communicator& comm) {
+    comm.reset_stats();
+    std::vector<double> mine(8, 1.0 * comm.rank());
+    comm.exchange_begin(mine);
+    util::spin_wait(4.0 * modeled);  // interior rows
+    const auto buf = comm.peer_buffer(1 - comm.rank());
+    EXPECT_DOUBLE_EQ(buf[0], 1.0 * (1 - comm.rank()));
+    comm.exchange_end(64, 64);
+    EXPECT_EQ(comm.stats().bytes_exchanged, 64u);
+    EXPECT_NEAR(comm.stats().overlapped_seconds, modeled, 1e-12);
+    EXPECT_DOUBLE_EQ(comm.stats().injected_seconds, 0.0);
+  });
+}
+
+TEST(NetworkModel, SplitOverlapAccounting) {
+  using NM = par::NetworkModel;
+  const auto full = NM::split_overlap(1.0e-3, 5.0e-3);
+  EXPECT_DOUBLE_EQ(full.overlapped, 1.0e-3);
+  EXPECT_DOUBLE_EQ(full.exposed, 0.0);
+  const auto partial = NM::split_overlap(1.0e-3, 0.25e-3);
+  EXPECT_DOUBLE_EQ(partial.overlapped, 0.25e-3);
+  EXPECT_DOUBLE_EQ(partial.exposed, 0.75e-3);
+  const auto none = NM::split_overlap(1.0e-3, 0.0);
+  EXPECT_DOUBLE_EQ(none.overlapped, 0.0);
+  EXPECT_DOUBLE_EQ(none.exposed, 1.0e-3);
+  const auto negative = NM::split_overlap(1.0e-3, -1.0);
+  EXPECT_DOUBLE_EQ(negative.overlapped, 0.0);
+  EXPECT_DOUBLE_EQ(negative.exposed, 1.0e-3);
 }
 
 TEST(NetworkModel, CostsScaleWithLogRanks) {
