@@ -7,7 +7,12 @@
 // and CholQR), while vector updates shrink with the local row count.
 //
 //   bench_fig10 [--nx=512] [--ranks=1,2,4,8,16] [--restarts=2]
-//               [--net=cluster] [--json=fig10.json]
+//               [--net=cluster] [--pipeline_depth=1] [--json=fig10.json]
+//
+// --pipeline_depth=1 credits the next panel's matrix-powers compute
+// against the stage-1 reduce window (pipelined s-step runtime); the
+// solution is bitwise-identical at every depth, only the exposed
+// ("comm exp s") vs overlapped ("comm ovl s") split moves.
 
 #include "bench_common.hpp"
 
@@ -34,6 +39,7 @@ inline int run_breakdown_figure(int argc, char** argv, const char* figure,
   base.nx = nx;
   base.net = cli.get("net", "calibrated");
   base.max_restarts = restarts;
+  base.pipeline_depth = cli.get_int("pipeline_depth", 0);
   cli.reject_unknown();
 
   const sparse::CsrMatrix a = api::make_matrix(base);
@@ -48,7 +54,7 @@ inline int run_breakdown_figure(int argc, char** argv, const char* figure,
 
   util::Table table({"ranks", "dot s", "reduce s", "update s", "factor s",
                      "small s", "dot %", "reduce %", "update %", "factor %",
-                     "comm exp s", "comm ovl s"});
+                     "comm exp s", "comm ovl s", "lkh hit", "lkh miss"});
   api::ReportLog log(figure);
 
   for (const int p : rank_list) {
@@ -72,7 +78,9 @@ inline int run_breakdown_figure(int argc, char** argv, const char* figure,
         .add(100.0 * bd.update / tot, 1)
         .add(100.0 * bd.factor / tot, 1)
         .add(rep.result.comm_stats.injected_seconds, 3)
-        .add(rep.result.comm_stats.overlapped_seconds, 3);
+        .add(rep.result.comm_stats.overlapped_seconds, 3)
+        .add(rep.result.lookahead_hits)
+        .add(rep.result.lookahead_misses);
     log.add(rep);
   }
   table.print();

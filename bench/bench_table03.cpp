@@ -11,7 +11,11 @@
 // *growing* with the rank count (communication-bound regime).
 //
 //   bench_table03 [--nx=512] [--ranks=1,2,4,8,16] [--restarts=2]
-//                 [--net=cluster] [--json=table03.json]
+//                 [--net=cluster] [--pipeline_depth=1]
+//                 [--json=table03.json]
+//
+// --pipeline_depth=1 enables overlap credit for the pipelined s-step
+// runtime (bitwise-identical solutions; see bench_fig10.cpp).
 
 #include "bench_common.hpp"
 
@@ -35,6 +39,7 @@ int main(int argc, char** argv) {
   base.nx = nx;
   base.net = cli.get("net", "calibrated");
   base.max_restarts = restarts;
+  base.pipeline_depth = cli.get_int("pipeline_depth", 0);
   cli.reject_unknown();
 
   const sparse::CsrMatrix a = api::make_matrix(base);
@@ -50,7 +55,7 @@ int main(int argc, char** argv) {
 
   util::Table table({"ranks", "solver", "SpMV", "Ortho", "Total",
                      "ortho speedup", "total speedup", "allreduces",
-                     "comm exp s", "comm ovl s"});
+                     "comm exp s", "comm ovl s", "lkh hit", "lkh miss"});
   api::ReportLog log("table03");
 
   for (const int p : rank_list) {
@@ -77,7 +82,9 @@ int main(int argc, char** argv) {
           .add(util::speedup_str(base_total, r.time_total()))
           .add(static_cast<long>(r.comm_stats.allreduces))
           .add(r.comm_stats.injected_seconds, 3)
-          .add(r.comm_stats.overlapped_seconds, 3);
+          .add(r.comm_stats.overlapped_seconds, 3)
+          .add(r.lookahead_hits)
+          .add(r.lookahead_misses);
       log.add(rep);
     }
     table.separator();

@@ -103,7 +103,7 @@ def main():
 
     # 3. Throughput band.  Rows from the split-phase comm runtime may
     # carry overlap fields ("exposed_seconds" / "overlapped_seconds",
-    # mirroring the SolveReport /2 comm section); they are surfaced as
+    # mirroring the SolveReport /3 comm section); they are surfaced as
     # information but never gated — wall-clock overlap ratios are
     # machine- and load-dependent in a way GFLOP/s is not.
     regressions, improvements = [], []

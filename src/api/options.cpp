@@ -133,6 +133,7 @@ const std::vector<FieldDef>& fields() {
       double_field("lambda_max", &SolverOptions::lambda_max),
       bool_field("mixed_precision_gram", &SolverOptions::mixed_precision_gram),
       str_field("breakdown", &SolverOptions::breakdown),
+      int_field("pipeline_depth", &SolverOptions::pipeline_depth),
       int_field("precond_sweeps", &SolverOptions::precond_sweeps),
       int_field("precond_degree", &SolverOptions::precond_degree),
       double_field("precond_lambda_min", &SolverOptions::precond_lambda_min),
@@ -316,6 +317,9 @@ void SolverOptions::validate() const {
   if (ranks < 1) {
     throw std::invalid_argument("SolverOptions: ranks must be >= 1");
   }
+  if (pipeline_depth < 0) {
+    throw std::invalid_argument("SolverOptions: pipeline_depth must be >= 0");
+  }
 }
 
 krylov::GmresConfig SolverOptions::gmres_config() const {
@@ -349,6 +353,7 @@ krylov::SStepGmresConfig SolverOptions::sstep_config() const {
   cfg.lambda_min = lambda_min;
   cfg.lambda_max = lambda_max;
   cfg.mixed_precision_gram = mixed_precision_gram;
+  cfg.pipeline_depth = pipeline_depth;
   cfg.policy = breakdown == "throw" ? ortho::BreakdownPolicy::kThrow
                                     : ortho::BreakdownPolicy::kShift;
   if (basis == "newton") {

@@ -49,6 +49,11 @@ struct SolverOptions {
   double lambda_max = 0.0;
   bool mixed_precision_gram = false;  ///< double-double Gram extension
   std::string breakdown = "shift";    ///< "shift" | "throw"
+  /// Pipelined s-step runtime lookahead depth: 0 = reduce latency fully
+  /// exposed, >= 1 = next-panel MPK compute credited against the
+  /// stage-1 reduce window.  Bitwise-identical solutions at every
+  /// depth; see krylov::SStepGmresConfig::pipeline_depth.
+  int pipeline_depth = 0;
   int precond_sweeps = 1;   ///< Gauss-Seidel sweeps
   int precond_degree = 4;   ///< Chebyshev polynomial degree
   /// Explicit Chebyshev-preconditioner interval; 0/0 = power-method

@@ -39,7 +39,9 @@ void SolveReport::write_json(util::JsonWriter& w) const {
       .kv("relres", result.relres)
       .kv("true_relres", result.true_relres)
       .kv("cholesky_breakdowns", result.cholesky_breakdowns)
-      .kv("shift_retries", result.shift_retries);
+      .kv("shift_retries", result.shift_retries)
+      .kv("lookahead_hits", result.lookahead_hits)
+      .kv("lookahead_misses", result.lookahead_misses);
 
   w.key("time").begin_object();
   w.kv("spmv", result.time_spmv())

@@ -5,7 +5,7 @@
 // provenance — the options echo, matrix statistics, rank/thread counts,
 // per-phase timers, communication counters, and the per-restart
 // residual history captured by the facade's observer — and serializes
-// to JSON (schema "tsbo.solve_report/1", golden-checked by
+// to JSON (schema "tsbo.solve_report/3", golden-checked by
 // tests/test_api.cpp).  ReportLog accumulates reports so every bench
 // binary can emit a uniform --json=<path> artifact.
 
@@ -25,8 +25,11 @@ namespace tsbo::api {
 /// fabric time actually spun, overlapped_seconds == the share hidden
 /// behind compute between a begin and its wait; their sum is the total
 /// modeled cost).  injected_seconds is kept as an alias of
-/// exposed_seconds for older tooling.
-inline constexpr const char* kSolveReportSchema = "tsbo.solve_report/2";
+/// exposed_seconds for older tooling.  /3: the result section grew the
+/// pipelined-runtime lookahead counters (lookahead_hits /
+/// lookahead_misses — speculative next-panel MPK sweeps consumed vs
+/// discarded; zero for schemes without a split stage-1 path).
+inline constexpr const char* kSolveReportSchema = "tsbo.solve_report/3";
 inline constexpr const char* kReportLogSchema = "tsbo.report_log/1";
 
 struct MatrixStats {

@@ -1,9 +1,11 @@
 #pragma once
 // The tsbo::api::Solver facade: one configuration-driven entry point
-// for the whole pipeline the paper's experiments run — pick a matrix,
+// for the end-to-end experiment flow the paper runs — pick a matrix,
 // a preconditioner, an ortho scheme and (m, s, bs); run under the SPMD
 // runtime; get back a SolveReport with phase timers, sync counts, and
-// residual history.
+// residual history.  ("Pipeline" here would collide with the pipelined
+// s-step runtime — that lives in krylov/sstep_gmres.hpp under
+// pipeline_depth.)
 //
 //   auto opts = api::SolverOptions::parse(
 //       "solver=sstep ortho=two_stage matrix=laplace2d_9pt nx=256 ranks=4");

@@ -17,6 +17,12 @@ namespace {
 constexpr index_t kRowBlock = 256;
 static_assert(par::kReduceChunk % static_cast<std::size_t>(kRowBlock) == 0);
 
+// Below this many m * p * n multiply-adds, gemm_tn's chunked reduction
+// runs inline: pool dispatch and the per-chunk partial buffer dominate
+// tall-skinny Gram shapes (1e5 x 10 is 1e7; 1e5 x 20 at 4e7 still
+// profits from threads).
+constexpr std::size_t kGemmTnSerialWork = 30'000'000;
+
 constexpr index_t kW = static_cast<index_t>(simd::kLanes);
 
 // Tile positions (multiples of kRowBlock) and the vector/tail split
@@ -165,44 +171,77 @@ void gemm_tn(double alpha, ConstMatrixView a, ConstMatrixView b, double beta,
 
   // Deterministic chunked reduction over the long row dimension: one
   // p x n partial Gram block per fixed chunk (bounds depend only on m),
-  // combined in ascending chunk order below.
+  // combined in ascending chunk order.  Both execution paths below run
+  // the identical chunk schedule, so results are bitwise independent of
+  // the thread count.
   const std::size_t pn =
       static_cast<std::size_t>(p) * static_cast<std::size_t>(n);
   const std::size_t nchunks =
       par::reduce_chunk_count(static_cast<std::size_t>(m));
-  util::aligned_vector<double> partials(nchunks * pn, 0.0);
-  par::for_reduce_chunks(
-      static_cast<std::size_t>(m),
-      [&](std::size_t ci, std::size_t rb, std::size_t re) {
-        double* part = partials.data() + ci * pn;  // column-major p x n
-        const auto rlo = static_cast<index_t>(rb);
-        const auto rhi = static_cast<index_t>(re);
-        for (index_t r0 = rlo; r0 < rhi; r0 += kRowBlock) {
-          const index_t nb = std::min(kRowBlock, rhi - r0);
-          for (index_t j = 0; j < n; ++j) {
-            const double* bj = b.col(j) + r0;
-            double* pj = part + static_cast<std::size_t>(j) * p;
-            index_t i = 0;
-            // Two output dot-products per pass share the streamed bj tile.
-            for (; i + 1 < p; i += 2) {
-              double s0 = 0.0, s1 = 0.0;
-              dot2(a.col(i) + r0, a.col(i + 1) + r0, bj, nb, s0, s1);
-              pj[i] += s0;
-              pj[i + 1] += s1;
-            }
-            for (; i < p; ++i) {
-              pj[i] += dot1(a.col(i) + r0, bj, nb);
-            }
-          }
+
+  // Accumulates rows [rlo, rhi) of the Gram block into `part`
+  // (column-major p x n).
+  const auto accumulate = [&](double* part, index_t rlo, index_t rhi) {
+    for (index_t r0 = rlo; r0 < rhi; r0 += kRowBlock) {
+      const index_t nb = std::min(kRowBlock, rhi - r0);
+      for (index_t j = 0; j < n; ++j) {
+        const double* bj = b.col(j) + r0;
+        double* pj = part + static_cast<std::size_t>(j) * p;
+        index_t i = 0;
+        // Two output dot-products per pass share the streamed bj tile.
+        for (; i + 1 < p; i += 2) {
+          double s0 = 0.0, s1 = 0.0;
+          dot2(a.col(i) + r0, a.col(i + 1) + r0, bj, nb, s0, s1);
+          pj[i] += s0;
+          pj[i + 1] += s1;
         }
-      });
-  for (std::size_t ci = 0; ci < nchunks; ++ci) {
-    const double* part = partials.data() + ci * pn;
+        for (; i < p; ++i) {
+          pj[i] += dot1(a.col(i) + r0, bj, nb);
+        }
+      }
+    }
+  };
+  const auto combine = [&](const double* part) {
     for (index_t j = 0; j < n; ++j) {
       double* cj = c.col(j);
       const double* pj = part + static_cast<std::size_t>(j) * p;
       for (index_t i = 0; i < p; ++i) cj[i] += alpha * pj[i];
     }
+  };
+
+  // Tall-skinny fast path: at the narrow Gram shapes (s ~ 10) the
+  // per-chunk work is a few hundred kiloflops, and pool dispatch plus
+  // the nchunks * pn partial buffer cost more than the multiply does —
+  // threads = 2 ran ~25% BELOW threads = 1 at 100000x10.  Run the same
+  // chunk schedule inline, folding each chunk through one reused
+  // partial block in ascending order (arithmetic identical to the
+  // threaded combine).
+  if (static_cast<std::size_t>(m) * pn < kGemmTnSerialWork) {
+    util::aligned_vector<double> part(pn);
+    for (std::size_t ci = 0; ci < nchunks; ++ci) {
+      std::fill(part.begin(), part.end(), 0.0);
+      const auto rlo = static_cast<index_t>(ci * par::kReduceChunk);
+      const auto rhi = static_cast<index_t>(
+          std::min((ci + 1) * par::kReduceChunk, static_cast<std::size_t>(m)));
+      accumulate(part.data(), rlo, rhi);
+      combine(part.data());
+    }
+    return;
+  }
+
+  // Pad each per-chunk partial block to a 64-byte boundary so chunks
+  // written by different threads never share a cache line; the combine
+  // reads only the first pn entries of each block.
+  const std::size_t stride = (pn + 7) & ~std::size_t{7};
+  util::aligned_vector<double> partials(nchunks * stride, 0.0);
+  par::for_reduce_chunks(
+      static_cast<std::size_t>(m),
+      [&](std::size_t ci, std::size_t rb, std::size_t re) {
+        accumulate(partials.data() + ci * stride, static_cast<index_t>(rb),
+                   static_cast<index_t>(re));
+      });
+  for (std::size_t ci = 0; ci < nchunks; ++ci) {
+    combine(partials.data() + ci * stride);
   }
 }
 

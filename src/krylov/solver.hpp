@@ -74,6 +74,14 @@ struct SolveResult {
   int cholesky_breakdowns = 0;
   int shift_retries = 0;
 
+  /// Pipelined s-step runtime counters: speculative next-panel MPK
+  /// sweeps generated inside a stage-1 reduce window that were consumed
+  /// by the following panel (hits) vs discarded because the cycle
+  /// converged or ended first (misses).  Zero for schemes without a
+  /// split stage-1 path.
+  long lookahead_hits = 0;
+  long lookahead_misses = 0;
+
   /// Convenience sums over the timer buckets (seconds).
   [[nodiscard]] double time_spmv() const { return spmv_seconds(timers); }
   [[nodiscard]] double time_precond() const { return precond_seconds(timers); }

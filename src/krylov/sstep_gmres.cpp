@@ -166,19 +166,67 @@ SolveResult sstep_gmres(par::Communicator& comm, const sparse::DistCsr& a,
     dense::HessenbergLeastSquares ls(cfg.m, gamma);
 
     index_t assembled = 0;  // Hessenberg columns appended so far
-    index_t generated = 1;  // basis columns generated so far
+    index_t generated = 1;  // basis columns stage-1-processed so far
     bool inner_converged = false;
+    bool have_next = false;  // speculative next-panel columns in place
 
     const index_t npanel = cfg.m / cfg.s;
     for (index_t p = 0; p < npanel; ++p) {
       const index_t start = p * cfg.s;
-      manager->note_mpk_start(octx, lmat.view(), start);
-      matrix_powers(comm, op, kbasis, basis.view(), start + 1, cfg.s,
-                    &res.timers);
+      if (have_next) {
+        // The lookahead already generated this panel's columns inside
+        // the previous panel's reduce window (and recorded the raw MPK
+        // start with the manager).
+        res.lookahead_hits += 1;
+        have_next = false;
+      } else {
+        manager->note_mpk_start(octx, lmat.view(), start);
+        matrix_powers(comm, op, kbasis, basis.view(), start + 1, cfg.s,
+                      &res.timers);
+      }
       generated = start + 1 + cfg.s;
 
-      index_t nfinal = manager->add_panel(octx, basis.view(), start + 1,
-                                          cfg.s, rmat.view(), lmat.view());
+      index_t nfinal;
+      if (manager->add_panel_begin(octx, basis.view(), start + 1, cfg.s,
+                                   cfg.pipeline_depth > 0)) {
+        // Pipelined lookahead: with the stage-1 fused Gram reduce in
+        // flight, generate the NEXT panel's matrix-powers columns from
+        // this panel's raw (not yet transformed) last column.  The
+        // schedule is the same at every pipeline_depth — the option
+        // selects only whether the window earns overlap credit — so
+        // the solution is bitwise independent of it.
+        const index_t next = start + cfg.s;
+        if (p + 1 < npanel) {
+          manager->note_mpk_start_raw(octx, next);
+          matrix_powers(comm, op, kbasis, basis.view(), next + 1, cfg.s,
+                        &res.timers);
+          have_next = true;
+        }
+        nfinal = manager->add_panel_finish(octx, basis.view(), start + 1,
+                                           cfg.s, rmat.view(), lmat.view());
+        if (have_next) {
+          // Deferred normalization: rescale the speculative panel by
+          // the manager's power-of-two scale now that the stage-1
+          // factor is known (exact — commutes with the recurrence).
+          // Scale 0 means the manager's quality guard rejected the
+          // speculation (raw column too decayed): discard the panel
+          // and fall back to regeneration at the top of the next
+          // iteration.  The MPK compute still overlapped the reduce.
+          const double alpha = manager->lookahead_scale(next);
+          if (alpha == 0.0) {
+            res.lookahead_misses += 1;
+            have_next = false;
+          } else if (alpha != 1.0) {
+            for (index_t c = next + 1; c <= next + cfg.s; ++c) {
+              double* col = basis.col(c);
+              for (std::size_t i = 0; i < nloc; ++i) col[i] *= alpha;
+            }
+          }
+        }
+      } else {
+        nfinal = manager->add_panel(octx, basis.view(), start + 1, cfg.s,
+                                    rmat.view(), lmat.view());
+      }
 
       if (nfinal - 1 > assembled) {
         res.timers.start("ortho/small");
@@ -196,6 +244,11 @@ SolveResult sstep_gmres(par::Communicator& comm, const sparse::DistCsr& a,
         }
       }
     }
+
+    // A speculative panel left in place by an early inner break was
+    // generated but never consumed: its columns are simply abandoned
+    // (finalize sees only the stage-1-processed count).
+    if (have_next) res.lookahead_misses += 1;
 
     // Flush a partially filled big panel (only happens when bs does not
     // divide m, or after an early inner break; both leave usable final

@@ -39,6 +39,19 @@ struct SStepGmresConfig {
   ortho::BreakdownPolicy policy = ortho::BreakdownPolicy::kShift;
   bool mixed_precision_gram = false;  ///< double-double Gram extension
 
+  /// Pipelined-runtime lookahead depth.  Whenever the manager supports
+  /// split add_panel (two-stage, plain-double Gram), the solver runs
+  /// the lookahead schedule: the stage-1 Gram reduce is issued
+  /// split-phase and the NEXT panel's matrix-powers columns are
+  /// generated from the current panel's raw last column before the
+  /// wait, with deferred power-of-two normalization.  pipeline_depth
+  /// selects only the ACCOUNTING of that window: 0 charges the reduce
+  /// latency fully exposed, >= 1 credits the in-window MPK compute as
+  /// overlapped (depths beyond 1 behave as 1 — a single panel of
+  /// lookahead).  The arithmetic is identical at every depth, so
+  /// solutions are bitwise independent of this option.
+  int pipeline_depth = 0;
+
   /// Optional per-restart observer (see solver.hpp).
   ProgressCallback on_restart;
 

@@ -89,7 +89,12 @@ class ScopedGramPrecision {
 /// Local work a caller wants executed inside a split-phase reduce
 /// window (between the iallreduce begin and its wait), where the
 /// modeled fabric latency hides it.  Must not depend on the reduce
-/// result and must not communicate.
+/// result.  It may open NESTED communication windows (halo exchanges,
+/// further split-phase collectives up to par::kMaxInflight) — the
+/// pipelined s-step runtime runs a whole matrix-powers sweep, halo
+/// exchanges included, inside the stage-1 Gram reduce window — but it
+/// must not wait on this reduce's own request, and every rank must
+/// issue the identical nested sequence.
 using OverlapHook = std::function<void()>;
 
 /// In-flight global reduce of a (possibly strided) matrix view, issued
@@ -97,8 +102,9 @@ using OverlapHook = std::function<void()>;
 /// completes the communication and unpacks the reduced coefficients
 /// into the view handed at issue time; the destructor waits, so an
 /// exception unwinding through an overlap window stays collective.
-/// One PendingReduce may be outstanding per communicator (it owns the
-/// rank's single publication slot).
+/// Several PendingReduces may be outstanding per communicator (each
+/// owns one of the rank's par::kMaxInflight publication slots), with
+/// waits issued in the same order on every rank.
 class PendingReduce {
  public:
   PendingReduce() = default;

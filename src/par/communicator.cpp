@@ -31,6 +31,7 @@ CommRequest& CommRequest::operator=(CommRequest&& o) noexcept {
     a_ = o.a_;
     b_ = o.b_;
     root_ = o.root_;
+    slot_ = o.slot_;
     modeled_seconds_ = o.modeled_seconds_;
     overlap_credit_ = o.overlap_credit_;
     begin_ = o.begin_;
@@ -47,8 +48,10 @@ void CommRequest::wait() {
 SpmdContext::SpmdContext(int nranks, NetworkModel model)
     : nranks_(nranks),
       model_(model),
-      slots_(static_cast<std::size_t>(nranks), nullptr),
-      sizes_(static_cast<std::size_t>(nranks), 0) {
+      slots_(static_cast<std::size_t>(nranks) * kMaxInflight, nullptr),
+      sizes_(static_cast<std::size_t>(nranks) * kMaxInflight, 0),
+      xslots_(static_cast<std::size_t>(nranks), nullptr),
+      xsizes_(static_cast<std::size_t>(nranks), 0) {
   assert(nranks >= 1);
 }
 
@@ -91,30 +94,51 @@ CommRequest Communicator::make_request(CommRequest::Kind kind,
                                        std::span<double> a,
                                        std::span<double> b, int root,
                                        double modeled) {
-  assert(!request_outstanding_ &&
-         "one outstanding split-phase collective per rank");
-  request_outstanding_ = true;
+  // Deterministic first-free scan: SPMD ranks issue collectives in
+  // identical order, so every rank assigns the same ring slot to the
+  // same logical collective and complete() can read peers' slots by
+  // its own index.
+  int slot = 0;
+  while (slot < kMaxInflight && slot_busy_[slot]) ++slot;
+  assert(slot < kMaxInflight &&
+         "too many split-phase collectives in flight (kMaxInflight)");
+  slot_busy_[slot] = true;
+  ++inflight_;
   CommRequest req;
   req.comm_ = this;
   req.kind_ = kind;
   req.a_ = a;
   req.b_ = b;
   req.root_ = root;
+  req.slot_ = slot;
   req.modeled_seconds_ = modeled;
   req.begin_ = std::chrono::steady_clock::now();
   return req;
 }
 
+void Communicator::publish(int slot, std::span<const double> data) {
+  const std::size_t idx =
+      static_cast<std::size_t>(rank_) * kMaxInflight +
+      static_cast<std::size_t>(slot);
+  ctx_.slots_[idx] = data.data();
+  ctx_.sizes_[idx] = data.size();
+}
+
+const double* Communicator::peer_slot(int peer, int slot) const {
+  const std::size_t idx =
+      static_cast<std::size_t>(peer) * kMaxInflight +
+      static_cast<std::size_t>(slot);
+  return static_cast<const double*>(ctx_.slots_[idx]);
+}
+
 CommRequest Communicator::iallreduce_sum(std::span<double> inout) {
   stats_.allreduces += 1;
   stats_.bytes_allreduced += inout.size_bytes();
-  if (ctx_.nranks_ > 1) {
-    ctx_.slots_[rank_] = inout.data();
-    ctx_.sizes_[rank_] = inout.size();
-  }
-  return make_request(
+  CommRequest req = make_request(
       CommRequest::Kind::kSum, inout, {}, 0,
       ctx_.model_.allreduce_seconds(ctx_.nranks_, inout.size_bytes()));
+  if (ctx_.nranks_ > 1) publish(req.slot_, inout);
+  return req;
 }
 
 CommRequest Communicator::iallreduce_sum_dd(std::span<double> hi,
@@ -123,51 +147,63 @@ CommRequest Communicator::iallreduce_sum_dd(std::span<double> hi,
   const std::size_t n = hi.size();
   stats_.allreduces += 1;
   stats_.bytes_allreduced += hi.size_bytes() + lo.size_bytes();
+  CommRequest req =
+      make_request(CommRequest::Kind::kSumDd, hi, lo, 0,
+                   ctx_.model_.allreduce_seconds(
+                       ctx_.nranks_, hi.size_bytes() + lo.size_bytes()));
   if (ctx_.nranks_ > 1) {
     // Publish one packed [hi..., lo...] buffer per rank; every rank
     // then folds the pairs in rank order with normalized dd adds at
     // wait(), so all ranks hold the identical extended-precision sum.
-    scratch_.resize(2 * n);
-    std::memcpy(scratch_.data(), hi.data(), hi.size_bytes());
-    std::memcpy(scratch_.data() + n, lo.data(), lo.size_bytes());
-    ctx_.slots_[rank_] = scratch_.data();
-    ctx_.sizes_[rank_] = 2 * n;
+    // Each ring slot owns its staging buffer so the packed payload
+    // stays stable while sibling requests come and go.
+    std::vector<double>& st = staging_[req.slot_];
+    st.resize(2 * n);
+    std::memcpy(st.data(), hi.data(), hi.size_bytes());
+    std::memcpy(st.data() + n, lo.data(), lo.size_bytes());
+    publish(req.slot_, st);
   }
-  return make_request(CommRequest::Kind::kSumDd, hi, lo, 0,
-                      ctx_.model_.allreduce_seconds(
-                          ctx_.nranks_, hi.size_bytes() + lo.size_bytes()));
+  return req;
 }
 
 CommRequest Communicator::ibroadcast(std::span<double> data, int root) {
   stats_.broadcasts += 1;
-  if (ctx_.nranks_ > 1 && rank_ == root) {
-    ctx_.slots_[root] = data.data();
-    ctx_.sizes_[root] = data.size();
-  }
-  return make_request(
+  CommRequest req = make_request(
       CommRequest::Kind::kBcast, data, {}, root,
       ctx_.model_.allreduce_seconds(ctx_.nranks_, data.size_bytes()));
+  if (ctx_.nranks_ > 1 && rank_ == root) publish(req.slot_, data);
+  return req;
 }
 
 void Communicator::complete(CommRequest& req) {
-  assert(request_outstanding_);
+  assert(inflight_ > 0 && slot_busy_[req.slot_]);
   // Compute performed since begin is what the fabric latency hides.
+  // The wall-clock window includes exposed spins of earlier waits on
+  // purpose: the fabric progresses every pending operation while the
+  // host blocks in one wait, exactly like overlapping MPI requests.
   const double elapsed =
       req.overlap_credit_
           ? std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                           req.begin_)
                 .count()
           : 0.0;
+  const int slot = req.slot_;
+  [[maybe_unused]] const auto slot_size = [&](int r) {
+    return ctx_.sizes_[static_cast<std::size_t>(r) * kMaxInflight +
+                       static_cast<std::size_t>(slot)];
+  };
   switch (req.kind_) {
     case CommRequest::Kind::kSum: {
       std::span<double> inout = req.a_;
       if (ctx_.nranks_ > 1) {
         barrier();  // all ranks published
-        // Deterministic order: sum rank 0..p-1 contributions.
+        // Deterministic order: sum rank 0..p-1 contributions.  Waits
+        // are serialized on each rank, so one fold workspace suffices
+        // even with siblings still pending in other slots.
         scratch_.assign(inout.size(), 0.0);
         for (int r = 0; r < ctx_.nranks_; ++r) {
-          assert(ctx_.sizes_[r] == inout.size());
-          const double* src = static_cast<const double*>(ctx_.slots_[r]);
+          assert(slot_size(r) == inout.size());
+          const double* src = peer_slot(r, slot);
           for (std::size_t i = 0; i < inout.size(); ++i) scratch_[i] += src[i];
         }
         barrier();  // all ranks finished reading before buffers are reused
@@ -185,8 +221,8 @@ void Communicator::complete(CommRequest& req) {
         for (std::size_t i = 0; i < n; ++i) {
           eft::dd acc;
           for (int r = 0; r < ctx_.nranks_; ++r) {
-            assert(ctx_.sizes_[r] == 2 * n);
-            const double* src = static_cast<const double*>(ctx_.slots_[r]);
+            assert(slot_size(r) == 2 * n);
+            const double* src = peer_slot(r, slot);
             eft::dd_add(acc, eft::dd{src[i], src[n + i]});
           }
           scratch2_[i] = acc.hi;
@@ -203,9 +239,8 @@ void Communicator::complete(CommRequest& req) {
       if (ctx_.nranks_ > 1) {
         barrier();  // root published
         if (rank_ != req.root_) {
-          assert(ctx_.sizes_[req.root_] == data.size());
-          std::memcpy(data.data(),
-                      static_cast<const double*>(ctx_.slots_[req.root_]),
+          assert(slot_size(req.root_) == data.size());
+          std::memcpy(data.data(), peer_slot(req.root_, slot),
                       data.size_bytes());
         }
         barrier();
@@ -213,7 +248,8 @@ void Communicator::complete(CommRequest& req) {
       break;
     }
   }
-  request_outstanding_ = false;
+  slot_busy_[slot] = false;
+  --inflight_;
   inject_with_overlap(req.modeled_seconds_, elapsed);
 }
 
@@ -231,25 +267,30 @@ void Communicator::allreduce_sum_dd(std::span<double> hi,
 }
 
 void Communicator::allreduce_max(std::span<double> inout) {
-  assert(!request_outstanding_ &&
-         "collective may not overlap an in-flight split-phase request");
   stats_.allreduces += 1;
   stats_.bytes_allreduced += inout.size_bytes();
   if (ctx_.nranks_ > 1) {
-    ctx_.slots_[rank_] = inout.data();
-    ctx_.sizes_[rank_] = inout.size();
+    // Ticket a ring slot so this blocking collective can run while
+    // split-phase siblings are pending: same deterministic scan as
+    // make_request, released before returning.
+    int slot = 0;
+    while (slot < kMaxInflight && slot_busy_[slot]) ++slot;
+    assert(slot < kMaxInflight);
+    slot_busy_[slot] = true;
+    publish(slot, inout);
     barrier();
     scratch_.assign(inout.size(), 0.0);
     for (std::size_t i = 0; i < inout.size(); ++i) {
-      double m = static_cast<const double*>(ctx_.slots_[0])[i];
+      double m = peer_slot(0, slot)[i];
       for (int r = 1; r < ctx_.nranks_; ++r) {
-        const double v = static_cast<const double*>(ctx_.slots_[r])[i];
+        const double v = peer_slot(r, slot)[i];
         m = v > m ? v : m;
       }
       scratch_[i] = m;
     }
     barrier();
     std::memcpy(inout.data(), scratch_.data(), inout.size_bytes());
+    slot_busy_[slot] = false;
   }
   inject(ctx_.model_.allreduce_seconds(ctx_.nranks_, inout.size_bytes()));
 }
@@ -272,30 +313,37 @@ void Communicator::broadcast(std::span<double> data, int root) {
 
 std::vector<double> Communicator::gather(std::span<const double> local,
                                          int root) {
-  assert(!request_outstanding_ &&
-         "collective may not overlap an in-flight split-phase request");
-  ctx_.slots_[rank_] = local.data();
-  ctx_.sizes_[rank_] = local.size();
+  int slot = 0;  // ticketed like allreduce_max; nests under siblings
+  while (slot < kMaxInflight && slot_busy_[slot]) ++slot;
+  assert(slot < kMaxInflight);
+  slot_busy_[slot] = true;
+  publish(slot, local);
   barrier();
   std::vector<double> out;
   if (rank_ == root) {
     std::size_t total = 0;
-    for (int r = 0; r < ctx_.nranks_; ++r) total += ctx_.sizes_[r];
+    for (int r = 0; r < ctx_.nranks_; ++r) total += ctx_.sizes_[
+        static_cast<std::size_t>(r) * kMaxInflight +
+        static_cast<std::size_t>(slot)];
     out.reserve(total);
     for (int r = 0; r < ctx_.nranks_; ++r) {
-      const double* src = static_cast<const double*>(ctx_.slots_[r]);
-      out.insert(out.end(), src, src + ctx_.sizes_[r]);
+      const double* src = peer_slot(r, slot);
+      const std::size_t sz = ctx_.sizes_[
+          static_cast<std::size_t>(r) * kMaxInflight +
+          static_cast<std::size_t>(slot)];
+      out.insert(out.end(), src, src + sz);
     }
   }
   barrier();
+  slot_busy_[slot] = false;
   return out;
 }
 
 void Communicator::exchange_begin(std::span<const double> send) {
-  assert(!request_outstanding_ &&
-         "exchange may not overlap an in-flight collective");
-  ctx_.slots_[rank_] = send.data();
-  ctx_.sizes_[rank_] = send.size();
+  assert(!exchange_open_ && "one neighbor exchange at a time");
+  exchange_open_ = true;
+  ctx_.xslots_[rank_] = send.data();
+  ctx_.xsizes_[rank_] = send.size();
   barrier();
   // The overlap window opens once every peer has published: compute
   // from here to exchange_end stands in for interior work behind
@@ -305,19 +353,30 @@ void Communicator::exchange_begin(std::span<const double> send) {
 
 std::span<const double> Communicator::peer_buffer(int peer) const {
   assert(peer >= 0 && peer < ctx_.nranks_);
-  return {static_cast<const double*>(ctx_.slots_[peer]), ctx_.sizes_[peer]};
+  return {static_cast<const double*>(ctx_.xslots_[peer]),
+          ctx_.xsizes_[peer]};
 }
 
-void Communicator::exchange_end(std::size_t max_recv_bytes,
+void Communicator::exchange_end(std::span<const std::size_t> peer_recv_bytes,
                                 std::size_t total_recv_bytes) {
+  assert(exchange_open_);
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     exchange_begin_)
           .count();
   barrier();
+  exchange_open_ = false;
   stats_.p2p_rounds += 1;
   stats_.bytes_exchanged += total_recv_bytes;
-  inject_with_overlap(ctx_.model_.p2p_seconds(max_recv_bytes), elapsed);
+  inject_with_overlap(ctx_.model_.p2p_round_seconds(peer_recv_bytes), elapsed);
+}
+
+void Communicator::exchange_end(std::size_t max_recv_bytes,
+                                std::size_t total_recv_bytes) {
+  // Legacy single-size form: one message per round.  Identical cost to
+  // a one-element per-peer round, so delegate.
+  const std::size_t one[] = {max_recv_bytes};
+  exchange_end(std::span<const std::size_t>(one, 1), total_recv_bytes);
 }
 
 }  // namespace tsbo::par

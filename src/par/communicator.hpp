@@ -22,6 +22,19 @@
 // values themselves stay bitwise independent of the overlap window.
 // The blocking collectives are thin begin+wait pairs over the same
 // machinery (with no overlap credit: their window contains no compute).
+//
+// Multiple requests may be in flight per rank (up to kMaxInflight),
+// including neighbor exchanges nested inside a pending collective
+// window — the pipelined s-step runtime launches next-panel MPK halo
+// exchanges while the stage-1 Gram reduce is outstanding.  Per-window
+// overlap accounting mirrors a real fabric: every pending operation
+// progresses concurrently in wall-clock time, so one stretch of
+// compute earns credit in EVERY window that spans it, and the exposed
+// spin of one wait counts as progress for its still-pending siblings
+// (the NIC keeps working while the host blocks in MPI_Wait).  Waits
+// must occur in the same order on every rank (the usual MPI collective
+// ordering contract); out-of-order with respect to issue order is
+// fine.
 
 #include "par/network_model.hpp"
 
@@ -54,13 +67,19 @@ struct CommStats {
 /// after - before, for windowed accounting around a solver call.
 CommStats subtract(const CommStats& after, const CommStats& before);
 
-/// Handle for one in-flight split-phase collective.  Move-only; the
-/// communicator supports ONE outstanding request per rank (the
-/// publication slots are single-buffered, like an MPI implementation
-/// with one pre-posted envelope).  wait() completes the operation —
-/// called implicitly by the destructor so an exception unwinding
-/// through an overlap window keeps all ranks in lockstep.  Between
-/// begin and wait the caller must not touch the published buffers.
+/// Number of split-phase collectives a rank may have in flight at
+/// once (the publication slots are a small ring, like an MPI
+/// implementation with a few pre-posted envelopes).
+inline constexpr int kMaxInflight = 8;
+
+/// Handle for one in-flight split-phase collective.  Move-only; up to
+/// kMaxInflight requests may be outstanding per rank, and waits may be
+/// issued in any order as long as every rank waits in the SAME order.
+/// wait() completes the operation — called implicitly by the
+/// destructor so an exception unwinding through an overlap window
+/// keeps all ranks in lockstep (siblings still pending are unaffected).
+/// Between begin and wait the caller must not touch the published
+/// buffers.
 class CommRequest {
  public:
   CommRequest() = default;
@@ -92,6 +111,7 @@ class CommRequest {
   std::span<double> a_{};  // inout payload (hi plane for kSumDd)
   std::span<double> b_{};  // lo plane (kSumDd only)
   int root_ = 0;           // kBcast only
+  int slot_ = 0;           // publication-slot index within the ring
   double modeled_seconds_ = 0.0;
   bool overlap_credit_ = true;  // blocking wrappers opt out
   std::chrono::steady_clock::time_point begin_{};
@@ -115,9 +135,20 @@ class SpmdContext {
   std::atomic<int> arrived_{0};
   std::atomic<int> sense_{0};
 
-  // Publication slots for zero-copy collectives (one per rank).
+  // Publication slots for zero-copy collectives: a ring of kMaxInflight
+  // entries per rank, so several split-phase requests can be in flight
+  // at once.  Slot (rank, s) lives at index rank * kMaxInflight + s.
+  // Slot assignment is rank-local but deterministic, and SPMD programs
+  // issue collectives in the same order on every rank, so all ranks
+  // agree on which slot a given logical collective occupies.
   std::vector<const void*> slots_;
   std::vector<std::size_t> sizes_;
+
+  // Dedicated per-rank slot for neighbor exchanges, separate from the
+  // collective ring so a halo exchange can open inside a pending
+  // collective window without clobbering its publication.
+  std::vector<const void*> xslots_;
+  std::vector<std::size_t> xsizes_;
 };
 
 /// Rank-local handle used inside spmd_run() bodies.  Not thread-safe
@@ -177,18 +208,24 @@ class Communicator {
 
   /// One neighbor-exchange round: the caller publishes its own send
   /// buffer and reads peers' buffers; the communicator handles the
-  /// two-phase synchronization and charges one p2p round of
-  /// `max_recv_bytes` to the cost model.  Compute performed between
-  /// exchange_begin and exchange_end (interior SpMV rows in the
-  /// overlapped DistCsr::spmv) is credited against the modeled p2p
-  /// latency, mirroring MPI_Irecv/Isend + interior work + Waitall.
+  /// two-phase synchronization and charges one p2p round to the cost
+  /// model — the per-peer overload sums each peer message's cost
+  /// (NetworkModel::p2p_round_seconds, single-port injection), the
+  /// legacy single-size overloads charge one message.  Compute
+  /// performed between exchange_begin and exchange_end (interior SpMV
+  /// rows in the overlapped DistCsr::spmv) is credited against the
+  /// modeled p2p latency, mirroring MPI_Irecv/Isend + interior work +
+  /// Waitall.  An exchange may nest inside pending split-phase
+  /// collective windows (it uses dedicated publication slots).
   ///
   /// Usage:
   ///   comm.exchange_begin(my_send_buffer);
   ///   ... local compute, then read peer buffers via peer_buffer(r) ...
-  ///   comm.exchange_end(max_recv_bytes, total_recv_bytes);
+  ///   comm.exchange_end(peer_recv_bytes, total_recv_bytes);
   void exchange_begin(std::span<const double> send);
   [[nodiscard]] std::span<const double> peer_buffer(int peer) const;
+  void exchange_end(std::span<const std::size_t> peer_recv_bytes,
+                    std::size_t total_recv_bytes);
   void exchange_end(std::size_t max_recv_bytes, std::size_t total_recv_bytes);
   void exchange_end(std::size_t max_recv_bytes) {
     exchange_end(max_recv_bytes, max_recv_bytes);
@@ -207,14 +244,24 @@ class Communicator {
   CommRequest make_request(CommRequest::Kind kind, std::span<double> a,
                            std::span<double> b, int root, double modeled);
   void complete(CommRequest& req);
+  /// Publishes `data` in the rank's collective ring slot `slot`.
+  void publish(int slot, std::span<const double> data);
+  [[nodiscard]] const double* peer_slot(int peer, int slot) const;
 
   SpmdContext& ctx_;
   int rank_;
   int local_sense_ = 0;
-  bool request_outstanding_ = false;  // single-slot publication guard
+  int inflight_ = 0;  // outstanding split-phase collectives
+  bool slot_busy_[kMaxInflight] = {};
   std::chrono::steady_clock::time_point exchange_begin_{};
-  std::vector<double> scratch_;   // published send buffer / reduce result
-  std::vector<double> scratch2_;  // dd fold result (scratch_ stays published)
+  bool exchange_open_ = false;
+  // Per-slot staging for dd publications: the packed [hi..., lo...]
+  // payload must stay stable for the life of its request, so each ring
+  // slot owns a buffer.  Non-dd sums publish the caller's buffer
+  // directly (zero copy) and only use staging at fold time.
+  std::vector<double> staging_[kMaxInflight];
+  std::vector<double> scratch_;   // fold workspace (waits are serialized)
+  std::vector<double> scratch2_;  // dd fold result (staging stays published)
   CommStats stats_;
 };
 

@@ -13,6 +13,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <span>
 
 namespace tsbo::par {
 
@@ -34,11 +35,27 @@ struct NetworkModel {
     return stages * (alpha_allreduce + static_cast<double>(bytes) * beta_per_byte);
   }
 
-  /// Cost of one neighbor-exchange round where the largest message is
-  /// `max_bytes` (messages to distinct neighbors overlap).
-  [[nodiscard]] double p2p_seconds(std::size_t max_bytes) const {
+  /// Cost of one point-to-point message of `bytes`.
+  [[nodiscard]] double p2p_seconds(std::size_t bytes) const {
     if (!enabled) return 0.0;
-    return alpha_p2p + static_cast<double>(max_bytes) * beta_per_byte;
+    return alpha_p2p + static_cast<double>(bytes) * beta_per_byte;
+  }
+
+  /// Cost of one neighbor-exchange round with the given per-peer
+  /// message sizes.  The NIC injects messages one after another
+  /// (single-port model), so the round costs the SUM of the per-peer
+  /// message costs — charging only the largest message would let a
+  /// rank talk to arbitrarily many neighbors for free and understate
+  /// exactly the latency term strong-scaling runs are supposed to
+  /// expose.  For a single peer this reduces to p2p_seconds(bytes).
+  [[nodiscard]] double p2p_round_seconds(
+      std::span<const std::size_t> peer_bytes) const {
+    if (!enabled) return 0.0;
+    double t = 0.0;
+    for (const std::size_t b : peer_bytes) {
+      t += alpha_p2p + static_cast<double>(b) * beta_per_byte;
+    }
+    return t;
   }
 
   /// Overlap accounting for the split-phase runtime: of `modeled`

@@ -93,8 +93,11 @@ DistCsr::DistCsr(const CsrMatrix& global, const RowPartition& partition,
     ghost_peer_offset_[g] = ghost_gid_[g] - partition_.begin(owner);
     per_peer[owner] += sizeof(double);
   }
+  // Per-peer pull sizes feed NetworkModel::p2p_round_seconds: the round
+  // costs the sum over peers (single-port injection), not the max.
+  peer_recv_bytes_.reserve(per_peer.size());
   for (const auto& [peer, bytes] : per_peer) {
-    max_recv_bytes_ = std::max(max_recv_bytes_, bytes);
+    peer_recv_bytes_.push_back(bytes);
   }
 
   xbuf_.resize(static_cast<std::size_t>(local_.cols));
@@ -137,7 +140,7 @@ void DistCsr::gather_ghosts(par::Communicator& comm,
   if (comm.size() > 1) {
     comm.exchange_begin(x_local);
     fill_ghosts(comm);
-    comm.exchange_end(max_recv_bytes_, ghost_gid_.size() * sizeof(double));
+    comm.exchange_end(peer_recv_bytes_, ghost_gid_.size() * sizeof(double));
   }
 }
 
@@ -163,7 +166,7 @@ void DistCsr::spmv(par::Communicator& comm, std::span<const double> x_local,
       timers->start("spmv/comm");
     }
     fill_ghosts(comm);
-    comm.exchange_end(max_recv_bytes_, ghost_gid_.size() * sizeof(double));
+    comm.exchange_end(peer_recv_bytes_, ghost_gid_.size() * sizeof(double));
     if (timers) {
       timers->stop("spmv/comm");
       timers->start("spmv/local");

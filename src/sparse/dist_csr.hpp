@@ -100,7 +100,7 @@ class DistCsr {
   std::vector<ord> ghost_gid_;  // sorted global ids of ghost columns
   std::vector<int> ghost_owner_;
   std::vector<ord> ghost_peer_offset_;  // gid - peer row_begin
-  std::size_t max_recv_bytes_ = 0;      // largest per-peer pull
+  std::vector<std::size_t> peer_recv_bytes_;  // per-peer pull sizes
   mutable util::aligned_vector<double> xbuf_;    // [x_local | ghosts]
 };
 

@@ -253,13 +253,15 @@ TEST(SolveReport, JsonMatchesGoldenSchema) {
   // Golden schema: the keys every consumer (compare tooling, plotting)
   // relies on must be present.
   for (const char* needle :
-       {"\"schema\": \"tsbo.solve_report/2\"", "\"options\"", "\"matrix\"",
+       {"\"schema\": \"tsbo.solve_report/3\"", "\"options\"", "\"matrix\"",
         "\"environment\"", "\"ranks\"", "\"threads\"", "\"result\"",
         "\"converged\"", "\"iters\"", "\"restarts\"", "\"relres\"",
         "\"true_relres\"", "\"time\"", "\"spmv\"", "\"ortho\"", "\"total\"",
         "\"ortho_breakdown\"", "\"phase_seconds\"", "\"comm\"",
         "\"allreduces\"", "\"bytes_exchanged\"", "\"exposed_seconds\"",
-        "\"overlapped_seconds\"", "\"history\"", "\"explicit_relres\"",
+        "\"overlapped_seconds\"", "\"lookahead_hits\"",
+        "\"lookahead_misses\"", "\"pipeline_depth\"", "\"history\"",
+        "\"explicit_relres\"",
         "\"ortho\": \"two_stage\"", "\"matrix\": \"laplace2d_5pt\""}) {
     EXPECT_NE(text.find(needle), std::string::npos) << "missing " << needle;
   }

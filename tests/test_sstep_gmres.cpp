@@ -153,6 +153,46 @@ TEST(SstepGmres, ConfigValidation) {
                std::invalid_argument);
   // Newton basis without a spectral interval.
   EXPECT_THROW(run_sstep(p, 1, "basis=newton"), std::invalid_argument);
+  // Negative lookahead depth.
+  EXPECT_THROW(run_sstep(p, 1, "pipeline_depth=-1"), std::invalid_argument);
+}
+
+TEST(SstepGmres, PipelineDepthDoesNotChangeResults) {
+  // The lookahead schedule runs whenever the manager supports split
+  // stage-1; pipeline_depth (including depths beyond 1) only relabels
+  // the window's accounting.  Results must be bitwise identical, and
+  // the lookahead counters must report the speculation either way.
+  const Problem p = make_problem(sparse::laplace2d_5pt(32, 32));
+  long iters0 = -1, hits0 = -1, misses0 = -1;
+  std::vector<double> x0;
+  for (const int depth : {0, 1, 3}) {
+    const auto [res, x] = run_sstep(
+        p, 2,
+        "ortho=two_stage s=5 bs=20 rtol=1e-8 pipeline_depth=" +
+            std::to_string(depth));
+    EXPECT_TRUE(res.converged) << "depth=" << depth;
+    if (depth == 0) {
+      iters0 = res.iters;
+      hits0 = res.lookahead_hits;
+      misses0 = res.lookahead_misses;
+      x0 = x;
+      EXPECT_GT(hits0 + misses0, 0);  // the speculative path engaged
+      continue;
+    }
+    EXPECT_EQ(res.iters, iters0) << "depth=" << depth;
+    EXPECT_EQ(res.lookahead_hits, hits0) << "depth=" << depth;
+    EXPECT_EQ(res.lookahead_misses, misses0) << "depth=" << depth;
+    ASSERT_EQ(x.size(), x0.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      ASSERT_EQ(x[i], x0[i]) << "depth=" << depth << " bit drift at " << i;
+    }
+  }
+  // One-stage schemes have no split stage-1: counters stay zero and the
+  // option is inert there too.
+  const auto [res1, x1] =
+      run_sstep(p, 2, "ortho=bcgs_pip2 rtol=1e-8 pipeline_depth=1");
+  EXPECT_EQ(res1.lookahead_hits, 0);
+  EXPECT_EQ(res1.lookahead_misses, 0);
 }
 
 TEST(SstepGmres, NewtonAndChebyshevBasesConverge) {
