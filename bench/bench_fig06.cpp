@@ -37,12 +37,13 @@ int main(int argc, char** argv) {
       "#           kappa(Qhat) = O(1) and err2 = O(eps) below threshold\n\n",
       n, s, seeds);
 
-  util::Table table({"kappa(V)", "err1 min", "err1 avg", "err1 max",
-                     "kappa(Qhat)", "err2 (CholQR2)", "breakdowns"});
+  util::Table table({"kappa(V)", "monitor est", "err1 min", "err1 avg",
+                     "err1 max", "kappa(Qhat)", "err2 (CholQR2)",
+                     "breakdowns"});
 
   for (int dec = 1; dec <= 15; ++dec) {
     const double kappa = std::pow(10.0, dec);
-    util::MinMeanMax err1, err2, condq;
+    util::MinMeanMax err1, err2, condq, monitor;
     int breakdowns = 0;
 
     for (int seed = 0; seed < seeds; ++seed) {
@@ -56,6 +57,9 @@ int main(int argc, char** argv) {
         ++breakdowns;
         continue;
       }
+      // The autopilot's free estimate of kappa(V) from the Cholesky
+      // factor's diagonal — should track the swept kappa column.
+      monitor.add(std::sqrt(ctx.last_gram_kappa));
       err1.add(dense::orthogonality_error(v.view()));
       condq.add(dense::cond_2(v.view()));
 
@@ -70,6 +74,7 @@ int main(int argc, char** argv) {
     }
 
     table.row().add(util::sci(kappa, 0));
+    table.add(monitor.count() ? util::sci(monitor.mean()) : "-");
     if (err1.count() > 0) {
       table.add(util::sci(err1.min()))
           .add(util::sci(err1.mean()))

@@ -28,9 +28,12 @@ using dense::index_t;
 using dense::Matrix;
 
 /// Sweeps panels with the given one-stage algorithm; returns the final
-/// basis (panels orthogonalized in place).
+/// basis (panels orthogonalized in place).  `monitor` (optional)
+/// receives the peak per-panel conditioning estimate the Gram Cholesky
+/// produced along the way — the quantity the stability autopilot polls.
 template <typename Algo>
-Matrix sweep(const Matrix& v0, index_t s, Algo&& algo, bool* ok) {
+Matrix sweep(const Matrix& v0, index_t s, Algo&& algo, bool* ok,
+             double* monitor = nullptr) {
   Matrix q = dense::copy_of(v0.view());
   Matrix r(v0.cols(), v0.cols());
   ortho::OrthoContext ctx;
@@ -44,6 +47,7 @@ Matrix sweep(const Matrix& v0, index_t s, Algo&& algo, bool* ok) {
   } catch (const ortho::CholeskyBreakdown&) {
     *ok = false;
   }
+  if (monitor != nullptr) *monitor = std::sqrt(ctx.take_gram_kappa_peak());
   return q;
 }
 
@@ -65,12 +69,13 @@ int main(int argc, char** argv) {
       "O(1); after 2nd sweep err = O(eps)\n\n",
       n, panels, s, seeds);
 
-  util::Table table({"kappa", "PIP err1 avg", "kappa(Qhat) avg",
-                     "PIP2 err avg", "BCGS2 err avg", "breakdowns"});
+  util::Table table({"kappa", "monitor est", "PIP err1 avg",
+                     "kappa(Qhat) avg", "PIP2 err avg", "BCGS2 err avg",
+                     "breakdowns"});
 
   for (int dec = 1; dec <= 15; dec += 2) {
     const double kappa = std::pow(10.0, dec);
-    util::MinMeanMax e1, cq, e2, eb;
+    util::MinMeanMax e1, cq, e2, eb, monitor;
     int breakdowns = 0;
 
     for (int seed = 0; seed < seeds; ++seed) {
@@ -83,13 +88,15 @@ int main(int argc, char** argv) {
       const Matrix v0 = synth::glued(spec, static_cast<std::uint64_t>(seed));
 
       bool ok = false;
+      double mon = 0.0;
       const Matrix q1 = sweep(
           v0, s,
           [](ortho::OrthoContext& c, dense::ConstMatrixView q,
              dense::MatrixView v, dense::MatrixView rp, dense::MatrixView rd) {
             ortho::bcgs_pip(c, q, v, rp, rd);
           },
-          &ok);
+          &ok, &mon);
+      if (mon > 0.0) monitor.add(mon);
       if (!ok) {
         ++breakdowns;
         continue;
@@ -117,7 +124,8 @@ int main(int argc, char** argv) {
     }
 
     table.row().add(util::sci(kappa, 0));
-    table.add(e1.count() ? util::sci(e1.mean()) : "-")
+    table.add(monitor.count() ? util::sci(monitor.mean()) : "-")
+        .add(e1.count() ? util::sci(e1.mean()) : "-")
         .add(cq.count() ? util::sci(cq.mean()) : "-")
         .add(e2.count() ? util::sci(e2.mean()) : "-")
         .add(eb.count() ? util::sci(eb.mean()) : "-")

@@ -4,6 +4,7 @@
 #include "util/cli.hpp"
 #include "util/json.hpp"
 
+#include <cmath>
 #include <functional>
 #include <stdexcept>
 
@@ -134,6 +135,11 @@ const std::vector<FieldDef>& fields() {
       bool_field("mixed_precision_gram", &SolverOptions::mixed_precision_gram),
       str_field("breakdown", &SolverOptions::breakdown),
       int_field("pipeline_depth", &SolverOptions::pipeline_depth),
+      bool_field("autopilot", &SolverOptions::autopilot),
+      double_field("ap_kappa_high", &SolverOptions::ap_kappa_high),
+      double_field("ap_kappa_low", &SolverOptions::ap_kappa_low),
+      int_field("ap_s_min", &SolverOptions::ap_s_min),
+      int_field("ap_patience", &SolverOptions::ap_patience),
       int_field("precond_sweeps", &SolverOptions::precond_sweeps),
       int_field("precond_degree", &SolverOptions::precond_degree),
       double_field("precond_lambda_min", &SolverOptions::precond_lambda_min),
@@ -311,14 +317,51 @@ void SolverOptions::validate() const {
   }
   (void)precond_registry().at(precond);  // throws on unknown names
   (void)network_model();                 // throws on unknown names
-  if (m <= 0 || s <= 0 || bs <= 0) {
-    throw std::invalid_argument("SolverOptions: m, s, bs must be positive");
+
+  // Numeric range validation: every violation names the key, echoes
+  // the offending value, and states the accepted range — the same
+  // spirit as the unknown-key did-you-mean hint, so a typo'd
+  // "--pipeline_depth=-1" fails loudly instead of corrupting the run.
+  const auto out_of_range = [](const char* key, const std::string& value,
+                               const char* wanted) {
+    throw std::invalid_argument(std::string("SolverOptions: ") + key + "=" +
+                                value + " out of range (expected " + wanted +
+                                ")");
+  };
+  const auto require_int = [&](const char* key, long v, long min,
+                               const char* wanted) {
+    if (v < min) out_of_range(key, std::to_string(v), wanted);
+  };
+  require_int("m", m, 1, ">= 1");
+  require_int("s", s, 1, ">= 1");
+  require_int("bs", bs, 1, ">= 1");
+  require_int("max_iters", max_iters, 1, ">= 1");
+  require_int("max_restarts", max_restarts, 1, ">= 1");
+  require_int("pipeline_depth", pipeline_depth, 0, ">= 0");
+  require_int("precond_sweeps", precond_sweeps, 1, ">= 1");
+  require_int("precond_degree", precond_degree, 1, ">= 1");
+  require_int("ranks", ranks, 1, ">= 1");
+  require_int("nx", nx, 1, ">= 1");
+  require_int("ny", ny, 0, ">= 0 (0 inherits nx)");
+  require_int("nz", nz, 0, ">= 0 (0 inherits nx)");
+  require_int("n", n, 0, ">= 0 (0 = registry default)");
+  if (!(rtol > 0.0) || !std::isfinite(rtol)) {
+    out_of_range("rtol", util::json_number(rtol), "a finite number > 0");
   }
-  if (ranks < 1) {
-    throw std::invalid_argument("SolverOptions: ranks must be >= 1");
+  if (autopilot && !is_sstep()) {
+    throw std::invalid_argument(
+        "SolverOptions: autopilot=1 requires solver=sstep (the monitor "
+        "lives in the s-step panel loop)");
   }
-  if (pipeline_depth < 0) {
-    throw std::invalid_argument("SolverOptions: pipeline_depth must be >= 0");
+  require_int("ap_s_min", ap_s_min, 1, ">= 1");
+  require_int("ap_patience", ap_patience, 1, ">= 1");
+  if (!(ap_kappa_low > 0.0) || !std::isfinite(ap_kappa_low)) {
+    out_of_range("ap_kappa_low", util::json_number(ap_kappa_low),
+                 "a finite number > 0");
+  }
+  if (!(ap_kappa_high > ap_kappa_low) || !std::isfinite(ap_kappa_high)) {
+    out_of_range("ap_kappa_high", util::json_number(ap_kappa_high),
+                 "a finite number > ap_kappa_low");
   }
 }
 
@@ -354,6 +397,11 @@ krylov::SStepGmresConfig SolverOptions::sstep_config() const {
   cfg.lambda_max = lambda_max;
   cfg.mixed_precision_gram = mixed_precision_gram;
   cfg.pipeline_depth = pipeline_depth;
+  cfg.autopilot.enabled = autopilot;
+  cfg.autopilot.kappa_high = ap_kappa_high;
+  cfg.autopilot.kappa_low = ap_kappa_low;
+  cfg.autopilot.s_min = ap_s_min;
+  cfg.autopilot.patience = ap_patience;
   cfg.policy = breakdown == "throw" ? ortho::BreakdownPolicy::kThrow
                                     : ortho::BreakdownPolicy::kShift;
   if (basis == "newton") {

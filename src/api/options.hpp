@@ -54,6 +54,17 @@ struct SolverOptions {
   /// stage-1 reduce window.  Bitwise-identical solutions at every
   /// depth; see krylov::SStepGmresConfig::pipeline_depth.
   int pipeline_depth = 0;
+  /// Stability autopilot (sstep only; see
+  /// krylov::SStepGmresConfig::Autopilot and docs/algorithms.md):
+  /// monitor the per-panel Gram conditioning estimate, shrink/grow s
+  /// between restarts, escalate the Gram to double-double on demand,
+  /// and recover from CholeskyBreakdown by re-basing instead of
+  /// aborting (the breakdown= policy is superseded while enabled).
+  bool autopilot = false;
+  double ap_kappa_high = 1e7;  ///< escalate above this basis-kappa estimate
+  double ap_kappa_low = 1e5;   ///< cycles below this count as healthy
+  int ap_s_min = 1;            ///< smallest step size the ladder may reach
+  int ap_patience = 2;         ///< healthy cycles before relaxing a rung
   int precond_sweeps = 1;   ///< Gauss-Seidel sweeps
   int precond_degree = 4;   ///< Chebyshev polynomial degree
   /// Explicit Chebyshev-preconditioner interval; 0/0 = power-method

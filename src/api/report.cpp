@@ -43,6 +43,27 @@ void SolveReport::write_json(util::JsonWriter& w) const {
       .kv("lookahead_hits", result.lookahead_hits)
       .kv("lookahead_misses", result.lookahead_misses);
 
+  w.key("autopilot").begin_object();
+  w.kv("enabled", options.autopilot)
+      .kv("max_kappa_estimate", result.autopilot_max_kappa)
+      .kv("rebase_recoveries", result.rebase_recoveries)
+      .kv("final_s", static_cast<std::int64_t>(result.autopilot_final_s))
+      .kv("final_gram", result.autopilot_final_dd ? "dd" : "double");
+  w.key("events").begin_array();
+  for (const krylov::AutopilotEvent& ev : result.autopilot_events) {
+    w.begin_object();
+    w.kv("restart", ev.restart)
+        .kv("kind", ev.kind)
+        .kv("kappa", ev.kappa)
+        .kv("s_before", static_cast<std::int64_t>(ev.s_before))
+        .kv("s_after", static_cast<std::int64_t>(ev.s_after))
+        .kv("gram_before", ev.dd_before ? "dd" : "double")
+        .kv("gram_after", ev.dd_after ? "dd" : "double");
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();  // autopilot
+
   w.key("time").begin_object();
   w.kv("spmv", result.time_spmv())
       .kv("precond", result.time_precond())

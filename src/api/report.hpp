@@ -5,7 +5,7 @@
 // provenance — the options echo, matrix statistics, rank/thread counts,
 // per-phase timers, communication counters, and the per-restart
 // residual history captured by the facade's observer — and serializes
-// to JSON (schema "tsbo.solve_report/3", golden-checked by
+// to JSON (schema "tsbo.solve_report/4", golden-checked by
 // tests/test_api.cpp).  ReportLog accumulates reports so every bench
 // binary can emit a uniform --json=<path> artifact.
 
@@ -28,8 +28,13 @@ namespace tsbo::api {
 /// exposed_seconds for older tooling.  /3: the result section grew the
 /// pipelined-runtime lookahead counters (lookahead_hits /
 /// lookahead_misses — speculative next-panel MPK sweeps consumed vs
-/// discarded; zero for schemes without a split stage-1 path).
-inline constexpr const char* kSolveReportSchema = "tsbo.solve_report/3";
+/// discarded; zero for schemes without a split stage-1 path).  /4: the
+/// result section grew the stability-autopilot object (enabled,
+/// max_kappa_estimate — the conditioning monitor's peak basis-kappa,
+/// maintained even with the autopilot off — rebase_recoveries, final_s,
+/// final_gram, and the per-decision events array: restart / kind /
+/// kappa / s_before / s_after / gram_before / gram_after).
+inline constexpr const char* kSolveReportSchema = "tsbo.solve_report/4";
 inline constexpr const char* kReportLogSchema = "tsbo.report_log/1";
 
 struct MatrixStats {

@@ -6,6 +6,8 @@
 #include "util/timer.hpp"
 
 #include <functional>
+#include <string>
+#include <vector>
 
 namespace tsbo::krylov {
 
@@ -61,6 +63,24 @@ using ProgressCallback = std::function<void(const ProgressEvent&)>;
          t.seconds("ortho/small");
 }
 
+/// One stability-autopilot decision, recorded by sstep_gmres when
+/// SStepGmresConfig::autopilot is enabled.  Every decision is driven by
+/// globally-reduced quantities (the replicated Gram factor's diagonal),
+/// so all ranks record identical event streams at any thread count.
+/// Kinds: "shrink_s" / "grow_s" (step-size ladder moves),
+/// "escalate_gram" / "relax_gram" (double <-> double-double Gram), and
+/// "rebase" (a CholeskyBreakdown was caught and the cycle re-based from
+/// the last accepted column).
+struct AutopilotEvent {
+  int restart = 0;     ///< completed restart cycles when the decision fired
+  std::string kind;
+  double kappa = 0.0;  ///< cycle's peak basis-kappa estimate that drove it
+  index_t s_before = 0;
+  index_t s_after = 0;
+  bool dd_before = false;  ///< Gram precision before/after (double-double?)
+  bool dd_after = false;
+};
+
 /// Outcome of a linear solve.
 struct SolveResult {
   bool converged = false;
@@ -81,6 +101,15 @@ struct SolveResult {
   /// split stage-1 path.
   long lookahead_hits = 0;
   long lookahead_misses = 0;
+
+  /// Stability-autopilot trace (sstep_gmres).  max_kappa is maintained
+  /// by the conditioning monitor whether or not the autopilot policy is
+  /// enabled; the events/recoveries only accrue when it is.
+  std::vector<AutopilotEvent> autopilot_events;
+  double autopilot_max_kappa = 0.0;  ///< peak per-panel basis-kappa estimate
+  int rebase_recoveries = 0;  ///< CholeskyBreakdowns recovered by re-basing
+  index_t autopilot_final_s = 0;     ///< step size in effect at exit
+  bool autopilot_final_dd = false;   ///< Gram precision in effect at exit
 
   /// Convenience sums over the timer buckets (seconds).
   [[nodiscard]] double time_spmv() const { return spmv_seconds(timers); }

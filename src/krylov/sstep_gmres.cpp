@@ -8,6 +8,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -71,20 +72,57 @@ void validate(const SStepGmresConfig& cfg) {
     throw std::invalid_argument(
         "sstep_gmres: Newton/Chebyshev bases need a spectral interval");
   }
+  if (cfg.autopilot.enabled) {
+    if (!(cfg.autopilot.kappa_high > cfg.autopilot.kappa_low) ||
+        !(cfg.autopilot.kappa_low > 0.0)) {
+      throw std::invalid_argument(
+          "sstep_gmres: autopilot needs 0 < kappa_low < kappa_high");
+    }
+    if (cfg.autopilot.s_min < 1 || cfg.autopilot.patience < 1) {
+      throw std::invalid_argument(
+          "sstep_gmres: autopilot needs s_min >= 1 and patience >= 1");
+    }
+  }
 }
 
-KrylovBasis make_basis(const SStepGmresConfig& cfg) {
+/// The Newton/Chebyshev recurrences depend on the panel width, so a
+/// basis built here is valid only for the step size it was built with —
+/// the autopilot rebuilds on every s change.
+KrylovBasis make_basis(const SStepGmresConfig& cfg, index_t s) {
   switch (cfg.basis) {
     case BasisKind::kMonomial:
       return KrylovBasis::monomial(cfg.m);
     case BasisKind::kNewton:
-      return KrylovBasis::newton(cfg.m, cfg.s, cfg.lambda_min, cfg.lambda_max);
+      return KrylovBasis::newton(cfg.m, s, cfg.lambda_min, cfg.lambda_max);
     case BasisKind::kChebyshev:
-      return KrylovBasis::chebyshev(cfg.m, cfg.s, cfg.lambda_min,
-                                    cfg.lambda_max);
+      return KrylovBasis::chebyshev(cfg.m, s, cfg.lambda_min, cfg.lambda_max);
   }
   throw std::invalid_argument("sstep_gmres: unknown basis");
 }
+
+/// Step-size ladder for the autopilot: ascending divisors d of m with
+/// autopilot.s_min <= d <= s, additionally required to divide bs when
+/// the configured s does (preserving the two-stage invariant s | bs).
+/// Always ends with the configured s, which is exempt from the s_min
+/// floor — the user's choice is the ladder's top rung by definition.
+std::vector<index_t> step_ladder(const SStepGmresConfig& cfg) {
+  std::vector<index_t> ladder;
+  const bool tie_bs = cfg.bs % cfg.s == 0;
+  for (index_t d = 1; d <= cfg.s; ++d) {
+    if (cfg.m % d != 0) continue;
+    if (tie_bs && cfg.bs % d != 0) continue;
+    if (d < cfg.autopilot.s_min && d != cfg.s) continue;
+    ladder.push_back(d);
+  }
+  if (ladder.empty() || ladder.back() != cfg.s) ladder.push_back(cfg.s);
+  return ladder;
+}
+
+/// With the double-double Gram in effect the plain-double kappa_high no
+/// longer binds; escalation pressure resumes only near the dd validity
+/// edge (basis kappa ~ u_dd^{-1/2} ~ 1e15, taken with two orders of
+/// margin, mirroring kappa_high's default margin to eps^{-1/2}).
+constexpr double kDdKappaHigh = 1e13;
 
 void residual(par::Communicator& comm, const sparse::DistCsr& a,
               std::span<const double> b, std::span<const double> x,
@@ -109,16 +147,21 @@ SolveResult sstep_gmres(par::Communicator& comm, const sparse::DistCsr& a,
   ortho::OrthoContext octx;
   octx.comm = &comm;
   octx.timers = &res.timers;
-  octx.policy = cfg.policy;
+  // The autopilot owns breakdown handling: force kThrow so breakdowns
+  // surface to the re-base recovery instead of being shift-perturbed
+  // (supersedes the configured policy while enabled).
+  const bool ap = cfg.autopilot.enabled;
+  octx.policy = ap ? ortho::BreakdownPolicy::kThrow : cfg.policy;
   octx.mixed_precision_gram = cfg.mixed_precision_gram;
+  octx.inject_breakdown = cfg.inject_chol_breakdown;
 
   PrecOperator op(a, m_prec);
-  KrylovBasis kbasis = make_basis(cfg);
   // Scale the monomial/Newton recurrences by an operator-norm estimate
   // so the raw MPK vectors stay O(1): without this the monomial basis
   // grows like ||A||^s per panel and the Gram matrices overflow their
   // conditioning long before condition (5) is the binding constraint.
   // (Chebyshev's own gamma already normalizes.)
+  double gamma_scale = 0.0;
   if (cfg.basis != BasisKind::kChebyshev) {
     const sparse::CsrMatrix& local = a.local_matrix();
     double est = 0.0;
@@ -134,10 +177,27 @@ SolveResult sstep_gmres(par::Communicator& comm, const sparse::DistCsr& a,
       // operator is closer to D^{-1}A; estimate accordingly.
       est = std::max(est, m_prec != nullptr && diag > 0.0 ? row / diag : row);
     }
-    est = comm.allreduce_max_scalar(est);
-    if (est > 0.0) kbasis = kbasis.with_gamma_scale(est);
+    gamma_scale = comm.allreduce_max_scalar(est);
   }
+  const auto build_basis = [&](index_t s) {
+    KrylovBasis kb = make_basis(cfg, s);
+    if (gamma_scale > 0.0) kb = kb.with_gamma_scale(gamma_scale);
+    return kb;
+  };
+  KrylovBasis kbasis = build_basis(cfg.s);
   std::unique_ptr<ortho::BlockOrthoManager> manager = make_manager(cfg);
+
+  // Autopilot state: the step-size ladder plus the Gram precision in
+  // effect.  All transitions are driven by globally-reduced estimates,
+  // so every rank holds identical state after every restart.
+  const std::vector<index_t> ladder =
+      ap ? step_ladder(cfg) : std::vector<index_t>{cfg.s};
+  std::size_t rung = ladder.size() - 1;  // index of the configured s
+  index_t s_cur = cfg.s;
+  bool dd_cur = cfg.mixed_precision_gram;
+  int healthy = 0;  // consecutive cycles below kappa_low
+  res.autopilot_final_s = s_cur;
+  res.autopilot_final_dd = dd_cur;
 
   dense::Matrix basis(static_cast<index_t>(nloc), cfg.m + 1);
   dense::Matrix rmat(cfg.m + 1, cfg.m + 1);
@@ -170,95 +230,139 @@ SolveResult sstep_gmres(par::Communicator& comm, const sparse::DistCsr& a,
     bool inner_converged = false;
     bool have_next = false;  // speculative next-panel columns in place
 
-    const index_t npanel = cfg.m / cfg.s;
-    for (index_t p = 0; p < npanel; ++p) {
-      const index_t start = p * cfg.s;
-      if (have_next) {
-        // The lookahead already generated this panel's columns inside
-        // the previous panel's reduce window (and recorded the raw MPK
-        // start with the manager).
-        res.lookahead_hits += 1;
-        have_next = false;
-      } else {
-        manager->note_mpk_start(octx, lmat.view(), start);
-        matrix_powers(comm, op, kbasis, basis.view(), start + 1, cfg.s,
-                      &res.timers);
+    const index_t npanel = cfg.m / s_cur;
+    double cycle_kappa = 0.0;
+    bool cycle_breakdown = false;
+    // Basis-level conditioning estimate for the cycle: sqrt of the
+    // monitor's Gram estimate (kappa(G) ~ kappa(V)^2).  Computed from
+    // the replicated post-reduce factor — identical bits on every rank
+    // at any thread count.
+    const auto poll_monitor = [&] {
+      const double gram_est = octx.take_gram_kappa_peak();
+      if (gram_est > 0.0) {
+        cycle_kappa = std::max(cycle_kappa, std::sqrt(gram_est));
       }
-      generated = start + 1 + cfg.s;
-
-      index_t nfinal;
-      if (manager->add_panel_begin(octx, basis.view(), start + 1, cfg.s,
-                                   cfg.pipeline_depth > 0)) {
-        // Pipelined lookahead: with the stage-1 fused Gram reduce in
-        // flight, generate the NEXT panel's matrix-powers columns from
-        // this panel's raw (not yet transformed) last column.  The
-        // schedule is the same at every pipeline_depth — the option
-        // selects only whether the window earns overlap credit — so
-        // the solution is bitwise independent of it.
-        const index_t next = start + cfg.s;
-        if (p + 1 < npanel) {
-          manager->note_mpk_start_raw(octx, next);
-          matrix_powers(comm, op, kbasis, basis.view(), next + 1, cfg.s,
-                        &res.timers);
-          have_next = true;
-        }
-        nfinal = manager->add_panel_finish(octx, basis.view(), start + 1,
-                                           cfg.s, rmat.view(), lmat.view());
+    };
+    try {
+      for (index_t p = 0; p < npanel; ++p) {
+        const index_t start = p * s_cur;
         if (have_next) {
-          // Deferred normalization: rescale the speculative panel by
-          // the manager's power-of-two scale now that the stage-1
-          // factor is known (exact — commutes with the recurrence).
-          // Scale 0 means the manager's quality guard rejected the
-          // speculation (raw column too decayed): discard the panel
-          // and fall back to regeneration at the top of the next
-          // iteration.  The MPK compute still overlapped the reduce.
-          const double alpha = manager->lookahead_scale(next);
-          if (alpha == 0.0) {
-            res.lookahead_misses += 1;
-            have_next = false;
-          } else if (alpha != 1.0) {
-            for (index_t c = next + 1; c <= next + cfg.s; ++c) {
-              double* col = basis.col(c);
-              for (std::size_t i = 0; i < nloc; ++i) col[i] *= alpha;
+          // The lookahead already generated this panel's columns inside
+          // the previous panel's reduce window (and recorded the raw MPK
+          // start with the manager).
+          res.lookahead_hits += 1;
+          have_next = false;
+        } else {
+          manager->note_mpk_start(octx, lmat.view(), start);
+          matrix_powers(comm, op, kbasis, basis.view(), start + 1, s_cur,
+                        &res.timers);
+        }
+
+        index_t nfinal;
+        if (manager->add_panel_begin(octx, basis.view(), start + 1, s_cur,
+                                     cfg.pipeline_depth > 0)) {
+          // Pipelined lookahead: with the stage-1 fused Gram reduce in
+          // flight, generate the NEXT panel's matrix-powers columns from
+          // this panel's raw (not yet transformed) last column.  The
+          // schedule is the same at every pipeline_depth — the option
+          // selects only whether the window earns overlap credit — so
+          // the solution is bitwise independent of it.
+          const index_t next = start + s_cur;
+          if (p + 1 < npanel) {
+            manager->note_mpk_start_raw(octx, next);
+            matrix_powers(comm, op, kbasis, basis.view(), next + 1, s_cur,
+                          &res.timers);
+            have_next = true;
+          }
+          nfinal = manager->add_panel_finish(octx, basis.view(), start + 1,
+                                             s_cur, rmat.view(), lmat.view());
+          if (have_next) {
+            // Deferred normalization: rescale the speculative panel by
+            // the manager's power-of-two scale now that the stage-1
+            // factor is known (exact — commutes with the recurrence).
+            // Scale 0 means the manager's quality guard rejected the
+            // speculation (raw column too decayed): discard the panel
+            // and fall back to regeneration at the top of the next
+            // iteration.  The MPK compute still overlapped the reduce.
+            const double alpha = manager->lookahead_scale(next);
+            if (alpha == 0.0) {
+              res.lookahead_misses += 1;
+              have_next = false;
+            } else if (alpha != 1.0) {
+              for (index_t c = next + 1; c <= next + s_cur; ++c) {
+                double* col = basis.col(c);
+                for (std::size_t i = 0; i < nloc; ++i) col[i] *= alpha;
+              }
             }
           }
+        } else {
+          nfinal = manager->add_panel(octx, basis.view(), start + 1, s_cur,
+                                      rmat.view(), lmat.view());
         }
-      } else {
-        nfinal = manager->add_panel(octx, basis.view(), start + 1, cfg.s,
-                                    rmat.view(), lmat.view());
-      }
+        // Count the panel only once its orthogonalization held: a
+        // thrown CholeskyBreakdown rolls the cycle back to the last
+        // accepted column, excluding the broken panel's columns.
+        generated = start + 1 + s_cur;
+        poll_monitor();
 
-      if (nfinal - 1 > assembled) {
-        res.timers.start("ortho/small");
-        assemble_hessenberg(rmat.view(), lmat.view(), kbasis, cfg.s, assembled,
-                            nfinal - 1, hmat.view());
-        for (index_t k = assembled; k < nfinal - 1; ++k) {
-          ls.append_column(std::span<const double>(
-              hmat.col(k), static_cast<std::size_t>(k) + 2));
-        }
-        res.timers.stop("ortho/small");
-        assembled = nfinal - 1;
-        if (ls.residual_norm() <= cfg.rtol * gamma0) {
-          inner_converged = true;
-          break;
+        if (nfinal - 1 > assembled) {
+          res.timers.start("ortho/small");
+          assemble_hessenberg(rmat.view(), lmat.view(), kbasis, s_cur,
+                              assembled, nfinal - 1, hmat.view());
+          for (index_t k = assembled; k < nfinal - 1; ++k) {
+            ls.append_column(std::span<const double>(
+                hmat.col(k), static_cast<std::size_t>(k) + 2));
+          }
+          res.timers.stop("ortho/small");
+          assembled = nfinal - 1;
+          if (ls.residual_norm() <= cfg.rtol * gamma0) {
+            inner_converged = true;
+            break;
+          }
         }
       }
+    } catch (const ortho::CholeskyBreakdown&) {
+      // Autopilot recovery: the broken panel's columns are beyond
+      // `generated`, so the cycle re-bases from the last accepted
+      // column below.  Without the autopilot the breakdown propagates
+      // (kThrow semantics unchanged).
+      if (!ap) throw;
+      cycle_breakdown = true;
+      poll_monitor();
     }
 
-    // A speculative panel left in place by an early inner break was
-    // generated but never consumed: its columns are simply abandoned
-    // (finalize sees only the stage-1-processed count).
-    if (have_next) res.lookahead_misses += 1;
+    // A speculative panel left in place by an early inner break (or a
+    // recovered breakdown) was generated but never consumed: its
+    // columns are simply abandoned.
+    if (have_next) {
+      res.lookahead_misses += 1;
+      have_next = false;
+    }
 
-    // Flush a partially filled big panel (only happens when bs does not
-    // divide m, or after an early inner break; both leave usable final
-    // columns for the solution update).
-    const index_t nfinal =
-        manager->finalize(octx, basis.view(), generated, rmat.view(),
-                          lmat.view());
+    // Flush a partially filled big panel (bs not dividing m, an early
+    // inner break, or a cycle cut short by a recovered breakdown).
+    index_t nfinal = generated;
+    if (!cycle_breakdown) {
+      try {
+        nfinal = manager->finalize(octx, basis.view(), generated, rmat.view(),
+                                   lmat.view());
+      } catch (const ortho::CholeskyBreakdown&) {
+        if (!ap) throw;
+        cycle_breakdown = true;
+      }
+    }
+    if (cycle_breakdown) {
+      // Re-base: discard broken state, keep whatever prefix the manager
+      // can still finalize, and let the normal correction + restart
+      // continue from the last accepted column.
+      res.rebase_recoveries += 1;
+      nfinal = manager->rebase_after_breakdown(octx, basis.view(), generated,
+                                               rmat.view(), lmat.view());
+    }
+    poll_monitor();
     if (nfinal - 1 > assembled) {
       res.timers.start("ortho/small");
-      assemble_hessenberg(rmat.view(), lmat.view(), kbasis, cfg.s, assembled,
+      assemble_hessenberg(rmat.view(), lmat.view(), kbasis, s_cur, assembled,
                           nfinal - 1, hmat.view());
       for (index_t k = assembled; k < nfinal - 1; ++k) {
         ls.append_column(std::span<const double>(
@@ -286,6 +390,69 @@ SolveResult sstep_gmres(par::Communicator& comm, const sparse::DistCsr& a,
     residual(comm, a, b, x, r, tmp, &res.timers);
     gamma = ortho::global_norm(octx, r);
     if (inner_converged || gamma <= cfg.rtol * gamma0) res.converged = true;
+
+    // Conditioning monitor summary (maintained even with the autopilot
+    // off — free observability from the Cholesky diagonals).
+    res.autopilot_max_kappa = std::max(res.autopilot_max_kappa, cycle_kappa);
+
+    if (ap) {
+      // A breakdown before any panel's factor succeeded leaves no
+      // diagonal-ratio estimate; record the honest "beyond measurement"
+      // value rather than a healthy-looking zero.
+      const double kappa_rec =
+          (cycle_breakdown && cycle_kappa == 0.0)
+              ? std::numeric_limits<double>::infinity()
+              : cycle_kappa;
+      const auto record = [&](const char* kind, index_t s_after,
+                              bool dd_after) {
+        res.autopilot_events.push_back(AutopilotEvent{
+            res.restarts, kind, kappa_rec, s_cur, s_after, dd_cur, dd_after});
+      };
+      if (cycle_breakdown) record("rebase", s_cur, dd_cur);
+      if (!res.converged) {
+        if (cycle_breakdown && assembled == 0 && rung == 0 && dd_cur) {
+          // Saturated ladder (s at minimum, dd Gram) and a cycle that
+          // accepted nothing: no escalation can make progress.
+          throw ortho::CholeskyBreakdown(
+              "sstep_gmres: stability autopilot saturated (s at minimum, "
+              "double-double Gram) with no columns accepted in the cycle");
+        }
+        const double high = dd_cur ? kDdKappaHigh : cfg.autopilot.kappa_high;
+        if (cycle_breakdown || cycle_kappa > high) {
+          healthy = 0;
+          if (rung > 0) {
+            record("shrink_s", ladder[rung - 1], dd_cur);
+            rung -= 1;
+            s_cur = ladder[rung];
+            kbasis = build_basis(s_cur);
+          } else if (!dd_cur) {
+            record("escalate_gram", s_cur, true);
+            dd_cur = true;
+            octx.mixed_precision_gram = true;
+          }
+        } else if (cycle_kappa < cfg.autopilot.kappa_low &&
+                   (dd_cur != cfg.mixed_precision_gram || s_cur != cfg.s)) {
+          healthy += 1;
+          if (healthy >= cfg.autopilot.patience) {
+            healthy = 0;
+            if (dd_cur && !cfg.mixed_precision_gram) {
+              record("relax_gram", s_cur, false);
+              dd_cur = false;
+              octx.mixed_precision_gram = false;
+            } else if (rung + 1 < ladder.size()) {
+              record("grow_s", ladder[rung + 1], dd_cur);
+              rung += 1;
+              s_cur = ladder[rung];
+              kbasis = build_basis(s_cur);
+            }
+          }
+        } else {
+          healthy = 0;
+        }
+      }
+      res.autopilot_final_s = s_cur;
+      res.autopilot_final_dd = dd_cur;
+    }
     if (cfg.on_restart) {
       cfg.on_restart(ProgressEvent{res.iters, res.restarts, res.relres,
                                    gamma0 > 0.0 ? gamma / gamma0 : 0.0,

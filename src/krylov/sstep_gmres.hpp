@@ -52,6 +52,41 @@ struct SStepGmresConfig {
   /// solutions are bitwise independent of this option.
   int pipeline_depth = 0;
 
+  /// Stability autopilot (docs/algorithms.md "Stability autopilot").
+  /// When enabled, the solver polls the ortho layer's per-panel Gram
+  /// conditioning monitor (OrthoContext::take_gram_kappa_peak; sqrt of
+  /// the Gram estimate lower-bounds the basis kappa the paper's
+  /// conditions (1)/(5)/(9) constrain) and, at each restart boundary,
+  /// walks a policy ladder: shrink s toward s_min while the estimate
+  /// exceeds kappa_high, then escalate the Gram to double-double; relax
+  /// one rung (dd first, then grow s back toward the configured s)
+  /// after `patience` consecutive cycles below kappa_low.  A
+  /// CholeskyBreakdown mid-cycle is caught and the cycle re-based from
+  /// the last accepted column (BlockOrthoManager::
+  /// rebase_after_breakdown) instead of aborting — the breakdown
+  /// policy is forced to kThrow internally so breakdowns surface to
+  /// the autopilot rather than being shift-perturbed.  All inputs are
+  /// globally-reduced quantities: decisions are bitwise-deterministic
+  /// at any rank x thread count.
+  struct Autopilot {
+    bool enabled = false;
+    /// Basis-kappa estimate above which the policy escalates a rung.
+    /// Default sits an order of magnitude inside the eps^{-1/2} ~ 6.7e7
+    /// plain-double cliff, so escalation fires before breakdown does.
+    double kappa_high = 1e7;
+    /// Estimate below which a cycle counts as healthy.
+    double kappa_low = 1e5;
+    index_t s_min = 1;  ///< smallest step size the ladder may shrink to
+    int patience = 2;   ///< healthy cycles required before relaxing
+  };
+  Autopilot autopilot;
+
+  /// Deterministic fault-injection seam, forwarded to
+  /// OrthoContext::inject_breakdown (tests only): called once per Gram
+  /// Cholesky with the global attempt ordinal; return true to force
+  /// that factorization to report indefinite.
+  std::function<bool(long)> inject_chol_breakdown;
+
   /// Optional per-restart observer (see solver.hpp).
   ProgressCallback on_restart;
 

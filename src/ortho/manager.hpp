@@ -122,6 +122,24 @@ class BlockOrthoManager {
   virtual index_t finalize(OrthoContext& ctx, MatrixView basis,
                            index_t q_total, MatrixView r, MatrixView l) = 0;
 
+  /// Breakdown recovery (stability autopilot): a CholeskyBreakdown
+  /// escaped add_panel / add_panel_finish / finalize, so every basis
+  /// column at or beyond `q_generated` (the count the solver accepted
+  /// before the throw) is unusable.  Discards broken internal state,
+  /// finalizes whatever prefix is still trustworthy, and returns that
+  /// final-column count — the solver re-bases the restart cycle from
+  /// the last of those columns instead of aborting.  Deterministic:
+  /// breakdowns fire identically on every rank (replicated post-reduce
+  /// Grams), so all ranks take the same recovery path.  Default
+  /// (one-stage managers): every accepted panel was finalized on
+  /// arrival, so all `q_generated` columns stand.
+  virtual index_t rebase_after_breakdown(OrthoContext& /*ctx*/,
+                                         MatrixView /*basis*/,
+                                         index_t q_generated, MatrixView /*r*/,
+                                         MatrixView /*l*/) {
+    return q_generated;
+  }
+
   /// Starts a new restart cycle.
   virtual void reset() = 0;
 

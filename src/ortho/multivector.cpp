@@ -246,27 +246,58 @@ void chol_with_policy(OrthoContext& ctx, const std::string& what,
   time_stop(ctx, "ortho/chol");
 }
 
+/// Records the diagonal-ratio conditioning estimate of a successful
+/// Gram factorization: est = (max|r_ii| / min|r_ii|)^2 <= kappa_2(G).
+/// `r` is the upper factor (the hi part suffices for the dd path — the
+/// lo correction cannot move the ratio's order of magnitude).
+void record_gram_kappa(OrthoContext& ctx, ConstMatrixView r) {
+  if (r.rows == 0) return;
+  double dmax = 0.0;
+  double dmin = std::numeric_limits<double>::infinity();
+  for (index_t i = 0; i < r.rows; ++i) {
+    const double d = std::abs(r(i, i));
+    dmax = std::max(dmax, d);
+    dmin = std::min(dmin, d);
+  }
+  const double est = (dmin > 0.0 && dmax > 0.0)
+                         ? (dmax / dmin) * (dmax / dmin)
+                         : std::numeric_limits<double>::infinity();
+  ctx.last_gram_kappa = est;
+  ctx.gram_kappa_peak = std::max(ctx.gram_kappa_peak, est);
+}
+
+/// Consults the fault-injection seam.  Counts the attempt even with no
+/// injector installed so the ordinal always means "global Gram Cholesky
+/// index", independent of whether a test is listening.
+bool consume_injected_breakdown(OrthoContext& ctx) {
+  const long ordinal = ctx.chol_attempts++;
+  return ctx.inject_breakdown && ctx.inject_breakdown(ordinal);
+}
+
 }  // namespace
 
 void chol_factor(OrthoContext& ctx, MatrixView g, const std::string& what) {
   // Keep a pristine copy in case a shifted retry is needed.
   dense::Matrix saved = dense::copy_of(g);
+  const bool forced = consume_injected_breakdown(ctx);
   chol_with_policy(
       ctx, what,
       " (Gram matrix numerically indefinite; condition (1)/(5)/(9) violated)",
       " persists after shifted retries", dense::one_norm(saved.view()),
       std::numeric_limits<double>::epsilon(), g.rows,
-      [&] { return dense::potrf_upper(g).ok(); },
+      [&] { return !forced && dense::potrf_upper(g).ok(); },
       [&](double shift) {
         dense::copy(saved.view(), g);
         return dense::potrf_upper_shifted(g, shift).ok();
       });
+  record_gram_kappa(ctx, g);
 }
 
 void chol_factor_dd(OrthoContext& ctx, MatrixView g_hi, MatrixView g_lo,
                     const std::string& what) {
   dense::Matrix saved_hi = dense::copy_of(g_hi);
   dense::Matrix saved_lo = dense::copy_of(g_lo);
+  const bool forced = consume_injected_breakdown(ctx);
   // Shifted retries start at u_dd * ||G||: the Gram entries are exact
   // to ~m * u_dd, so recovery perturbs ~1e16x less than the double
   // path's eps * ||G|| base.
@@ -275,12 +306,13 @@ void chol_factor_dd(OrthoContext& ctx, MatrixView g_hi, MatrixView g_lo,
       " (Gram matrix indefinite even at dd precision; kappa(V) beyond ~1e15)",
       " persists after shifted dd retries", dense::one_norm(saved_hi.view()),
       eft::kUnitRoundoff, g_hi.rows,
-      [&] { return dense::potrf_upper_dd(g_hi, g_lo).ok(); },
+      [&] { return !forced && dense::potrf_upper_dd(g_hi, g_lo).ok(); },
       [&](double shift) {
         dense::copy(saved_hi.view(), g_hi);
         dense::copy(saved_lo.view(), g_lo);
         return dense::potrf_upper_dd_shifted(g_hi, g_lo, shift).ok();
       });
+  record_gram_kappa(ctx, g_hi);
 }
 
 double global_norm(OrthoContext& ctx, std::span<const double> x) {

@@ -64,6 +64,37 @@ struct OrthoContext {
   int cholesky_breakdowns = 0;  ///< failures seen (before recovery)
   int shift_retries = 0;        ///< shifted re-factorizations performed
 
+  // --- Conditioning monitor (stability-autopilot input) ---------------
+  // Every successful Gram Cholesky records a free conditioning estimate
+  // from its triangular factor's diagonal,
+  //     est = (max_i |r_ii| / min_i |r_ii|)^2  <=  kappa_2(G),
+  // so sqrt(est) lower-bounds the basis condition number kappa_2(V)
+  // the paper's conditions (1)/(5)/(9) constrain.  The factor is
+  // computed from the *globally reduced* (rank-replicated) Gram, so the
+  // estimate is bitwise-identical on every rank at any thread count —
+  // safe to branch on without extra communication.  Note: schemes whose
+  // intra-block step never factors a Gram (HHQR) contribute nothing.
+  double last_gram_kappa = 0.0;  ///< estimate from the latest factorization
+  double gram_kappa_peak = 0.0;  ///< running max since the last take_*()
+  /// Returns the running peak and resets it; the s-step solver polls
+  /// this once per panel (the stage-1 factorization dominates the peak;
+  /// re-orthogonalization passes see O(1)-conditioned Grams).
+  double take_gram_kappa_peak() {
+    const double peak = gram_kappa_peak;
+    gram_kappa_peak = 0.0;
+    return peak;
+  }
+
+  /// Deterministic fault-injection seam (tests only).  Consulted once
+  /// per Gram Cholesky with the global attempt ordinal; returning true
+  /// makes that factorization report indefinite before any factor or
+  /// shift attempt runs.  Gram factorizations happen on replicated
+  /// post-reduce data in a collectively-ordered sequence, so the
+  /// ordinal — and hence the injected breakdown — is identical on
+  /// every rank at any thread count.
+  std::function<bool(long)> inject_breakdown;
+  long chol_attempts = 0;  ///< Gram Cholesky calls so far (seam ordinal)
+
   [[nodiscard]] int nranks() const { return comm ? comm->size() : 1; }
 };
 

@@ -270,6 +270,39 @@ class TwoStageManager final : public BlockOrthoManager {
     return q_total;
   }
 
+  index_t rebase_after_breakdown(OrthoContext& ctx, MatrixView basis,
+                                 index_t q_generated, MatrixView r,
+                                 MatrixView l) override {
+    // Speculative lookahead hand-offs at or beyond the failure point
+    // die with the discarded columns.
+    std::erase_if(raw_starts_,
+                  [&](const RawStart& rs) { return rs.start >= q_generated; });
+    // A stage-2 breakdown inside add_panel / add_panel_finish leaves
+    // pending_ one panel ahead of what the solver accepted (that
+    // panel's stage 1 succeeded before the flush threw); re-align to
+    // the accepted prefix.
+    pending_ = q_generated - big_begin_;
+    if (pending_ <= 0) {
+      pending_ = 0;
+      pending_starts_.clear();
+      return q_generated;
+    }
+    // The accepted prefix's stage-1 factorizations all succeeded; try
+    // to finalize it.  Dropping the broken panel shrinks the big-panel
+    // Gram, so this flush can succeed where the in-band one threw.  If
+    // the big panel is past the cliff even without it, drop the
+    // pre-processed columns too — only columns before the open big
+    // panel are known-final.
+    try {
+      return flush(ctx, basis, q_generated, r, l);
+    } catch (const CholeskyBreakdown&) {
+      pending_ = 0;
+      pending_starts_.clear();
+      raw_starts_.clear();
+      return big_begin_;
+    }
+  }
+
  private:
   /// Stage 2 (Fig. 5 lines 16-19): one BCGS-PIP of the whole big panel
   /// of `pending_` columns against the final columns, followed by the

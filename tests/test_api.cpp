@@ -31,7 +31,9 @@ TEST(SolverOptions, ParseSerializeRoundTrip) {
       "solver=sstep ortho=bcgs_pip2 basis=newton precond=jacobi m=30 s=3 "
       "bs=15 rtol=2.5e-9 max_iters=12345 max_restarts=7 lambda_min=0.01 "
       "lambda_max=8 mixed_precision_gram=1 breakdown=throw ranks=3 "
-      "net=ethernet matrix=laplace3d_7pt nx=12 ny=10 nz=8 equilibrate=1");
+      "net=ethernet matrix=laplace3d_7pt nx=12 ny=10 nz=8 equilibrate=1 "
+      "autopilot=1 ap_kappa_high=5e7 ap_kappa_low=1e4 ap_s_min=2 "
+      "ap_patience=3");
   const api::SolverOptions b = api::SolverOptions::parse(a.to_kv());
   EXPECT_EQ(a, b);
   // And through the one-line echo.
@@ -104,6 +106,46 @@ TEST(SolverOptions, RejectsInvalidValues) {
                std::invalid_argument);
   EXPECT_THROW(api::SolverOptions::parse("key-without-value"),
                std::invalid_argument);
+}
+
+TEST(SolverOptions, RejectsOutOfRangeValuesWithRangeText) {
+  // Numeric keys that parse fine but violate their range must fail at
+  // validate() with a message naming the key, the offending value, and
+  // the accepted range (the same spirit as the did-you-mean hint).
+  const auto expect_range_error = [](const std::string& spec,
+                                     const std::string& needle) {
+    try {
+      api::SolverOptions::parse(spec).validate();
+      FAIL() << "expected invalid_argument for " << spec;
+    } catch (const std::invalid_argument& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("out of range"), std::string::npos) << msg;
+      EXPECT_NE(msg.find(needle), std::string::npos) << msg;
+    }
+  };
+  expect_range_error("m=0", "m=0");
+  expect_range_error("s=-3", "s=-3");
+  expect_range_error("pipeline_depth=-1", "expected >= 0");
+  expect_range_error("ranks=0", "ranks=0");
+  expect_range_error("rtol=-1e-6", "a finite number > 0");
+  expect_range_error("ny=-2", "0 inherits nx");
+  expect_range_error("ap_s_min=0", "ap_s_min=0");
+  expect_range_error("solver=sstep autopilot=1 ap_kappa_high=1e3",
+                     "a finite number > ap_kappa_low");
+
+  // The autopilot's monitor lives in the s-step panel loop.
+  try {
+    api::SolverOptions::parse("solver=gmres autopilot=1").validate();
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("requires solver=sstep"),
+              std::string::npos);
+  }
+  // In-range values pass, including the autopilot knobs.
+  EXPECT_NO_THROW(api::SolverOptions::parse(
+                      "solver=sstep autopilot=1 ap_kappa_high=1e8 "
+                      "ap_kappa_low=1e4 ap_s_min=2 ap_patience=3")
+                      .validate());
 }
 
 TEST(SolverOptions, ValidateCatchesCrossFieldErrors) {
@@ -253,7 +295,7 @@ TEST(SolveReport, JsonMatchesGoldenSchema) {
   // Golden schema: the keys every consumer (compare tooling, plotting)
   // relies on must be present.
   for (const char* needle :
-       {"\"schema\": \"tsbo.solve_report/3\"", "\"options\"", "\"matrix\"",
+       {"\"schema\": \"tsbo.solve_report/4\"", "\"options\"", "\"matrix\"",
         "\"environment\"", "\"ranks\"", "\"threads\"", "\"result\"",
         "\"converged\"", "\"iters\"", "\"restarts\"", "\"relres\"",
         "\"true_relres\"", "\"time\"", "\"spmv\"", "\"ortho\"", "\"total\"",
@@ -261,7 +303,9 @@ TEST(SolveReport, JsonMatchesGoldenSchema) {
         "\"allreduces\"", "\"bytes_exchanged\"", "\"exposed_seconds\"",
         "\"overlapped_seconds\"", "\"lookahead_hits\"",
         "\"lookahead_misses\"", "\"pipeline_depth\"", "\"history\"",
-        "\"explicit_relres\"",
+        "\"explicit_relres\"", "\"autopilot\"", "\"max_kappa_estimate\"",
+        "\"rebase_recoveries\"", "\"final_s\"", "\"final_gram\"",
+        "\"events\"",
         "\"ortho\": \"two_stage\"", "\"matrix\": \"laplace2d_5pt\""}) {
     EXPECT_NE(text.find(needle), std::string::npos) << "missing " << needle;
   }

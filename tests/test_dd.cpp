@@ -3,6 +3,9 @@
 // conditioning boundary (paper related work [26]/[27]), and
 // parallel-vs-serial bitwise equality of gemm_tn_dd.
 
+#include "ortho_kappa_sweep.hpp"
+
+#include "api/registry.hpp"
 #include "dense/blas3.hpp"
 #include "dense/dd.hpp"
 #include "dense/svd.hpp"
@@ -323,6 +326,87 @@ TEST_F(DdParKernels, RoundedGramIsBitwiseSymmetricAndThreadStable) {
     }
   }
 }
+
+// ---------------------------------------------------------------------------
+// Registered-scheme kappa sweep (shared harness, tests/ortho_kappa_sweep.hpp):
+// every s-step scheme's stability boundary, pinned from both sides of the
+// eps^{-1/2} cliff, and the dd-Gram extension past it.
+// ---------------------------------------------------------------------------
+
+struct SweepCase {
+  const char* name;  ///< ortho registry key
+  bool chol_based;   ///< panel factorization is a Gram Cholesky
+  bool two_pass;     ///< re-orthogonalized => O(eps) final error
+};
+
+class OrthoKappaSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(OrthoKappaSweep, CoversARegisteredSstepScheme) {
+  // The sweep must track the registry: a scheme rename or removal shows
+  // up here instead of silently shrinking the boundary coverage.
+  const api::OrthoEntry& entry = api::ortho_registry().at(GetParam().name);
+  EXPECT_TRUE(entry.sstep) << GetParam().name;
+}
+
+TEST_P(OrthoKappaSweep, BelowCliffEverySchemeHolds) {
+  // kappa = 1e5 < eps^{-1/2} ~ 6.7e7: condition (1) satisfied, so no
+  // scheme may break down.  Two-pass schemes deliver O(eps); the
+  // one-pass PIP is bounded by its kappa^2 * eps first-sweep error.
+  const auto& c = GetParam();
+  const test::KappaSweepResult r = test::kappa_sweep(c.name, 1e5);
+  EXPECT_FALSE(r.breakdown) << c.name;
+  EXPECT_LT(r.ortho_error, c.two_pass ? 1e-12 : 1e-3) << c.name;
+  if (c.chol_based) {
+    // The free conditioning estimate must see the ill-conditioning at
+    // the right order (diagonal ratios underestimate kappa, never by
+    // more than a couple of decades on these panels).
+    EXPECT_GT(r.monitor_kappa, 1e2) << c.name;
+    EXPECT_LT(r.monitor_kappa, 6.7e7) << c.name;
+  } else {
+    // HHQR panels never square the conditioning into a Gram Cholesky;
+    // at most a trivial normalization records an O(1) ratio.
+    EXPECT_LT(r.monitor_kappa, 2.0) << c.name;
+  }
+}
+
+TEST_P(OrthoKappaSweep, PastCliffPinsTheBoundary) {
+  // kappa = 1e10 >> eps^{-1/2}: the Gram squares it past 1/eps.
+  // Cholesky-based schemes must fail — either detected (throw) or
+  // silently (orthogonality lost wholesale); which one is a per-build
+  // coin flip on the rounding noise, so the pin is the disjunction.
+  // The HHQR inner factorization has no squared Gram and must survive.
+  const auto& c = GetParam();
+  const test::KappaSweepResult r = test::kappa_sweep(c.name, 1e10);
+  if (c.chol_based) {
+    EXPECT_TRUE(r.breakdown || r.ortho_error > 1e-6)
+        << c.name << " err=" << r.ortho_error;
+  } else {
+    EXPECT_FALSE(r.breakdown) << c.name;
+    EXPECT_LT(r.ortho_error, 1e-12) << c.name;
+  }
+}
+
+TEST_P(OrthoKappaSweep, DdGramExtendsTheBoundary) {
+  // The same kappa = 1e10 panels with the double-double Gram: every
+  // Cholesky-based scheme must now factor cleanly (u_dd^{-1/2} ~ 1e15
+  // headroom), which is exactly the escalation step the stability
+  // autopilot buys when it flips mixed_precision_gram on.
+  const auto& c = GetParam();
+  test::KappaSweepSpec spec;
+  spec.dd_gram = true;
+  const test::KappaSweepResult r = test::kappa_sweep(c.name, 1e10, spec);
+  EXPECT_FALSE(r.breakdown) << c.name;
+  EXPECT_LT(r.ortho_error, c.two_pass ? 1e-10 : 1e-3) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSstepSchemes, OrthoKappaSweep,
+    ::testing::Values(SweepCase{"bcgs2", true, true},
+                      SweepCase{"bcgs2_hhqr", false, true},
+                      SweepCase{"bcgs_pip", true, false},
+                      SweepCase{"bcgs_pip2", true, true},
+                      SweepCase{"two_stage", true, true}),
+    [](const auto& info) { return std::string(info.param.name); });
 
 TEST(DdDistributed, CholQr2DdMatchesSequentialAndKeepsSyncCount) {
   // The fused dd all-reduce must (a) preserve CholQR2's two-reduce

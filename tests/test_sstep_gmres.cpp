@@ -195,6 +195,41 @@ TEST(SstepGmres, PipelineDepthDoesNotChangeResults) {
   EXPECT_EQ(res1.lookahead_misses, 0);
 }
 
+TEST(SstepGmres, DecayedMonomialChainMissesLookaheadDeterministically) {
+  // s = 15 monomial steps on the 5-pt Laplace decay the panel's last
+  // column until r(last,last) falls under the lookahead guard, so the
+  // speculative stage-1 result is rejected and regenerated
+  // (lookahead_misses).  Cycle-end abandonment also counts a miss — so
+  // misses strictly greater than restarts proves real guard rejections
+  // happened.  Regeneration must replay the same arithmetic: results
+  // bitwise identical to the unpipelined schedule.
+  const Problem p = make_problem(sparse::laplace2d_5pt(32, 32));
+  long iters0 = -1, hits0 = -1, misses0 = -1;
+  std::vector<double> x0;
+  for (const int depth : {0, 1}) {
+    const auto [res, x] = run_sstep(
+        p, 2,
+        "ortho=two_stage s=15 bs=15 rtol=1e-8 pipeline_depth=" +
+            std::to_string(depth));
+    EXPECT_TRUE(res.converged) << "depth=" << depth;
+    if (depth == 0) {
+      iters0 = res.iters;
+      hits0 = res.lookahead_hits;
+      misses0 = res.lookahead_misses;
+      x0 = x;
+      EXPECT_GT(misses0, res.restarts) << "no guard rejections happened";
+      continue;
+    }
+    EXPECT_EQ(res.iters, iters0);
+    EXPECT_EQ(res.lookahead_hits, hits0);
+    EXPECT_EQ(res.lookahead_misses, misses0);
+    ASSERT_EQ(x.size(), x0.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      ASSERT_EQ(x[i], x0[i]) << "regeneration drifted at " << i;
+    }
+  }
+}
+
 TEST(SstepGmres, NewtonAndChebyshevBasesConverge) {
   const Problem p = make_problem(sparse::laplace2d_5pt(24, 24));
   // 5-pt Laplace eigenvalues lie in (0, 8).
