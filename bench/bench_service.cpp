@@ -1,0 +1,186 @@
+// Persistent solver service throughput: warm (cached operator) vs cold
+// (full setup) repeat solves at mixed matrix sizes.
+//
+// The paper's amortization argument — setup-heavy two-stage
+// BCGS+CholQR pays off over many panels — extends to whole solves once
+// a long-lived service reuses per-operator setup (matrix assembly,
+// partitioned DistCsr + comm plan, preconditioner eigenvalue estimate,
+// ones-RHS) across requests.  This harness measures that extension:
+//
+//   phase cold  — fresh service, one solve per size (every job pays
+//                 full operator setup; cache misses)
+//   phase warm  — same service, `repeat` solves per size (operator
+//                 cache hits; setup amortized away)
+//   warm-start  — converging repeat solve with warm_start=1 seeded
+//                 from the previous solution vs the same solve cold
+//
+// Verified invariants (exit 1 on violation): warm solutions are
+// bitwise-identical to cold solutions (warm_start=0), every warm-phase
+// job is a cache hit, and the warm-start solve takes strictly fewer
+// iterations.
+//
+//   bench_service [--nx=48,64,80] [--ranks=2] [--repeat=4] [--m=30]
+//                 [--s=5] [--bs=30] [--precond=chebyshev]
+//                 [--json=service.json]
+//
+// Small --m with large --nx makes the jobs setup-dominated (the CI
+// gate's shape); the defaults are solve-dominated throughput numbers.
+
+#include "bench_common.hpp"
+
+#include "par/config.hpp"
+#include "service/solver_service.hpp"
+#include "util/timer.hpp"
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv) {
+  using namespace tsbo;
+  util::Cli cli(argc, argv);
+  par::configure_from_cli(cli);
+  const std::vector<int> sizes = cli.get_int_list("nx", {48, 64, 80});
+  const int ranks = cli.get_int("ranks", 2);
+  const int repeat = cli.get_int("repeat", 4);
+  const std::string precond = cli.get("precond", "chebyshev");
+  const std::string json_path = cli.get("json", "");
+  const int m = cli.get_int("m", 30);
+  const int s = cli.get_int("s", 5);
+  const int bs = cli.get_int("bs", m);
+  cli.reject_unknown();
+
+  // Fixed work per throughput job (an unreachable rtol runs the whole
+  // restart budget), so cold and warm phases solve identical problems
+  // and the setup share is what differs.
+  api::SolverOptions base = api::SolverOptions::parse(
+      "solver=sstep ortho=two_stage m=30 s=5 bs=30 rtol=1e-300 "
+      "max_restarts=1");
+  base.m = m;
+  base.s = s;
+  base.bs = bs;
+  base.precond = precond;
+  base.ranks = ranks;
+
+  const auto spec_for = [&base](int nx) {
+    api::SolverOptions o = base;
+    o.nx = nx;
+    return o;
+  };
+
+  std::printf(
+      "# service throughput: %d sizes x ranks=%d, precond=%s; cold = "
+      "operator setup per job, warm = keyed-cache reuse (%d repeats)\n"
+      "# invariants: warm bitwise == cold; warm jobs all cache hits; "
+      "warm-start iters strictly below cold\n\n",
+      static_cast<int>(sizes.size()), ranks, precond.c_str(), repeat);
+
+  service::ServiceConfig cfg;
+  cfg.label = "bench_service";
+  service::SolverService svc(cfg);
+
+  // ---- cold phase: every size once, fresh cache -----------------------
+  util::WallTimer cold_timer;
+  std::vector<std::uint64_t> cold_ids;
+  for (const int nx : sizes) cold_ids.push_back(svc.submit(spec_for(nx)));
+  std::map<int, service::JobResult> cold;  // nx -> result
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    cold[sizes[i]] = svc.wait(cold_ids[i]);
+  }
+  const double cold_seconds = cold_timer.seconds();
+
+  // ---- warm phase: `repeat` hits per size -----------------------------
+  util::WallTimer warm_timer;
+  std::vector<std::uint64_t> warm_ids;
+  for (int rep = 0; rep < repeat; ++rep) {
+    for (const int nx : sizes) warm_ids.push_back(svc.submit(spec_for(nx)));
+  }
+  std::vector<service::JobResult> warm;
+  for (const std::uint64_t id : warm_ids) warm.push_back(svc.wait(id));
+  const double warm_seconds = warm_timer.seconds();
+
+  bool ok = true;
+  for (const service::JobResult& w : warm) {
+    if (!w.error.empty()) {
+      std::printf("!! warm job %llu failed: %s\n",
+                  static_cast<unsigned long long>(w.id), w.error.c_str());
+      ok = false;
+      continue;
+    }
+    if (!w.report.service.cache_hit) {
+      std::printf("!! warm job %llu missed the operator cache\n",
+                  static_cast<unsigned long long>(w.id));
+      ok = false;
+    }
+    const service::JobResult& c = cold[w.report.options.nx];
+    if (w.solution != c.solution) {
+      std::printf("!! nx=%d: warm solution differs from cold (bitwise)\n",
+                  w.report.options.nx);
+      ok = false;
+    }
+  }
+
+  const double cold_rate = static_cast<double>(cold_ids.size()) / cold_seconds;
+  const double warm_rate = static_cast<double>(warm_ids.size()) / warm_seconds;
+
+  util::Table table({"phase", "jobs", "seconds", "solves/sec", "setup s/job",
+                     "cache hits"});
+  double cold_setup = 0.0;
+  for (const auto& [nx, r] : cold) cold_setup += r.report.service.setup_seconds;
+  table.row()
+      .add("cold")
+      .add(static_cast<long>(cold_ids.size()))
+      .add(cold_seconds, 3)
+      .add(cold_rate, 2)
+      .add(cold_setup / static_cast<double>(cold_ids.size()), 4)
+      .add(0L);
+  table.row()
+      .add("warm")
+      .add(static_cast<long>(warm_ids.size()))
+      .add(warm_seconds, 3)
+      .add(warm_rate, 2)
+      .add(0.0, 4)
+      .add(static_cast<long>(warm_ids.size()));
+  table.print();
+  std::printf("\n# warm/cold throughput: %.2fx\n", warm_rate / cold_rate);
+
+  // ---- warm start: converging repeat solve seeded from the previous
+  // solution -----------------------------------------------------------
+  api::SolverOptions conv = spec_for(sizes.front());
+  conv.rtol = 1e-8;
+  conv.max_restarts = 1000000;
+  // A solve-friendly restart length regardless of the throughput
+  // shape: tiny --m (the setup-dominated gate mix) makes restarted
+  // convergence at 1e-8 pathologically slow.
+  conv.m = 30;
+  conv.s = 5;
+  conv.bs = 30;
+  const service::JobResult conv_cold = svc.wait(svc.submit(conv));
+  conv.warm_start = 1;
+  const service::JobResult conv_warm = svc.wait(svc.submit(conv));
+  std::printf(
+      "# warm start (nx=%d, rtol=1e-8): cold iters=%ld, warm-start "
+      "iters=%ld (seeded from previous solution)\n",
+      sizes.front(), conv_cold.report.result.iters,
+      conv_warm.report.result.iters);
+  if (!conv_warm.report.service.warm_started ||
+      conv_warm.report.result.iters >= conv_cold.report.result.iters) {
+    std::printf("!! warm-start solve did not cut the iteration count\n");
+    ok = false;
+  }
+
+  const service::OperatorCache::Stats stats = svc.cache_stats();
+  std::printf(
+      "# operator cache: %llu hits, %llu misses, %llu evictions, %zu "
+      "entries, %.1f MB\n",
+      static_cast<unsigned long long>(stats.hits),
+      static_cast<unsigned long long>(stats.misses),
+      static_cast<unsigned long long>(stats.evictions), svc.cache().size(),
+      static_cast<double>(svc.cache().total_bytes()) / (1024.0 * 1024.0));
+
+  if (svc.log().save(json_path)) {
+    std::printf("# wrote %s\n", json_path.c_str());
+  }
+  return ok ? 0 : 1;
+}

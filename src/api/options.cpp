@@ -146,6 +146,7 @@ const std::vector<FieldDef>& fields() {
       double_field("precond_lambda_max", &SolverOptions::precond_lambda_max),
       int_field("ranks", &SolverOptions::ranks),
       str_field("net", &SolverOptions::net),
+      int_field("warm_start", &SolverOptions::warm_start),
       str_field("matrix", &SolverOptions::matrix),
       str_field("matrix_file", &SolverOptions::matrix_file),
       int_field("nx", &SolverOptions::nx),
@@ -316,6 +317,7 @@ void SolverOptions::validate() const {
         "\"");
   }
   (void)precond_registry().at(precond);  // throws on unknown names
+  (void)matrix_registry().at(matrix);    // throws on unknown names
   (void)network_model();                 // throws on unknown names
 
   // Numeric range validation: every violation names the key, echoes
@@ -345,8 +347,30 @@ void SolverOptions::validate() const {
   require_int("ny", ny, 0, ">= 0 (0 inherits nx)");
   require_int("nz", nz, 0, ">= 0 (0 inherits nx)");
   require_int("n", n, 0, ">= 0 (0 = registry default)");
+  if (warm_start < 0 || warm_start > 1) {
+    out_of_range("warm_start", std::to_string(warm_start), "0 or 1");
+  }
   if (!(rtol > 0.0) || !std::isfinite(rtol)) {
     out_of_range("rtol", util::json_number(rtol), "a finite number > 0");
+  }
+  // Spectral-interval keys: any finite value is meaningful (0/0 = "let
+  // the solver estimate"), but NaN/inf would silently poison the basis
+  // shifts or the Chebyshev recurrence coefficients.
+  if (!std::isfinite(lambda_min)) {
+    out_of_range("lambda_min", util::json_number(lambda_min),
+                 "a finite number");
+  }
+  if (!std::isfinite(lambda_max)) {
+    out_of_range("lambda_max", util::json_number(lambda_max),
+                 "a finite number");
+  }
+  if (!std::isfinite(precond_lambda_min)) {
+    out_of_range("precond_lambda_min", util::json_number(precond_lambda_min),
+                 "a finite number");
+  }
+  if (!std::isfinite(precond_lambda_max)) {
+    out_of_range("precond_lambda_max", util::json_number(precond_lambda_max),
+                 "a finite number");
   }
   if (autopilot && !is_sstep()) {
     throw std::invalid_argument(

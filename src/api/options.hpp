@@ -75,6 +75,13 @@ struct SolverOptions {
   // ---- execution ----------------------------------------------------
   int ranks = 4;            ///< SPMD rank count
   std::string net = "off";  ///< off | calibrated | ethernet | hw
+  /// Warm-start request (0 or 1; interpreted by the solver service,
+  /// src/service/): 1 seeds x0 from the cached operator's previous
+  /// solution when the same operator is solved again with a perturbed
+  /// RHS.  Standalone api::Solver runs ignore it (cold path untouched);
+  /// an int rather than a bool so "warm_start=2" fails validate() with
+  /// the standard out-of-range text instead of parse-time rejection.
+  int warm_start = 0;
 
   // ---- matrix source (when the facade builds the matrix) ------------
   std::string matrix = "laplace2d_5pt";  ///< matrix_registry() key

@@ -99,6 +99,21 @@ void SolveReport::write_json(util::JsonWriter& w) const {
   w.end_object();
   w.end_object();  // result
 
+  w.key("service").begin_object();
+  w.kv("enabled", service.enabled)
+      .kv("cache_hit", service.cache_hit)
+      .kv("warm_started", service.warm_started)
+      .kv("queue_seconds", service.queue_seconds)
+      .kv("setup_seconds", service.setup_seconds);
+  w.key("reused").begin_object();
+  w.kv("matrix", service.reused_matrix)
+      .kv("partition", service.reused_partition)
+      .kv("precond_setup", service.reused_precond_setup)
+      .kv("rhs", service.reused_rhs);
+  w.end_object();
+  w.kv("cache_key", service.cache_key);
+  w.end_object();  // service
+
   w.key("history").begin_array();
   for (const RestartRecord& rec : history) {
     w.begin_object();

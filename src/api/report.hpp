@@ -5,7 +5,7 @@
 // provenance — the options echo, matrix statistics, rank/thread counts,
 // per-phase timers, communication counters, and the per-restart
 // residual history captured by the facade's observer — and serializes
-// to JSON (schema "tsbo.solve_report/4", golden-checked by
+// to JSON (schema "tsbo.solve_report/5", golden-checked by
 // tests/test_api.cpp).  ReportLog accumulates reports so every bench
 // binary can emit a uniform --json=<path> artifact.
 
@@ -33,8 +33,16 @@ namespace tsbo::api {
 /// max_kappa_estimate — the conditioning monitor's peak basis-kappa,
 /// maintained even with the autopilot off — rebase_recoveries, final_s,
 /// final_gram, and the per-decision events array: restart / kind /
-/// kappa / s_before / s_after / gram_before / gram_after).
-inline constexpr const char* kSolveReportSchema = "tsbo.solve_report/4";
+/// kappa / s_before / s_after / gram_before / gram_after).  /5: a
+/// top-level service object describing how the persistent solver
+/// service (src/service/) executed the run — enabled, cache_hit,
+/// warm_started, queue_seconds (submit -> dispatch wait),
+/// setup_seconds (operator build time paid by this job; 0 on a hit),
+/// the reused-setup breakdown (matrix / partition / precond_setup /
+/// rhs), and the cache_key echo.  Standalone solves emit the same
+/// object with enabled=false and all counters zero, so consumers can
+/// key off one shape.
+inline constexpr const char* kSolveReportSchema = "tsbo.solve_report/5";
 inline constexpr const char* kReportLogSchema = "tsbo.report_log/1";
 
 struct MatrixStats {
@@ -70,12 +78,29 @@ struct OrthoBreakdown {
 
 OrthoBreakdown breakdown_of(const krylov::SolveResult& r);
 
+/// How the persistent solver service executed a job (all-zero /
+/// enabled=false for standalone solves).  Filled by
+/// service::SolverService; the facade itself never sets it.
+struct ServiceStats {
+  bool enabled = false;      ///< ran through a SolverService
+  bool cache_hit = false;    ///< operator came from the keyed cache
+  bool warm_started = false; ///< x0 seeded from a previous solution
+  double queue_seconds = 0.0;  ///< submit -> dispatch wait
+  double setup_seconds = 0.0;  ///< operator build paid by this job
+  bool reused_matrix = false;         ///< assembled CSR reused
+  bool reused_partition = false;      ///< DistCsr + comm plan reused
+  bool reused_precond_setup = false;  ///< coloring / eigen estimate reused
+  bool reused_rhs = false;            ///< cached ones-RHS reused
+  std::string cache_key;  ///< operator-cache key echo ("" off-service)
+};
+
 struct SolveReport {
   SolverOptions options;
   MatrixStats matrix;
   int ranks = 1;
   unsigned threads = 1;
   krylov::SolveResult result;
+  ServiceStats service;
   std::vector<RestartRecord> history;
 
   /// Emits this report as one JSON object into an open writer (used by

@@ -7,7 +7,9 @@
 #include "sparse/spmv.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <stdexcept>
 
@@ -44,6 +46,29 @@ Solver& Solver::set_matrix_ref(const sparse::CsrMatrix& a, std::string label) {
 
 Solver& Solver::set_rhs(std::vector<double> b) {
   b_ = std::move(b);
+  b_ref_ = nullptr;
+  return *this;
+}
+
+Solver& Solver::set_rhs_ref(const std::vector<double>& b) {
+  b_ref_ = &b;
+  return *this;
+}
+
+Solver& Solver::set_partitioned_operator(
+    const std::vector<sparse::DistCsr>* pieces) {
+  partitioned_ = pieces;
+  return *this;
+}
+
+Solver& Solver::set_precond_factory(PrecondFactory factory) {
+  precond_factory_ = std::move(factory);
+  return *this;
+}
+
+Solver& Solver::set_local_workspace(
+    std::vector<util::aligned_vector<double>>* ws) {
+  workspace_ = ws;
   return *this;
 }
 
@@ -66,6 +91,7 @@ const sparse::CsrMatrix& Solver::matrix() {
 }
 
 const std::vector<double>& Solver::rhs() {
+  if (b_ref_ != nullptr) return *b_ref_;
   if (b_.empty()) b_ = ones_rhs(matrix());
   return b_;
 }
@@ -85,6 +111,20 @@ SolveReport Solver::solve() {
                                 std::to_string(x0_.size()) +
                                 " != matrix rows " + std::to_string(n));
   }
+  if (partitioned_ != nullptr &&
+      partitioned_->size() != static_cast<std::size_t>(opts_.ranks)) {
+    throw std::invalid_argument(
+        "api::Solver: partitioned operator has " +
+        std::to_string(partitioned_->size()) + " pieces for ranks=" +
+        std::to_string(opts_.ranks));
+  }
+  if (workspace_ != nullptr &&
+      workspace_->size() != static_cast<std::size_t>(opts_.ranks)) {
+    throw std::invalid_argument("api::Solver: local workspace has " +
+                                std::to_string(workspace_->size()) +
+                                " lanes for ranks=" +
+                                std::to_string(opts_.ranks));
+  }
 
   SolveReport report;
   report.options = opts_;
@@ -94,6 +134,18 @@ SolveReport Solver::solve() {
 
   x_.assign(n, 0.0);
   const PrecondEntry& prec_entry = precond_registry().at(opts_.precond);
+
+  // With an initial guess the convergence target is rtol * ||b|| (a
+  // fixed serial norm, identical at every rank/thread count) instead
+  // of rtol * ||b - A x0||: a good x0 then starts partway to the
+  // target rather than re-normalizing it — the warm-start contract.
+  // Zero-guess solves keep the classic criterion, where the two agree.
+  double conv_reference = 0.0;
+  if (!x0_.empty()) {
+    double sq = 0.0;
+    for (const double v : b) sq += v * v;
+    conv_reference = std::sqrt(sq);
+  }
 
   krylov::SolveResult out;
   util::PhaseTimers merged;
@@ -119,12 +171,32 @@ SolveReport Solver::solve() {
 
   par::spmd_run(opts_.ranks, opts_.network_model(),
                 [&](par::Communicator& comm) {
-    const sparse::RowPartition part(a.rows, comm.size());
-    const sparse::DistCsr dist(a, part, comm.rank());
-    const auto begin = static_cast<std::size_t>(part.begin(comm.rank()));
+    // Operator piece: borrowed from the caller (the operator cache's
+    // prebuilt partition + comm plan) or built fresh for this solve.
+    std::optional<sparse::DistCsr> built;
+    if (partitioned_ == nullptr) {
+      built.emplace(a, sparse::RowPartition(a.rows, comm.size()), comm.rank());
+    }
+    const sparse::DistCsr& dist =
+        partitioned_ != nullptr
+            ? (*partitioned_)[static_cast<std::size_t>(comm.rank())]
+            : *built;
+    const auto begin = static_cast<std::size_t>(dist.row_begin());
     const auto nloc = static_cast<std::size_t>(dist.n_local());
 
-    std::vector<double> x(nloc, 0.0);
+    // Rank-local solution storage: caller-borrowed aligned scratch when
+    // set (fully overwritten below, so reuse never changes bits), else
+    // a fresh per-solve vector.
+    std::vector<double> x_own;
+    std::span<double> x;
+    if (workspace_ != nullptr) {
+      auto& w = (*workspace_)[static_cast<std::size_t>(comm.rank())];
+      w.assign(nloc, 0.0);
+      x = std::span<double>(w.data(), nloc);
+    } else {
+      x_own.assign(nloc, 0.0);
+      x = std::span<double>(x_own);
+    }
     if (!x0_.empty()) {
       std::copy_n(x0_.begin() + static_cast<std::ptrdiff_t>(begin), nloc,
                   x.begin());
@@ -132,15 +204,18 @@ SolveReport Solver::solve() {
     const std::span<const double> b_local(b.data() + begin, nloc);
 
     const std::unique_ptr<precond::Preconditioner> prec =
-        prec_entry.make(opts_, dist);
+        precond_factory_ ? precond_factory_(opts_, dist, comm.rank())
+                         : prec_entry.make(opts_, dist);
 
     krylov::SolveResult res;
     if (opts_.is_sstep()) {
       krylov::SStepGmresConfig cfg = opts_.sstep_config();
+      cfg.conv_reference = conv_reference;
       if (comm.rank() == 0) cfg.on_restart = observer;
       res = krylov::sstep_gmres(comm, dist, prec.get(), b_local, x, cfg);
     } else {
       krylov::GmresConfig cfg = opts_.gmres_config();
+      cfg.conv_reference = conv_reference;
       if (comm.rank() == 0) cfg.on_restart = observer;
       res = krylov::gmres(comm, dist, prec.get(), b_local, x, cfg);
     }

@@ -23,7 +23,10 @@
 #include "api/registry.hpp"
 #include "api/report.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/dist_csr.hpp"
+#include "util/aligned.hpp"
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -62,7 +65,40 @@ class Solver {
   /// Overrides the RHS (default: ones_rhs of the matrix).
   Solver& set_rhs(std::vector<double> b);
 
-  /// Initial guess (default: zero).  Global length.
+  /// Borrowing variant of set_rhs (the caller keeps `b` alive across
+  /// solve(); the solver service shares one cached RHS over many jobs).
+  Solver& set_rhs_ref(const std::vector<double>& b);
+
+  /// Injects prebuilt per-rank operator pieces (element r is rank r's
+  /// DistCsr; size must equal opts.ranks) so solve() skips row
+  /// partitioning and DistCsr construction — the expensive comm-plan /
+  /// interior-boundary-split setup the operator cache amortizes.  The
+  /// pieces must describe the same matrix passed to set_matrix_ref().
+  /// Borrowed, like set_matrix_ref.  NOTE: DistCsr's halo buffer makes
+  /// spmv non-reentrant per piece, so two solve() calls sharing one
+  /// vector must not run concurrently (the service serializes per cache
+  /// entry).
+  Solver& set_partitioned_operator(const std::vector<sparse::DistCsr>* pieces);
+
+  /// Per-rank preconditioner factory override: when set, solve() calls
+  /// this instead of precond_registry().at(opts.precond).make(), letting
+  /// a caller reuse precomputed precond::*Setup state (coloring,
+  /// eigenvalue estimates) across solves.  May return nullptr ("none").
+  using PrecondFactory = std::function<std::unique_ptr<precond::Preconditioner>(
+      const SolverOptions&, const sparse::DistCsr&, int rank)>;
+  Solver& set_precond_factory(PrecondFactory factory);
+
+  /// Borrows per-rank aligned scratch (element r backs rank r's local
+  /// solution vector; resized as needed, fully overwritten each solve,
+  /// so reuse never changes bits).  The operator cache hands one
+  /// workspace per cached operator so repeat solves skip the per-rank
+  /// allocations.  Size must equal opts.ranks.
+  Solver& set_local_workspace(std::vector<util::aligned_vector<double>>* ws);
+
+  /// Initial guess (default: zero).  Global length.  When set,
+  /// convergence (and the reported relres) is measured against the
+  /// fixed norm ||b|| instead of the initial-residual norm, so a good
+  /// guess genuinely cuts iterations (the service's warm-start path).
   Solver& set_initial_guess(std::vector<double> x0);
 
   /// Per-restart observer, invoked on rank 0 inside the solve (see
@@ -91,8 +127,12 @@ class Solver {
   const sparse::CsrMatrix* matrix_ = nullptr;  // points at owned_ or borrowed
   std::string matrix_label_;
   std::vector<double> b_;
+  const std::vector<double>* b_ref_ = nullptr;  // borrowed RHS, wins over b_
   std::vector<double> x0_;
   std::vector<double> x_;
+  const std::vector<sparse::DistCsr>* partitioned_ = nullptr;  // borrowed
+  PrecondFactory precond_factory_;
+  std::vector<util::aligned_vector<double>>* workspace_ = nullptr;  // borrowed
   krylov::ProgressCallback user_callback_;
 };
 

@@ -49,6 +49,12 @@ SolveResult gmres(par::Communicator& comm, const sparse::DistCsr& a,
   if (gamma0 == 0.0) {
     res.converged = true;
   }
+  // Convergence reference: ||r0|| by default (for a zero guess that IS
+  // ||b||, bit-for-bit), or the caller's fixed norm (warm-start path).
+  const double ref = cfg.conv_reference > 0.0 ? cfg.conv_reference : gamma0;
+  if (cfg.conv_reference > 0.0 && gamma0 <= cfg.rtol * ref) {
+    res.converged = true;
+  }
 
   while (!res.converged && res.iters < cfg.max_iters &&
          res.restarts < cfg.max_restarts) {
@@ -79,7 +85,7 @@ SolveResult gmres(par::Communicator& comm, const sparse::DistCsr& a,
       res.timers.stop("ortho/small");
       res.iters += 1;
 
-      if (ls.residual_norm() <= cfg.rtol * gamma0) {
+      if (ls.residual_norm() <= cfg.rtol * ref) {
         inner_converged = true;
         break;
       }
@@ -101,16 +107,16 @@ SolveResult gmres(par::Communicator& comm, const sparse::DistCsr& a,
       dense::axpy(1.0, tmp, x);
     }
     res.restarts += 1;
-    res.relres = gamma0 > 0.0 ? ls.residual_norm() / gamma0 : 0.0;
+    res.relres = ref > 0.0 ? ls.residual_norm() / ref : 0.0;
 
     residual(comm, a, b, x, r, tmp, &res.timers);
     gamma = ortho::global_norm(octx, r);
-    if (inner_converged || gamma <= cfg.rtol * gamma0) {
+    if (inner_converged || gamma <= cfg.rtol * ref) {
       res.converged = true;
     }
     if (cfg.on_restart) {
       cfg.on_restart(ProgressEvent{res.iters, res.restarts, res.relres,
-                                   gamma0 > 0.0 ? gamma / gamma0 : 0.0,
+                                   ref > 0.0 ? gamma / ref : 0.0,
                                    res.converged, &res.timers});
     }
   }
@@ -118,7 +124,7 @@ SolveResult gmres(par::Communicator& comm, const sparse::DistCsr& a,
   res.timers.stop("total");
   residual(comm, a, b, x, r, tmp, &res.timers);
   const double final_norm = ortho::global_norm(octx, r);
-  res.true_relres = gamma0 > 0.0 ? final_norm / gamma0 : 0.0;
+  res.true_relres = ref > 0.0 ? final_norm / ref : 0.0;
   res.comm_stats = par::subtract(comm.stats(), comm_before);
   res.cholesky_breakdowns = octx.cholesky_breakdowns;
   res.shift_retries = octx.shift_retries;

@@ -19,6 +19,13 @@ namespace tsbo::krylov {
 struct GmresConfig {
   index_t m = 60;          ///< restart length (paper uses 60)
   double rtol = 1e-6;      ///< relative residual tolerance (paper: 1e-6)
+  /// Convergence reference norm.  0 (the default) keeps the classic
+  /// criterion relative to the initial-residual norm ||b - A x0||.
+  /// When > 0 (the warm-start path: api::Solver sets ||b|| whenever an
+  /// initial guess is installed), convergence and the reported relres
+  /// are measured against this fixed norm instead — a good x0 then
+  /// genuinely cuts iterations rather than re-normalizing the target.
+  double conv_reference = 0.0;
   long max_iters = 1000000;
   int max_restarts = 1000000;
   enum class Ortho { kCgs2, kMgs } ortho = Ortho::kCgs2;

@@ -210,6 +210,14 @@ SolveResult sstep_gmres(par::Communicator& comm, const sparse::DistCsr& a,
   const double gamma0 = ortho::global_norm(octx, r);
   double gamma = gamma0;
   if (gamma0 == 0.0) res.converged = true;
+  // Convergence reference: the initial-residual norm by default (for a
+  // zero guess that IS ||b||, bit-for-bit), or the caller's fixed norm
+  // (the warm-start path — a good x0 then starts partway to the
+  // target instead of re-normalizing it).
+  const double ref = cfg.conv_reference > 0.0 ? cfg.conv_reference : gamma0;
+  if (cfg.conv_reference > 0.0 && gamma0 <= cfg.rtol * ref) {
+    res.converged = true;
+  }
 
   while (!res.converged && res.iters < cfg.max_iters &&
          res.restarts < cfg.max_restarts) {
@@ -315,7 +323,7 @@ SolveResult sstep_gmres(par::Communicator& comm, const sparse::DistCsr& a,
           }
           res.timers.stop("ortho/small");
           assembled = nfinal - 1;
-          if (ls.residual_norm() <= cfg.rtol * gamma0) {
+          if (ls.residual_norm() <= cfg.rtol * ref) {
             inner_converged = true;
             break;
           }
@@ -370,7 +378,7 @@ SolveResult sstep_gmres(par::Communicator& comm, const sparse::DistCsr& a,
       }
       res.timers.stop("ortho/small");
       assembled = nfinal - 1;
-      if (ls.residual_norm() <= cfg.rtol * gamma0) inner_converged = true;
+      if (ls.residual_norm() <= cfg.rtol * ref) inner_converged = true;
     }
 
     // Correction: x += M^{-1} (Q_{1:assembled} y).
@@ -385,11 +393,11 @@ SolveResult sstep_gmres(par::Communicator& comm, const sparse::DistCsr& a,
     }
     res.iters += assembled;
     res.restarts += 1;
-    res.relres = gamma0 > 0.0 ? ls.residual_norm() / gamma0 : 0.0;
+    res.relres = ref > 0.0 ? ls.residual_norm() / ref : 0.0;
 
     residual(comm, a, b, x, r, tmp, &res.timers);
     gamma = ortho::global_norm(octx, r);
-    if (inner_converged || gamma <= cfg.rtol * gamma0) res.converged = true;
+    if (inner_converged || gamma <= cfg.rtol * ref) res.converged = true;
 
     // Conditioning monitor summary (maintained even with the autopilot
     // off — free observability from the Cholesky diagonals).
@@ -455,7 +463,7 @@ SolveResult sstep_gmres(par::Communicator& comm, const sparse::DistCsr& a,
     }
     if (cfg.on_restart) {
       cfg.on_restart(ProgressEvent{res.iters, res.restarts, res.relres,
-                                   gamma0 > 0.0 ? gamma / gamma0 : 0.0,
+                                   ref > 0.0 ? gamma / ref : 0.0,
                                    res.converged, &res.timers});
     }
   }
@@ -463,7 +471,7 @@ SolveResult sstep_gmres(par::Communicator& comm, const sparse::DistCsr& a,
   res.timers.stop("total");
   residual(comm, a, b, x, r, tmp, &res.timers);
   const double final_norm = ortho::global_norm(octx, r);
-  res.true_relres = gamma0 > 0.0 ? final_norm / gamma0 : 0.0;
+  res.true_relres = ref > 0.0 ? final_norm / ref : 0.0;
   res.comm_stats = par::subtract(comm.stats(), comm_before);
   res.cholesky_breakdowns = octx.cholesky_breakdowns;
   res.shift_retries = octx.shift_retries;

@@ -34,6 +34,10 @@ struct SStepGmresConfig {
   double lambda_max = 0.0;
 
   double rtol = 1e-6;
+  /// Convergence reference norm; 0 = relative to ||b - A x0|| (the
+  /// classic criterion), > 0 = relative to this fixed norm (see
+  /// GmresConfig::conv_reference — the warm-start path).
+  double conv_reference = 0.0;
   long max_iters = 1000000;
   int max_restarts = 1000000;
   ortho::BreakdownPolicy policy = ortho::BreakdownPolicy::kShift;

@@ -167,6 +167,30 @@ void parallel_for_tiles(
   });
 }
 
+void parallel_jobs(std::size_t n,
+                   const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const auto run_range = [&fn](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  };
+  const unsigned threads = num_threads();
+  if (tl_serial_depth > 0 || threads <= 1 || n == 1) {
+    run_range(0, n);
+    return;
+  }
+  auto& c = cfg();
+  std::unique_lock lock(c.dispatch, std::try_to_lock);
+  if (!lock.owns_lock()) {  // concurrent caller on another thread
+    run_range(0, n);
+    return;
+  }
+  // Job bodies that land on the calling thread must not re-enter the
+  // pool; see dispatch() above.  Jobs are coarse by contract, so no
+  // grain check: even two jobs are worth a second lane.
+  ScopedSerial serial;
+  pool().parallel_for_chunked(n, 1, run_range);
+}
+
 void for_reduce_chunks(
     std::size_t n,
     const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {

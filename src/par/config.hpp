@@ -87,6 +87,18 @@ void parallel_for_tiles(
     std::size_t n, std::size_t tile,
     const std::function<void(std::size_t, std::size_t)>& fn);
 
+/// Runs fn(job) for every job index in [0, n), scheduling whole jobs as
+/// unit chunks across the shared pool (ThreadPool::parallel_for_chunked
+/// with chunk = 1): the job -> lane partition is claimed off one
+/// monotone cursor, so jobs are dispatched strictly in ascending index
+/// order regardless of lane count.  Falls back to an inline ascending
+/// loop when a single thread is configured, this thread is serial-only,
+/// or the pool is busy with another dispatch — the dispatch order is
+/// identical either way.  Intended for coarse, long-running jobs (the
+/// solver service schedules whole solves through it); element-wise
+/// kernels should keep using parallel_for_grained.
+void parallel_jobs(std::size_t n, const std::function<void(std::size_t)>& fn);
+
 /// Number of fixed reduction chunks covering [0, n).
 inline std::size_t reduce_chunk_count(std::size_t n) {
   return (n + kReduceChunk - 1) / kReduceChunk;

@@ -34,7 +34,29 @@ void ThreadPool::parallel_for(
     return;
   }
   // ~4 chunks per thread for load balance without excessive contention.
-  const std::size_t chunk = std::max<std::size_t>(1, n / (4 * nthreads));
+  parallel_for_chunked(n, std::max<std::size_t>(1, n / (4 * nthreads)), fn);
+}
+
+void ThreadPool::parallel_for_chunked(
+    std::size_t n, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  chunk = std::max<std::size_t>(1, chunk);
+  if (workers_.empty()) {
+    // Single-lane pool: drain the chunks inline, same ascending order
+    // and same error contract (first exception rethrown after every
+    // chunk has run).
+    std::exception_ptr error;
+    for (std::size_t begin = 0; begin < n; begin += chunk) {
+      try {
+        fn(begin, std::min(begin + chunk, n));
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+    return;
+  }
   const std::size_t nchunks = (n + chunk - 1) / chunk;
 
   {

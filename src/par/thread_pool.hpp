@@ -36,6 +36,18 @@ class ThreadPool {
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 
+  /// Like parallel_for, but with a caller-chosen chunk size: chunk i is
+  /// [i*chunk, min(n, (i+1)*chunk)), so the work partition depends only
+  /// on (n, chunk) — never on the worker count.  Chunks are claimed in
+  /// ascending order (one shared monotone cursor), so chunk i+1 never
+  /// starts before chunk i has been handed to a lane.  chunk = 1 makes
+  /// every index its own work item — the solver service schedules whole
+  /// solve jobs this way.  No small-n inline shortcut: even n = 1 goes
+  /// through the claim protocol (it simply runs on the calling thread).
+  void parallel_for_chunked(
+      std::size_t n, std::size_t chunk,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
   /// Process-wide default pool (lazily constructed).
   static ThreadPool& global();
 

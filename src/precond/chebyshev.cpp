@@ -1,39 +1,31 @@
 #include "precond/chebyshev.hpp"
-#include "util/aligned.hpp"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <utility>
 
 namespace tsbo::precond {
 
-ChebyshevPolynomial::ChebyshevPolynomial(const sparse::DistCsr& a, int degree,
-                                         double lmin, double lmax)
-    : ChebyshevPolynomial(a, degree, 0) {
-  lmin_ = lmin;
-  lmax_ = lmax;
-}
-
-ChebyshevPolynomial::ChebyshevPolynomial(const sparse::DistCsr& a, int degree,
-                                         int power_iters)
-    : degree_(degree) {
+ChebyshevSetup::ChebyshevSetup(const sparse::DistCsr& a) {
   // Rank-local diagonal block (ghosts dropped), built from the
   // DistCsr interior/boundary split — see local_diagonal_block().
-  block_ = a.local_diagonal_block();
-  const sparse::ord n = block_.rows;
+  block = a.local_diagonal_block();
+  const sparse::ord n = block.rows;
 
-  inv_diag_.assign(static_cast<std::size_t>(n), 1.0);
+  inv_diag.assign(static_cast<std::size_t>(n), 1.0);
   for (sparse::ord i = 0; i < n; ++i) {
-    const double d = block_.at(i, i);
-    if (d != 0.0) inv_diag_[static_cast<std::size_t>(i)] = 1.0 / d;
+    const double d = block.at(i, i);
+    if (d != 0.0) inv_diag[static_cast<std::size_t>(i)] = 1.0 / d;
   }
+}
 
-  p_.assign(static_cast<std::size_t>(n), 0.0);
-  z_.assign(static_cast<std::size_t>(n), 0.0);
-  r_.assign(static_cast<std::size_t>(n), 0.0);
-
+ChebyshevSetup::ChebyshevSetup(const sparse::DistCsr& a, int power_iters)
+    : ChebyshevSetup(a) {
   // Power method on D^{-1} A_local for lambda_max.
-  util::aligned_vector<double> v(static_cast<std::size_t>(n), 1.0), w(static_cast<std::size_t>(n));
+  const sparse::ord n = block.rows;
+  util::aligned_vector<double> v(static_cast<std::size_t>(n), 1.0),
+      w(static_cast<std::size_t>(n));
   double lambda = 1.0;
   for (int it = 0; it < power_iters; ++it) {
     scaled_spmv(v, w);
@@ -44,48 +36,81 @@ ChebyshevPolynomial::ChebyshevPolynomial(const sparse::DistCsr& a, int degree,
     lambda = nrm;
     for (std::size_t i = 0; i < v.size(); ++i) v[i] = w[i] / nrm;
   }
-  lmax_ = 1.1 * lambda;       // Ifpack2-style safety factor
-  lmin_ = lmax_ / 30.0;       // default eigRatio
+  lmax = 1.1 * lambda;  // Ifpack2-style safety factor
+  lmin = lmax / 30.0;   // default eigRatio
 }
 
-void ChebyshevPolynomial::scaled_spmv(std::span<const double> x,
-                                      std::span<double> y) const {
-  const sparse::ord n = block_.rows;
+ChebyshevSetup::ChebyshevSetup(const sparse::DistCsr& a, double lmin_in,
+                               double lmax_in)
+    : ChebyshevSetup(a) {
+  lmin = lmin_in;
+  lmax = lmax_in;
+}
+
+void ChebyshevSetup::scaled_spmv(std::span<const double> x,
+                                 std::span<double> y) const {
+  const sparse::ord n = block.rows;
   for (sparse::ord i = 0; i < n; ++i) {
     double s = 0.0;
-    for (sparse::offset k = block_.row_ptr[i]; k < block_.row_ptr[i + 1]; ++k) {
-      s += block_.values[static_cast<std::size_t>(k)] *
-           x[static_cast<std::size_t>(block_.col_idx[static_cast<std::size_t>(k)])];
+    for (sparse::offset k = block.row_ptr[i]; k < block.row_ptr[i + 1]; ++k) {
+      s += block.values[static_cast<std::size_t>(k)] *
+           x[static_cast<std::size_t>(block.col_idx[static_cast<std::size_t>(k)])];
     }
-    y[static_cast<std::size_t>(i)] = s * inv_diag_[static_cast<std::size_t>(i)];
+    y[static_cast<std::size_t>(i)] = s * inv_diag[static_cast<std::size_t>(i)];
   }
+}
+
+std::size_t ChebyshevSetup::bytes() const {
+  return block.storage_bytes() + inv_diag.capacity() * sizeof(double);
+}
+
+ChebyshevPolynomial::ChebyshevPolynomial(const sparse::DistCsr& a, int degree,
+                                         double lmin, double lmax)
+    : ChebyshevPolynomial(std::make_shared<const ChebyshevSetup>(a, lmin, lmax),
+                          degree) {}
+
+ChebyshevPolynomial::ChebyshevPolynomial(const sparse::DistCsr& a, int degree,
+                                         int power_iters)
+    : ChebyshevPolynomial(
+          std::make_shared<const ChebyshevSetup>(a, power_iters), degree) {}
+
+ChebyshevPolynomial::ChebyshevPolynomial(
+    std::shared_ptr<const ChebyshevSetup> setup, int degree)
+    : setup_(std::move(setup)), degree_(degree) {
+  assert(setup_ != nullptr);
+  const auto n = setup_->inv_diag.size();
+  p_.assign(n, 0.0);
+  z_.assign(n, 0.0);
+  r_.assign(n, 0.0);
 }
 
 void ChebyshevPolynomial::apply(std::span<const double> x,
                                 std::span<double> y) const {
-  assert(x.size() == inv_diag_.size() && y.size() == inv_diag_.size());
+  assert(x.size() == setup_->inv_diag.size() &&
+         y.size() == setup_->inv_diag.size());
   const std::size_t n = x.size();
+  const util::aligned_vector<double>& inv_diag = setup_->inv_diag;
 
   // Chebyshev acceleration (Saad, "Iterative Methods for Sparse Linear
   // Systems", Alg. 12.1) on the Jacobi-scaled system D^{-1}A y = D^{-1}x
   // over the interval [lmin, lmax].
-  const double theta = 0.5 * (lmax_ + lmin_);
-  const double delta = 0.5 * (lmax_ - lmin_);
+  const double theta = 0.5 * (setup_->lmax + setup_->lmin);
+  const double delta = 0.5 * (setup_->lmax - setup_->lmin);
   const double sigma1 = theta / delta;
   double rho = 1.0 / sigma1;
 
   std::fill(y.begin(), y.end(), 0.0);
   // r = D^{-1} x (y = 0); d = r / theta.
   for (std::size_t i = 0; i < n; ++i) {
-    r_[i] = x[i] * inv_diag_[i];
+    r_[i] = x[i] * inv_diag[i];
     p_[i] = r_[i] / theta;
   }
   for (int k = 0; k < degree_; ++k) {
     for (std::size_t i = 0; i < n; ++i) y[i] += p_[i];
     if (k + 1 == degree_) break;
     // r = D^{-1}x - D^{-1}A y
-    scaled_spmv(y, z_);
-    for (std::size_t i = 0; i < n; ++i) r_[i] = x[i] * inv_diag_[i] - z_[i];
+    setup_->scaled_spmv(y, z_);
+    for (std::size_t i = 0; i < n; ++i) r_[i] = x[i] * inv_diag[i] - z_[i];
     const double rho_next = 1.0 / (2.0 * sigma1 - rho);
     const double c1 = rho_next * rho;
     const double c2 = 2.0 * rho_next / delta;

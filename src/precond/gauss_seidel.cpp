@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace tsbo::precond {
 
@@ -30,55 +31,76 @@ std::vector<int> greedy_coloring(const sparse::CsrMatrix& local,
   return color;
 }
 
-MulticolorGaussSeidel::MulticolorGaussSeidel(const sparse::DistCsr& a,
-                                             int sweeps, bool symmetric)
-    : sweeps_(sweeps), symmetric_(symmetric) {
+MulticolorSetup::MulticolorSetup(const sparse::DistCsr& a) {
   // Rank-local diagonal block (ghosts dropped: block Jacobi across
   // ranks), built from the interior/boundary split so only boundary
   // rows pay the ghost-column filter.
-  block_ = a.local_diagonal_block();
-  const sparse::ord n = block_.rows;
+  block = a.local_diagonal_block();
+  const sparse::ord n = block.rows;
 
-  inv_diag_.assign(static_cast<std::size_t>(n), 1.0);
+  inv_diag.assign(static_cast<std::size_t>(n), 1.0);
   for (sparse::ord i = 0; i < n; ++i) {
-    const double d = block_.at(i, i);
-    if (d != 0.0) inv_diag_[static_cast<std::size_t>(i)] = 1.0 / d;
+    const double d = block.at(i, i);
+    if (d != 0.0) inv_diag[static_cast<std::size_t>(i)] = 1.0 / d;
   }
 
-  color_of_ = greedy_coloring(block_, n);
-  num_colors_ = 0;
-  for (const int c : color_of_) num_colors_ = std::max(num_colors_, c + 1);
-  color_rows_.assign(static_cast<std::size_t>(num_colors_), {});
+  color_of = greedy_coloring(block, n);
+  num_colors = 0;
+  for (const int c : color_of) num_colors = std::max(num_colors, c + 1);
+  color_rows.assign(static_cast<std::size_t>(num_colors), {});
   for (sparse::ord i = 0; i < n; ++i) {
-    color_rows_[static_cast<std::size_t>(color_of_[static_cast<std::size_t>(i)])]
+    color_rows[static_cast<std::size_t>(color_of[static_cast<std::size_t>(i)])]
         .push_back(i);
   }
 }
 
+std::size_t MulticolorSetup::bytes() const {
+  std::size_t b = block.storage_bytes();
+  b += inv_diag.capacity() * sizeof(double);
+  b += color_of.capacity() * sizeof(int);
+  b += color_rows.capacity() * sizeof(std::vector<sparse::ord>);
+  for (const auto& rows : color_rows) b += rows.capacity() * sizeof(sparse::ord);
+  return b;
+}
+
+MulticolorGaussSeidel::MulticolorGaussSeidel(const sparse::DistCsr& a,
+                                             int sweeps, bool symmetric)
+    : MulticolorGaussSeidel(std::make_shared<const MulticolorSetup>(a), sweeps,
+                            symmetric) {}
+
+MulticolorGaussSeidel::MulticolorGaussSeidel(
+    std::shared_ptr<const MulticolorSetup> setup, int sweeps, bool symmetric)
+    : setup_(std::move(setup)), sweeps_(sweeps), symmetric_(symmetric) {
+  assert(setup_ != nullptr);
+}
+
 void MulticolorGaussSeidel::relax_color(int color, std::span<const double> x,
                                         std::span<double> y) const {
+  const sparse::CsrMatrix& block = setup_->block;
+  const std::vector<double>& inv_diag = setup_->inv_diag;
   for (const sparse::ord i :
-       color_rows_[static_cast<std::size_t>(color)]) {
+       setup_->color_rows[static_cast<std::size_t>(color)]) {
     double s = x[static_cast<std::size_t>(i)];
-    for (sparse::offset k = block_.row_ptr[i]; k < block_.row_ptr[i + 1]; ++k) {
-      const sparse::ord j = block_.col_idx[static_cast<std::size_t>(k)];
+    for (sparse::offset k = block.row_ptr[i]; k < block.row_ptr[i + 1]; ++k) {
+      const sparse::ord j = block.col_idx[static_cast<std::size_t>(k)];
       if (j != i) {
-        s -= block_.values[static_cast<std::size_t>(k)] *
+        s -= block.values[static_cast<std::size_t>(k)] *
              y[static_cast<std::size_t>(j)];
       }
     }
-    y[static_cast<std::size_t>(i)] = s * inv_diag_[static_cast<std::size_t>(i)];
+    y[static_cast<std::size_t>(i)] = s * inv_diag[static_cast<std::size_t>(i)];
   }
 }
 
 void MulticolorGaussSeidel::apply(std::span<const double> x,
                                   std::span<double> y) const {
-  assert(x.size() == inv_diag_.size() && y.size() == inv_diag_.size());
+  assert(x.size() == setup_->inv_diag.size() &&
+         y.size() == setup_->inv_diag.size());
   std::fill(y.begin(), y.end(), 0.0);
   for (int sweep = 0; sweep < sweeps_; ++sweep) {
-    for (int c = 0; c < num_colors_; ++c) relax_color(c, x, y);
+    for (int c = 0; c < setup_->num_colors; ++c) relax_color(c, x, y);
     if (symmetric_) {
-      for (int c = num_colors_ - 1; c >= 0; --c) relax_color(c, x, y);
+      for (int c = setup_->num_colors - 1; c >= 0; --c) relax_color(c, x, y);
     }
   }
 }

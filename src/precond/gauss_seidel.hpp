@@ -10,10 +10,18 @@
 // unknowns of equal color are independent (the GPU-parallel property
 // the paper gets from Kokkos-Kernels' coloring — here it fixes the
 // sweep order deterministically).
+//
+// The expensive, sweep-independent part of construction — extracting
+// the diagonal block, inverting the diagonal, and coloring — lives in
+// MulticolorSetup so a long-lived service (src/service/) can build it
+// once per operator and share it across solves; the fused constructor
+// below builds a private setup through the identical code path, so the
+// two construction routes are bitwise-interchangeable.
 
 #include "precond/preconditioner.hpp"
 #include "sparse/dist_csr.hpp"
 
+#include <memory>
 #include <vector>
 
 namespace tsbo::precond {
@@ -23,6 +31,25 @@ namespace tsbo::precond {
 std::vector<int> greedy_coloring(const sparse::CsrMatrix& local,
                                  sparse::ord n_owned);
 
+/// Reusable multicolor Gauss-Seidel setup for one rank's operator
+/// block: the ghost-stripped diagonal block, its inverted diagonal, and
+/// the greedy coloring.  Depends only on the matrix — not on the sweep
+/// count or symmetry flag, which are apply-time parameters.  Immutable
+/// after construction, so one setup may back any number of
+/// MulticolorGaussSeidel instances (and concurrent applies).
+struct MulticolorSetup {
+  explicit MulticolorSetup(const sparse::DistCsr& a);
+
+  sparse::CsrMatrix block;  ///< rank-local diagonal block, ghosts dropped
+  std::vector<double> inv_diag;
+  std::vector<int> color_of;
+  std::vector<std::vector<sparse::ord>> color_rows;
+  int num_colors = 0;
+
+  /// Approximate heap footprint (operator-cache byte accounting).
+  [[nodiscard]] std::size_t bytes() const;
+};
+
 class MulticolorGaussSeidel final : public Preconditioner {
  public:
   /// sweeps: forward relaxation passes; symmetric: follow each forward
@@ -30,24 +57,23 @@ class MulticolorGaussSeidel final : public Preconditioner {
   explicit MulticolorGaussSeidel(const sparse::DistCsr& a, int sweeps = 1,
                                  bool symmetric = false);
 
+  /// Shares a prebuilt setup (the operator-cache path).  Bitwise
+  /// identical to the fused constructor for the same matrix.
+  MulticolorGaussSeidel(std::shared_ptr<const MulticolorSetup> setup,
+                        int sweeps = 1, bool symmetric = false);
+
   void apply(std::span<const double> x, std::span<double> y) const override;
   [[nodiscard]] std::string name() const override {
     return symmetric_ ? "MC-SymGS" : "MC-GS";
   }
 
-  [[nodiscard]] int num_colors() const { return num_colors_; }
+  [[nodiscard]] int num_colors() const { return setup_->num_colors; }
 
  private:
   void relax_color(int color, std::span<const double> x,
                    std::span<double> y) const;
 
-  // Local diagonal block only (ghost columns dropped): block-Jacobi
-  // across ranks.
-  sparse::CsrMatrix block_;
-  std::vector<double> inv_diag_;
-  std::vector<int> color_of_;
-  std::vector<std::vector<sparse::ord>> color_rows_;
-  int num_colors_ = 0;
+  std::shared_ptr<const MulticolorSetup> setup_;
   int sweeps_;
   bool symmetric_;
 };

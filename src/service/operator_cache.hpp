@@ -1,0 +1,128 @@
+#pragma once
+// Keyed operator cache for the persistent solver service.
+//
+// The paper's amortization argument — setup-heavy two-stage
+// BCGS+CholQR pays for itself over many panels — extends from panels
+// to whole solves once a long-lived process serves repeat requests
+// against the same operator.  This cache holds everything a solve
+// needs that depends only on (matrix source, size, partition): the
+// assembled CSR matrix, every rank's interior/boundary-partitioned
+// DistCsr with its comm plan, the all-ones RHS, per-rank aligned
+// solution scratch, lazily built preconditioner setups (MC-GS
+// coloring, Chebyshev eigenvalue estimate), and the previous solution
+// for warm starts.  Entries are LRU-evicted under a configurable byte
+// budget; hits/misses/evictions are counted for the service report.
+//
+// Thread safety: the cache map itself is mutex-guarded.  Entries are
+// handed out as shared_ptr, so an evicted entry stays alive until the
+// job using it finishes.  A CachedOperator's DistCsr pieces share a
+// mutable halo buffer per piece, so at most one solve may run against
+// an entry at a time — callers hold `in_use` for the solve (the
+// service serializes same-operator jobs this way; different operators
+// run concurrently).
+
+#include "api/options.hpp"
+#include "precond/chebyshev.hpp"
+#include "precond/gauss_seidel.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dist_csr.hpp"
+#include "util/aligned.hpp"
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tsbo::service {
+
+/// Canonical cache key of an operator: the option keys that determine
+/// the assembled matrix and its partition (matrix source + geometry +
+/// equilibration + rank count).  Solver/ortho/preconditioner settings
+/// are deliberately excluded — they change how the operator is used,
+/// not what it is.
+std::string operator_cache_key(const api::SolverOptions& opts);
+
+/// One cached operator and its reusable setup.
+struct CachedOperator {
+  std::string key;
+  std::string label;          ///< matrix provenance (report label)
+  sparse::CsrMatrix matrix;   ///< assembled (and equilibrated) CSR
+  std::vector<sparse::DistCsr> pieces;  ///< element r = rank r's piece
+  std::vector<double> ones_b;           ///< b = A * ones (default RHS)
+  /// Per-rank aligned solution scratch (api::Solver::set_local_workspace).
+  std::vector<util::aligned_vector<double>> workspace;
+
+  // Lazily built preconditioner setups, one per rank; empty slots until
+  // the first solve that needs them.  Each solve's rank r touches only
+  // slot r, and solves on one entry are serialized by `in_use`, so the
+  // slots need no extra locking.
+  std::vector<std::shared_ptr<const precond::MulticolorSetup>> mc_setups;
+  std::vector<std::shared_ptr<const precond::ChebyshevSetup>> cheb_setups;
+
+  /// Gathered solution of the most recent solve against this operator
+  /// (warm-start seed; guarded by in_use).
+  std::vector<double> last_solution;
+  bool has_solution = false;
+
+  std::mutex in_use;  ///< held for the duration of one solve
+
+  double build_seconds = 0.0;  ///< wall time the cache miss paid
+
+  /// Approximate heap footprint of everything above.
+  [[nodiscard]] std::size_t bytes() const;
+};
+
+class OperatorCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  /// budget_bytes: LRU eviction threshold.  A single entry larger than
+  /// the whole budget is still admitted (evicting everything else) —
+  /// the cache never refuses to serve a job.
+  explicit OperatorCache(std::size_t budget_bytes);
+
+  /// Returns the entry for `opts`' operator, building it on a miss
+  /// (outside the cache lock; a concurrent builder of the same key may
+  /// win the insert race, in which case its entry is shared and this
+  /// build is discarded).  `hit` (optional) receives whether reusable
+  /// state existed.
+  std::shared_ptr<CachedOperator> acquire(const api::SolverOptions& opts,
+                                          bool* hit);
+
+  /// Re-reads `op->bytes()` and re-enforces the budget — call after
+  /// growing an entry in place (lazy preconditioner setups).
+  void refresh_bytes(const std::shared_ptr<CachedOperator>& op);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t total_bytes() const;
+  [[nodiscard]] std::size_t budget_bytes() const;
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+ private:
+  struct Slot {
+    std::shared_ptr<CachedOperator> op;
+    std::size_t bytes = 0;  ///< accounted footprint at last refresh
+  };
+
+  void enforce_budget_locked();
+
+  mutable std::mutex mu_;
+  std::size_t budget_;
+  std::list<Slot> lru_;  ///< front = most recently used
+  std::size_t total_bytes_ = 0;
+  Stats stats_;
+};
+
+/// Builds a CachedOperator for `opts` (matrix assembly, per-rank
+/// DistCsr partition, ones-RHS, workspace).  Exposed for tests that
+/// need to size byte budgets.
+std::shared_ptr<CachedOperator> build_operator(const api::SolverOptions& opts);
+
+}  // namespace tsbo::service

@@ -1,0 +1,226 @@
+#include "service/solver_service.hpp"
+
+#include "api/solver.hpp"
+#include "par/config.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace tsbo::service {
+
+namespace {
+
+/// Whether the registry's chebyshev entry would take the power-method
+/// estimate path for these options (the only Chebyshev variant whose
+/// setup the cache holds; an explicit interval is cheap to rebuild).
+bool chebyshev_estimates(const api::SolverOptions& opts) {
+  return opts.precond == "chebyshev" &&
+         !(opts.precond_lambda_max > opts.precond_lambda_min &&
+           opts.precond_lambda_max > 0.0);
+}
+
+/// Matches the default `power_iters` of the fused
+/// ChebyshevPolynomial(a, degree) constructor the registry's estimate
+/// path calls — keep in sync so cached setups stay bitwise-pinned.
+constexpr int kChebyshevPowerIters = 10;
+
+}  // namespace
+
+SolverService::SolverService(ServiceConfig cfg)
+    : cfg_(std::move(cfg)),
+      cache_(cfg_.cache_budget_bytes),
+      log_(cfg_.label),
+      scheduler_([this] { scheduler_loop(); }) {}
+
+SolverService::~SolverService() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  scheduler_.join();
+}
+
+std::uint64_t SolverService::submit(const std::string& spec) {
+  return submit(api::SolverOptions::parse(spec));
+}
+
+std::uint64_t SolverService::submit(const std::string& spec,
+                                    std::vector<double> rhs) {
+  return submit(api::SolverOptions::parse(spec), std::move(rhs));
+}
+
+std::uint64_t SolverService::submit(api::SolverOptions opts) {
+  opts.validate();
+  Job job;
+  job.opts = std::move(opts);
+  return enqueue(std::move(job));
+}
+
+std::uint64_t SolverService::submit(api::SolverOptions opts,
+                                    std::vector<double> rhs) {
+  opts.validate();
+  Job job;
+  job.opts = std::move(opts);
+  job.rhs = std::move(rhs);
+  job.has_rhs = true;
+  return enqueue(std::move(job));
+}
+
+std::uint64_t SolverService::enqueue(Job job) {
+  std::unique_lock lock(mu_);
+  cv_space_.wait(lock, [this] {
+    return stop_ || queue_.size() < cfg_.queue_capacity;
+  });
+  if (stop_) {
+    throw std::runtime_error("service: submit() on a stopping SolverService");
+  }
+  job.id = next_id_++;
+  job.submitted = std::chrono::steady_clock::now();
+  const std::uint64_t id = job.id;
+  queue_.push_back(std::move(job));
+  ++inflight_;
+  cv_work_.notify_one();
+  return id;
+}
+
+JobResult SolverService::wait(std::uint64_t id) {
+  std::unique_lock lock(mu_);
+  if (id == 0 || id >= next_id_) {
+    throw std::invalid_argument("service: wait() on unknown job id " +
+                                std::to_string(id));
+  }
+  cv_done_.wait(lock, [this, id] { return results_.count(id) != 0; });
+  auto it = results_.find(id);
+  JobResult out = std::move(it->second);
+  results_.erase(it);
+  return out;
+}
+
+std::vector<JobResult> SolverService::drain() {
+  std::unique_lock lock(mu_);
+  cv_done_.wait(lock, [this] { return inflight_ == 0; });
+  std::vector<JobResult> out;
+  out.reserve(results_.size());
+  for (auto& [id, res] : results_) out.push_back(std::move(res));
+  results_.clear();
+  return out;  // std::map iteration = ascending id = submission order
+}
+
+void SolverService::scheduler_loop() {
+  for (;;) {
+    std::vector<Job> batch;
+    {
+      std::unique_lock lock(mu_);
+      cv_work_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and fully drained
+      batch.assign(std::make_move_iterator(queue_.begin()),
+                   std::make_move_iterator(queue_.end()));
+      queue_.clear();
+      cv_space_.notify_all();
+    }
+    // Whole solves as unit work items, claimed in ascending index
+    // order: FIFO dispatch, deterministic thread-slice assignment.
+    const std::uint64_t base = dispatch_counter_;
+    par::parallel_jobs(batch.size(), [this, &batch, base](std::size_t i) {
+      run_job(batch[i], base + static_cast<std::uint64_t>(i));
+    });
+    dispatch_counter_ += batch.size();
+  }
+}
+
+void SolverService::run_job(Job& job, std::uint64_t dispatch_seq) {
+  JobResult res;
+  res.id = job.id;
+  res.dispatch_seq = dispatch_seq;
+  const double queue_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    job.submitted)
+          .count();
+  try {
+    bool hit = false;
+    const std::shared_ptr<CachedOperator> op = cache_.acquire(job.opts, &hit);
+
+    // One solve at a time per entry: the DistCsr pieces' halo buffers
+    // are single-solve, and last_solution must not be torn.
+    std::lock_guard entry_lock(op->in_use);
+
+    const api::SolverOptions& opts = job.opts;
+    const bool use_mc =
+        opts.precond == "mc-gs" || opts.precond == "mc-sgs";
+    const bool use_cheb = chebyshev_estimates(opts);
+    const auto populated = [](const auto& setups) {
+      return !setups.empty() &&
+             std::all_of(setups.begin(), setups.end(),
+                         [](const auto& s) { return s != nullptr; });
+    };
+    const bool setups_ready = (use_mc && populated(op->mc_setups)) ||
+                              (use_cheb && populated(op->cheb_setups));
+
+    api::Solver solver(opts);
+    solver.set_matrix_ref(op->matrix, op->label);
+    solver.set_partitioned_operator(&op->pieces);
+    solver.set_local_workspace(&op->workspace);
+    solver.set_rhs_ref(job.has_rhs ? job.rhs : op->ones_b);
+    if (use_mc) {
+      solver.set_precond_factory(
+          [op](const api::SolverOptions& o, const sparse::DistCsr& a,
+               int rank) -> std::unique_ptr<precond::Preconditioner> {
+            auto& slot = op->mc_setups[static_cast<std::size_t>(rank)];
+            if (!slot) {
+              slot = std::make_shared<const precond::MulticolorSetup>(a);
+            }
+            return std::make_unique<precond::MulticolorGaussSeidel>(
+                slot, o.precond_sweeps, /*symmetric=*/o.precond == "mc-sgs");
+          });
+    } else if (use_cheb) {
+      solver.set_precond_factory(
+          [op](const api::SolverOptions& o, const sparse::DistCsr& a,
+               int rank) -> std::unique_ptr<precond::Preconditioner> {
+            auto& slot = op->cheb_setups[static_cast<std::size_t>(rank)];
+            if (!slot) {
+              slot = std::make_shared<const precond::ChebyshevSetup>(
+                  a, kChebyshevPowerIters);
+            }
+            return std::make_unique<precond::ChebyshevPolynomial>(
+                slot, o.precond_degree);
+          });
+    }
+
+    const bool warm = opts.warm_start == 1 && op->has_solution;
+    if (warm) solver.set_initial_guess(op->last_solution);
+
+    api::SolveReport report = solver.solve();
+
+    op->last_solution = solver.solution();
+    op->has_solution = true;
+
+    report.service.enabled = true;
+    report.service.cache_hit = hit;
+    report.service.warm_started = warm;
+    report.service.queue_seconds = queue_seconds;
+    report.service.setup_seconds = hit ? 0.0 : op->build_seconds;
+    report.service.reused_matrix = hit;
+    report.service.reused_partition = hit;
+    report.service.reused_precond_setup = setups_ready;
+    report.service.reused_rhs = hit && !job.has_rhs;
+    report.service.cache_key = op->key;
+
+    res.report = std::move(report);
+    res.solution = solver.solution();
+
+    // Lazy setups and last_solution grew the entry: re-account.
+    cache_.refresh_bytes(op);
+  } catch (const std::exception& e) {
+    res.error = e.what();
+  }
+
+  std::lock_guard lock(mu_);
+  if (res.error.empty()) log_.add(res.report);
+  results_.emplace(res.id, std::move(res));
+  --inflight_;
+  cv_done_.notify_all();
+}
+
+}  // namespace tsbo::service

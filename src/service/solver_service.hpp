@@ -1,0 +1,141 @@
+#pragma once
+// Persistent solver service: a long-lived front end over api::Solver
+// for workloads that issue many solves against a small set of
+// operators (the production-serving shape the ROADMAP names).
+//
+//   service::SolverService svc;
+//   auto id1 = svc.submit("matrix=laplace2d_5pt nx=128 ranks=2");
+//   auto id2 = svc.submit("matrix=laplace2d_5pt nx=128 ranks=2 warm_start=1");
+//   service::JobResult r = svc.wait(id2);   // r.report.service.cache_hit
+//
+// Jobs are SolverOptions key=value strings (or parsed structs) entering
+// a bounded FIFO queue.  A scheduler thread dispatches each batch over
+// the shared par::ThreadPool via par::parallel_jobs: whole solves are
+// unit work items claimed in ascending submission order off one
+// monotone cursor, so dispatch order is FIFO and the thread-slice
+// assignment inside each solve follows the library-wide determinism
+// contract — a job's results are bitwise-identical to the same solve
+// run standalone, at any thread or rank count.
+//
+// Expensive per-operator setup (matrix assembly, partitioned DistCsr
+// with comm plan, preconditioner coloring / eigenvalue estimates, the
+// ones-RHS, aligned scratch) is reused across jobs through the keyed
+// OperatorCache.  Jobs against the same operator serialize on the
+// entry (the DistCsr halo buffer is single-solve); jobs against
+// different operators run concurrently.  With warm_start=1 a repeat
+// solve seeds x0 from the operator's previous solution; warm_start=0
+// jobs are bit-for-bit cold.
+//
+// Every job's SolveReport (schema tsbo.solve_report/5, service object
+// filled in) is appended to a service-level ReportLog for uniform
+// --json artifacts.
+
+#include "api/report.hpp"
+#include "service/operator_cache.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tsbo::service {
+
+struct ServiceConfig {
+  /// Bounded FIFO depth: submit() blocks while this many jobs await
+  /// dispatch (backpressure, not rejection).
+  std::size_t queue_capacity = 64;
+  /// OperatorCache LRU byte budget.
+  std::size_t cache_budget_bytes = std::size_t{256} << 20;
+  /// ReportLog label of the --json artifact.
+  std::string label = "service";
+};
+
+/// Completed job: the /5 report (service object filled), the gathered
+/// solution, and the dispatch sequence number (ascending in submission
+/// order — the FIFO determinism pin).  `error` is non-empty when the
+/// solve threw; report/solution are then meaningless.
+struct JobResult {
+  std::uint64_t id = 0;
+  std::uint64_t dispatch_seq = 0;
+  api::SolveReport report;
+  std::vector<double> solution;
+  std::string error;
+};
+
+class SolverService {
+ public:
+  explicit SolverService(ServiceConfig cfg = {});
+
+  /// Drains every queued job, then stops the scheduler.  Unclaimed
+  /// results are discarded.
+  ~SolverService();
+
+  SolverService(const SolverService&) = delete;
+  SolverService& operator=(const SolverService&) = delete;
+
+  /// Enqueues a solve described by a SolverOptions spec string.
+  /// Parses and validates eagerly, so bad options throw here (with the
+  /// parse/validate error text) rather than surfacing asynchronously.
+  /// Blocks while the queue is at capacity.  Returns the job id.
+  std::uint64_t submit(const std::string& spec);
+  std::uint64_t submit(api::SolverOptions opts);
+
+  /// Same, with an explicit RHS instead of the operator's cached
+  /// ones-RHS (the perturbed-RHS repeat-solve path).
+  std::uint64_t submit(const std::string& spec, std::vector<double> rhs);
+  std::uint64_t submit(api::SolverOptions opts, std::vector<double> rhs);
+
+  /// Blocks until job `id` completes and returns (consumes) its
+  /// result.  Throws std::invalid_argument for unknown/claimed ids.
+  JobResult wait(std::uint64_t id);
+
+  /// Blocks until every submitted job has completed; returns all
+  /// unclaimed results in submission (id) order.
+  std::vector<JobResult> drain();
+
+  [[nodiscard]] OperatorCache::Stats cache_stats() const {
+    return cache_.stats();
+  }
+  [[nodiscard]] const OperatorCache& cache() const { return cache_; }
+
+  /// All completed jobs' reports, in completion order.  Call only when
+  /// no jobs are in flight (e.g. after drain()).
+  [[nodiscard]] const api::ReportLog& log() const { return log_; }
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    api::SolverOptions opts;
+    std::vector<double> rhs;  ///< empty = use the cached ones-RHS
+    bool has_rhs = false;
+    std::chrono::steady_clock::time_point submitted;
+  };
+
+  std::uint64_t enqueue(Job job);
+  void scheduler_loop();
+  void run_job(Job& job, std::uint64_t dispatch_seq);
+
+  ServiceConfig cfg_;
+  OperatorCache cache_;
+  api::ReportLog log_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;   // scheduler: queue non-empty / stop
+  std::condition_variable cv_space_;  // submitters: queue below capacity
+  std::condition_variable cv_done_;   // waiters: a job completed
+  std::deque<Job> queue_;
+  std::map<std::uint64_t, JobResult> results_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t inflight_ = 0;  ///< submitted, not yet completed
+  bool stop_ = false;
+
+  std::uint64_t dispatch_counter_ = 0;  // scheduler thread only
+  std::thread scheduler_;               // last member: starts in ctor
+};
+
+}  // namespace tsbo::service

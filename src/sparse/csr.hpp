@@ -48,6 +48,14 @@ struct CsrMatrix {
 
   /// Entry lookup (binary search within the row); 0 when not stored.
   [[nodiscard]] double at(ord i, ord j) const;
+
+  /// Heap bytes held by the three CSR arrays (capacity, not size) —
+  /// the operator cache budgets entries with this.
+  [[nodiscard]] std::size_t storage_bytes() const {
+    return row_ptr.capacity() * sizeof(offset) +
+           col_idx.capacity() * sizeof(ord) +
+           values.capacity() * sizeof(double);
+  }
 };
 
 /// Builds CSR from triplets; duplicate (row, col) entries are summed.

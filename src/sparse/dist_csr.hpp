@@ -85,6 +85,20 @@ class DistCsr {
   void gather_ghosts(par::Communicator& comm,
                      std::span<const double> x_local) const;
 
+  /// Approximate heap footprint of this rank's piece: the three CSR
+  /// blocks, the ghost/comm-plan arrays, and the halo buffer.  Used by
+  /// the operator cache's byte budget.
+  [[nodiscard]] std::size_t footprint_bytes() const {
+    return local_.storage_bytes() + interior_.storage_bytes() +
+           boundary_.storage_bytes() +
+           (interior_rows_.capacity() + boundary_rows_.capacity() +
+            ghost_gid_.capacity() + ghost_peer_offset_.capacity()) *
+               sizeof(ord) +
+           ghost_owner_.capacity() * sizeof(int) +
+           peer_recv_bytes_.capacity() * sizeof(std::size_t) +
+           xbuf_.capacity() * sizeof(double);
+  }
+
  private:
   /// Copies peers' published values into the ghost tail of xbuf_;
   /// valid only between exchange_begin and exchange_end.

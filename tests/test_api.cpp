@@ -132,6 +132,12 @@ TEST(SolverOptions, RejectsOutOfRangeValuesWithRangeText) {
   expect_range_error("ap_s_min=0", "ap_s_min=0");
   expect_range_error("solver=sstep autopilot=1 ap_kappa_high=1e3",
                      "a finite number > ap_kappa_low");
+  expect_range_error("warm_start=2", "warm_start=2 out of range");
+  expect_range_error("warm_start=-1", "expected 0 or 1");
+  expect_range_error("lambda_min=nan", "a finite number");
+  expect_range_error("lambda_max=inf", "a finite number");
+  expect_range_error("precond_lambda_min=-inf", "a finite number");
+  expect_range_error("precond_lambda_max=nan", "a finite number");
 
   // The autopilot's monitor lives in the s-step panel loop.
   try {
@@ -162,6 +168,9 @@ TEST(SolverOptions, ValidateCatchesCrossFieldErrors) {
   EXPECT_THROW(api::SolverOptions::parse("net=warp").validate(),
                std::invalid_argument);
   EXPECT_THROW(api::SolverOptions::parse("breakdown=retry").validate(),
+               std::invalid_argument);
+  // An unknown matrix source fails at validate(), not first solve().
+  EXPECT_THROW(api::SolverOptions::parse("matrix=bogus_name").validate(),
                std::invalid_argument);
   EXPECT_NO_THROW(api::SolverOptions::parse("solver=sstep").validate());
 }
@@ -295,14 +304,15 @@ TEST(SolveReport, JsonMatchesGoldenSchema) {
   // Golden schema: the keys every consumer (compare tooling, plotting)
   // relies on must be present.
   for (const char* needle :
-       {"\"schema\": \"tsbo.solve_report/4\"", "\"options\"", "\"matrix\"",
+       {"\"schema\": \"tsbo.solve_report/5\"", "\"options\"", "\"matrix\"",
         "\"environment\"", "\"ranks\"", "\"threads\"", "\"result\"",
         "\"converged\"", "\"iters\"", "\"restarts\"", "\"relres\"",
         "\"true_relres\"", "\"time\"", "\"spmv\"", "\"ortho\"", "\"total\"",
         "\"ortho_breakdown\"", "\"phase_seconds\"", "\"comm\"",
         "\"allreduces\"", "\"bytes_exchanged\"", "\"exposed_seconds\"",
         "\"overlapped_seconds\"", "\"lookahead_hits\"",
-        "\"lookahead_misses\"", "\"pipeline_depth\"", "\"history\"",
+        "\"lookahead_misses\"", "\"pipeline_depth\"", "\"service\"",
+        "\"cache_hit\"", "\"warm_started\"", "\"reused\"", "\"history\"",
         "\"explicit_relres\"", "\"autopilot\"", "\"max_kappa_estimate\"",
         "\"rebase_recoveries\"", "\"final_s\"", "\"final_gram\"",
         "\"events\"",

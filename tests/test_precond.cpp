@@ -153,6 +153,54 @@ TEST(Chebyshev, ApproximatesInverseOnSpdBlock) {
   EXPECT_LT(std::sqrt(rn / bn), 0.5);
 }
 
+TEST(SetupExtraction, SharedSetupMatchesFusedConstructorBitwise) {
+  // The service's operator cache builds MulticolorSetup /
+  // ChebyshevSetup once and shares them across solver instances; the
+  // extraction must not perturb a single bit of the apply.
+  const auto a = sparse::laplace2d_5pt(14, 14);
+  const auto dist = single_rank(a);
+  std::vector<double> b(static_cast<std::size_t>(a.rows));
+  util::Xoshiro256 rng(11);
+  util::fill_normal(rng, b);
+
+  const precond::MulticolorGaussSeidel gs_fused(dist, 3, /*symmetric=*/true);
+  const auto gs_setup = std::make_shared<const precond::MulticolorSetup>(dist);
+  const precond::MulticolorGaussSeidel gs_shared(gs_setup, 3,
+                                                 /*symmetric=*/true);
+  std::vector<double> y_fused(b.size()), y_shared(b.size());
+  gs_fused.apply(b, y_fused);
+  gs_shared.apply(b, y_shared);
+  EXPECT_EQ(y_fused, y_shared);
+  EXPECT_EQ(gs_fused.num_colors(), gs_shared.num_colors());
+
+  // Two instances on one shared setup are also identical to each other.
+  const precond::MulticolorGaussSeidel gs_shared2(gs_setup, 3,
+                                                  /*symmetric=*/true);
+  std::vector<double> y_shared2(b.size());
+  gs_shared2.apply(b, y_shared2);
+  EXPECT_EQ(y_shared, y_shared2);
+
+  // Chebyshev, estimate path: the power method in ChebyshevSetup is
+  // the exact arithmetic the fused constructor ran.
+  const precond::ChebyshevPolynomial ch_fused(dist, /*degree=*/6,
+                                              /*power_iters=*/10);
+  const auto ch_setup =
+      std::make_shared<const precond::ChebyshevSetup>(dist, /*power_iters=*/10);
+  const precond::ChebyshevPolynomial ch_shared(ch_setup, /*degree=*/6);
+  EXPECT_EQ(ch_fused.lambda_max(), ch_shared.lambda_max());
+  ch_fused.apply(b, y_fused);
+  ch_shared.apply(b, y_shared);
+  EXPECT_EQ(y_fused, y_shared);
+
+  // Chebyshev, explicit-interval path.
+  const precond::ChebyshevPolynomial ce_fused(dist, 6, 0.1, 1.9);
+  const precond::ChebyshevPolynomial ce_shared(
+      std::make_shared<const precond::ChebyshevSetup>(dist, 0.1, 1.9), 6);
+  ce_fused.apply(b, y_fused);
+  ce_shared.apply(b, y_shared);
+  EXPECT_EQ(y_fused, y_shared);
+}
+
 TEST(Chebyshev, HigherDegreeIsMoreAccurate) {
   // Use the exact spectral interval of the Jacobi-scaled 5-pt Laplacian
   // (eigenvalues 2 - cos - cos over 4): with a correct interval the

@@ -1,0 +1,245 @@
+// The persistent solver service: keyed operator cache (hit/miss/LRU
+// eviction under a byte budget), bounded-FIFO job scheduling
+// determinism, bitwise equivalence of cached solves with standalone
+// api::Solver runs at ranks x threads {1,2,7}^2, warm-started repeat
+// solves, and the /5 report's service object.
+
+#include "service/solver_service.hpp"
+
+#include "api/solver.hpp"
+#include "par/config.hpp"
+#include "service/operator_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace tsbo;
+
+// Small fixed-budget s-step solve (an unreachable rtol runs the whole
+// restart budget, so iteration counts and solutions are
+// schedule-independent).
+api::SolverOptions bounded_opts(int nx, int ranks) {
+  api::SolverOptions o = api::SolverOptions::parse(
+      "solver=sstep ortho=two_stage m=20 s=5 bs=20 rtol=1e-300 "
+      "max_restarts=1 precond=chebyshev matrix=laplace2d_5pt");
+  o.nx = nx;
+  o.ranks = ranks;
+  return o;
+}
+
+TEST(Service, CacheHitBitwiseIdenticalAcrossRanksThreads) {
+  for (const int ranks : {1, 2, 7}) {
+    for (const unsigned threads : {1u, 2u, 7u}) {
+      par::set_num_threads(threads);
+      const api::SolverOptions opts = bounded_opts(28, ranks);
+
+      api::Solver standalone(opts);
+      const api::SolveReport ref = standalone.solve();
+      const std::vector<double> x_ref = standalone.solution();
+      EXPECT_FALSE(ref.service.enabled);
+
+      service::SolverService svc;
+      const service::JobResult cold = svc.wait(svc.submit(opts));
+      const service::JobResult warm = svc.wait(svc.submit(opts));
+
+      ASSERT_TRUE(cold.error.empty()) << cold.error;
+      ASSERT_TRUE(warm.error.empty()) << warm.error;
+      EXPECT_FALSE(cold.report.service.cache_hit);
+      EXPECT_TRUE(warm.report.service.cache_hit);
+      EXPECT_TRUE(warm.report.service.reused_matrix);
+      EXPECT_TRUE(warm.report.service.reused_partition);
+      EXPECT_TRUE(warm.report.service.reused_precond_setup);
+      EXPECT_TRUE(warm.report.service.reused_rhs);
+      EXPECT_TRUE(cold.report.service.enabled);
+      EXPECT_GT(cold.report.service.setup_seconds, 0.0);
+      EXPECT_EQ(warm.report.service.setup_seconds, 0.0);
+
+      // The determinism pin: service solves (cold and cached) are
+      // bitwise-identical to the standalone facade run, at every rank
+      // and thread count.
+      EXPECT_EQ(cold.solution, x_ref)
+          << "ranks=" << ranks << " threads=" << threads;
+      EXPECT_EQ(warm.solution, x_ref)
+          << "ranks=" << ranks << " threads=" << threads;
+      EXPECT_EQ(cold.report.result.iters, ref.result.iters);
+      EXPECT_EQ(warm.report.result.iters, ref.result.iters);
+    }
+  }
+  par::set_num_threads(0);  // restore the default thread count
+}
+
+TEST(Service, OperatorCacheKeyCoversOperatorNotAlgorithm) {
+  const api::SolverOptions a = bounded_opts(24, 2);
+  api::SolverOptions b = a;
+  b.s = 4;
+  b.precond = "none";
+  b.rtol = 1e-3;  // algorithm knobs: same operator
+  EXPECT_EQ(service::operator_cache_key(a), service::operator_cache_key(b));
+  api::SolverOptions c = a;
+  c.nx = 25;  // geometry: different operator
+  api::SolverOptions d = a;
+  d.ranks = 3;  // partition: different operator
+  EXPECT_NE(service::operator_cache_key(a), service::operator_cache_key(c));
+  EXPECT_NE(service::operator_cache_key(a), service::operator_cache_key(d));
+}
+
+TEST(Service, LruEvictionUnderByteBudget) {
+  // Sizes descending so the third (smallest) entry's post-solve growth
+  // keeps two entries under a budget sized for the first two.
+  const api::SolverOptions a = bounded_opts(32, 2);
+  const api::SolverOptions b = bounded_opts(28, 2);
+  const api::SolverOptions c = bounded_opts(24, 2);
+
+  // Measure each operator's grown (post-solve) footprint.
+  const auto grown_bytes = [](const api::SolverOptions& opts) {
+    service::SolverService svc;
+    (void)svc.wait(svc.submit(opts));
+    return svc.cache().total_bytes();
+  };
+  const std::size_t ga = grown_bytes(a);
+  const std::size_t gb = grown_bytes(b);
+  const std::size_t gc = grown_bytes(c);
+  ASSERT_GT(gc, 0u);
+  ASSERT_LT(gc, ga);
+
+  service::ServiceConfig cfg;
+  cfg.cache_budget_bytes = ga + gb;  // two entries fit, three never do
+  service::SolverService svc(cfg);
+  (void)svc.wait(svc.submit(a));
+  (void)svc.wait(svc.submit(b));
+  EXPECT_EQ(svc.cache().size(), 2u);
+  EXPECT_EQ(svc.cache_stats().evictions, 0u);
+
+  (void)svc.wait(svc.submit(c));
+  // Inserting C overflows the budget: A (least recently used) goes.
+  EXPECT_EQ(svc.cache_stats().evictions, 1u);
+  EXPECT_EQ(svc.cache().size(), 2u);
+  EXPECT_FALSE(svc.cache().contains(service::operator_cache_key(a)));
+  EXPECT_TRUE(svc.cache().contains(service::operator_cache_key(b)));
+  EXPECT_TRUE(svc.cache().contains(service::operator_cache_key(c)));
+
+  // A solves again — as a fresh miss.
+  const service::JobResult again = svc.wait(svc.submit(a));
+  EXPECT_FALSE(again.report.service.cache_hit);
+  EXPECT_EQ(svc.cache_stats().misses, 4u);
+  EXPECT_LE(svc.cache().total_bytes(), cfg.cache_budget_bytes);
+}
+
+TEST(Service, QueueFifoDispatchOrderIsSubmissionOrder) {
+  par::set_num_threads(1);  // fully sequential: completion == dispatch
+  std::vector<std::vector<double>> first_run;
+  for (int run = 0; run < 2; ++run) {
+    service::ServiceConfig cfg;
+    cfg.queue_capacity = 4;  // smaller than the burst: submit blocks
+    service::SolverService svc(cfg);
+    std::vector<std::uint64_t> ids;
+    for (const int nx : {24, 28, 24, 32, 28, 24}) {
+      ids.push_back(svc.submit(bounded_opts(nx, 2)));
+    }
+    const std::vector<service::JobResult> results = svc.drain();
+    ASSERT_EQ(results.size(), ids.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_TRUE(results[i].error.empty()) << results[i].error;
+      EXPECT_EQ(results[i].id, ids[i]);  // drain: submission (id) order
+      // Jobs are dispatched strictly in submission order at any lane
+      // count (unit chunks off one monotone cursor).
+      EXPECT_EQ(results[i].dispatch_seq, static_cast<std::uint64_t>(i));
+    }
+    if (run == 0) {
+      for (const service::JobResult& r : results) {
+        first_run.push_back(r.solution);
+      }
+    } else {
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(results[i].solution, first_run[i]) << "job " << i;
+      }
+    }
+  }
+  par::set_num_threads(0);
+}
+
+TEST(Service, WarmStartCutsIterationsOnPerturbedRhsRepeat) {
+  api::SolverOptions opts = bounded_opts(32, 2);
+  opts.rtol = 1e-8;
+  opts.max_restarts = 1000000;
+
+  api::Solver solver(opts);
+  const std::vector<double> b = api::ones_rhs(solver.matrix());
+  std::vector<double> b_perturbed = b;
+  for (double& v : b_perturbed) v *= 1.0 + 1e-6;
+
+  // Cold baseline for the perturbed system.
+  api::Solver cold_solver(opts);
+  cold_solver.set_rhs(b_perturbed);
+  const api::SolveReport cold = cold_solver.solve();
+  ASSERT_TRUE(cold.result.converged);
+
+  service::SolverService svc;
+  // Seed solve against the original RHS...
+  (void)svc.wait(svc.submit(opts));
+  // ...then the perturbed-RHS repeat, warm-started from its solution.
+  api::SolverOptions warm_opts = opts;
+  warm_opts.warm_start = 1;
+  const service::JobResult warm = svc.wait(svc.submit(warm_opts, b_perturbed));
+  ASSERT_TRUE(warm.error.empty()) << warm.error;
+  EXPECT_TRUE(warm.report.service.warm_started);
+  EXPECT_FALSE(warm.report.service.reused_rhs);
+  EXPECT_TRUE(warm.report.result.converged);
+  EXPECT_LT(warm.report.result.iters, cold.result.iters);
+
+  // warm_start=0 on the same repeat stays bit-for-bit cold.
+  service::SolverService svc2;
+  (void)svc2.wait(svc2.submit(opts));
+  const service::JobResult repeat =
+      svc2.wait(svc2.submit(opts, b_perturbed));
+  ASSERT_TRUE(repeat.error.empty()) << repeat.error;
+  EXPECT_FALSE(repeat.report.service.warm_started);
+  EXPECT_EQ(repeat.report.result.iters, cold.result.iters);
+  EXPECT_EQ(repeat.solution, cold_solver.solution());
+}
+
+TEST(Service, ReportCarriesServiceObject) {
+  service::SolverService svc;
+  const api::SolverOptions opts = bounded_opts(24, 2);
+  (void)svc.wait(svc.submit(opts));
+  const service::JobResult warm = svc.wait(svc.submit(opts));
+  const std::string json = warm.report.json();
+  EXPECT_NE(json.find("\"schema\": \"tsbo.solve_report/5\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"service\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"cache_hit\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"warm_started\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"reused\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"cache_key\": \"" +
+                      service::operator_cache_key(opts) + "\""),
+            std::string::npos);
+  // Standalone solves emit the same object shape, disabled.
+  api::Solver standalone(opts);
+  const std::string off = standalone.solve().json();
+  EXPECT_NE(off.find("\"service\": {"), std::string::npos);
+  EXPECT_NE(off.find("\"enabled\": false"), std::string::npos);
+}
+
+TEST(Service, SubmitRejectsInvalidOptionsEagerly) {
+  service::SolverService svc;
+  try {
+    svc.submit("matrix=laplace2d_5pt nx=24 warm_start=2");
+    FAIL() << "warm_start=2 accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what())
+                  .find("warm_start=2 out of range (expected 0 or 1)"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(svc.submit("matrix=no_such_matrix nx=24"),
+               std::invalid_argument);
+  // The queue saw nothing.
+  EXPECT_TRUE(svc.drain().empty());
+}
+
+}  // namespace
