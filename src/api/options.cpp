@@ -2,6 +2,7 @@
 
 #include "api/registry.hpp"
 #include "util/cli.hpp"
+#include "util/fault.hpp"
 #include "util/json.hpp"
 
 #include <cmath>
@@ -147,6 +148,11 @@ const std::vector<FieldDef>& fields() {
       int_field("ranks", &SolverOptions::ranks),
       str_field("net", &SolverOptions::net),
       int_field("warm_start", &SolverOptions::warm_start),
+      long_field("deadline_ms", &SolverOptions::deadline_ms),
+      int_field("retries", &SolverOptions::retries),
+      int_field("quarantine_after", &SolverOptions::quarantine_after),
+      int_field("verify_residual", &SolverOptions::verify_residual),
+      str_field("faults", &SolverOptions::faults),
       str_field("matrix", &SolverOptions::matrix),
       str_field("matrix_file", &SolverOptions::matrix_file),
       int_field("nx", &SolverOptions::nx),
@@ -350,8 +356,29 @@ void SolverOptions::validate() const {
   if (warm_start < 0 || warm_start > 1) {
     out_of_range("warm_start", std::to_string(warm_start), "0 or 1");
   }
+  require_int("deadline_ms", deadline_ms, 0, ">= 0 (0 = no deadline)");
+  require_int("retries", retries, 0, ">= 0");
+  require_int("quarantine_after", quarantine_after, 0,
+              ">= 0 (0 = no quarantine)");
+  if (verify_residual < 0 || verify_residual > 1) {
+    out_of_range("verify_residual", std::to_string(verify_residual), "0 or 1");
+  }
+  (void)par::FaultPlan::parse(faults);  // throws its own syntax errors
   if (!(rtol > 0.0) || !std::isfinite(rtol)) {
     out_of_range("rtol", util::json_number(rtol), "a finite number > 0");
+  }
+  // Guard-vacuity cross-check: the corrupted verdict fires when the
+  // true residual exceeds kResidualGuardFactor * max(relres, rtol), so
+  // with rtol >= 1/kResidualGuardFactor even a completely wrong
+  // solution (true relres ~ 1) passes — the guard could never fire.
+  if (verify_residual == 1 && rtol * kResidualGuardFactor >= 1.0) {
+    throw std::invalid_argument(
+        "SolverOptions: verify_residual=1 with rtol=" +
+        util::json_number(rtol) +
+        " makes the residual guard vacuous (it only flags true relres > " +
+        util::json_number(kResidualGuardFactor) +
+        "*max(relres, rtol)); did you mean a converging tolerance like "
+        "rtol=1e-6?");
   }
   // Spectral-interval keys: any finite value is meaningful (0/0 = "let
   // the solver estimate"), but NaN/inf would silently poison the basis

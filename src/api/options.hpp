@@ -30,6 +30,16 @@ class Cli;
 
 namespace tsbo::api {
 
+/// Residual-guard gap factor (see SolverOptions::verify_residual): a
+/// solve is flagged corrupted when the serially recomputed true
+/// residual exceeds kResidualGuardFactor * max(reported relres, rtol).
+/// The factor absorbs the benign gap Carson & Ma (arXiv:2409.03079)
+/// bound between the recurrence estimate and the true residual of a
+/// backward-stable s-step GMRES, plus the parallel-vs-serial
+/// recompute rounding; a flipped exponent bit overshoots it by many
+/// orders of magnitude.
+inline constexpr double kResidualGuardFactor = 100.0;
+
 struct SolverOptions {
   // ---- algorithm ----------------------------------------------------
   std::string solver = "sstep";  ///< "gmres" | "sstep"
@@ -82,6 +92,37 @@ struct SolverOptions {
   /// an int rather than a bool so "warm_start=2" fails validate() with
   /// the standard out-of-range text instead of parse-time rejection.
   int warm_start = 0;
+
+  // ---- resilience (docs/algorithms.md "Fault injection & resilience")
+  /// Wall-clock budget per job in milliseconds; 0 = none.  The service
+  /// arms a CancelToken at dispatch (covering queue-exit to completion
+  /// across every retry attempt); standalone api::Solver runs arm one
+  /// per solve().  Polled at restart boundaries — a solve overruns by
+  /// at most one restart cycle, then completes as timed_out with the
+  /// best iterate so far.
+  long deadline_ms = 0;
+  /// Extra attempts after a failed or corrupted attempt (service only;
+  /// ok / timed_out / cancelled never retry).  Backoff between attempts
+  /// is exponential with deterministic jitter derived from the job id.
+  int retries = 0;
+  /// Circuit breaker: after this many CONSECUTIVE non-ok completions of
+  /// the same canonical spec, further jobs of that spec fail fast as
+  /// `quarantined` until one succeeds.  0 = disabled.
+  int quarantine_after = 0;
+  /// 0 or 1: recompute the true residual ||b - A x|| / ||b|| serially
+  /// against the assembled matrix after the iteration and compare with
+  /// the reported relres.  Motivated by Carson & Ma's backward-stability
+  /// analysis of s-step GMRES (arXiv:2409.03079): for a sound solve the
+  /// two agree to a modest factor, so a gap beyond
+  /// kResidualGuardFactor * max(relres, rtol) flags the solve
+  /// `corrupted` (soft errors the recurrence would report as
+  /// converged).  Under the service a corrupted verdict triggers a
+  /// retry with the cached operator re-validated against its stored
+  /// checksum.
+  int verify_residual = 0;
+  /// Fault-injection plan (par::FaultPlan::parse syntax), "" = none:
+  /// "site@ordinal:action[;...]", action = throw | corrupt | delay<ms>.
+  std::string faults;
 
   // ---- matrix source (when the facade builds the matrix) ------------
   std::string matrix = "laplace2d_5pt";  ///< matrix_registry() key

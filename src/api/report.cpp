@@ -41,7 +41,9 @@ void SolveReport::write_json(util::JsonWriter& w) const {
       .kv("cholesky_breakdowns", result.cholesky_breakdowns)
       .kv("shift_retries", result.shift_retries)
       .kv("lookahead_hits", result.lookahead_hits)
-      .kv("lookahead_misses", result.lookahead_misses);
+      .kv("lookahead_misses", result.lookahead_misses)
+      .kv("cancelled", result.cancelled)
+      .kv("deadline_expired", result.deadline_expired);
 
   w.key("autopilot").begin_object();
   w.kv("enabled", options.autopilot)
@@ -113,6 +115,28 @@ void SolveReport::write_json(util::JsonWriter& w) const {
   w.end_object();
   w.kv("cache_key", service.cache_key);
   w.end_object();  // service
+
+  w.key("resilience").begin_object();
+  w.kv("outcome", resilience.outcome)
+      .kv("attempts", resilience.attempts);
+  w.key("guard").begin_object();
+  w.kv("enabled", resilience.guard_enabled)
+      .kv("verdict", resilience.guard_verdict)
+      .kv("true_relres", resilience.guard_true_relres)
+      .kv("tolerance", resilience.guard_tolerance);
+  w.end_object();
+  w.key("fault_trail").begin_array();
+  for (const par::FaultRecord& f : resilience.fault_trail) {
+    w.begin_object();
+    w.kv("site", par::fault_site_name(f.site))
+        .kv("ordinal", f.ordinal)
+        .kv("action", par::fault_action_name(f.action))
+        .kv("delay_ms", f.delay_ms)
+        .kv("attempt", f.attempt);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();  // resilience
 
   w.key("history").begin_array();
   for (const RestartRecord& rec : history) {

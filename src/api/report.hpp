@@ -5,12 +5,13 @@
 // provenance — the options echo, matrix statistics, rank/thread counts,
 // per-phase timers, communication counters, and the per-restart
 // residual history captured by the facade's observer — and serializes
-// to JSON (schema "tsbo.solve_report/5", golden-checked by
+// to JSON (schema "tsbo.solve_report/6", golden-checked by
 // tests/test_api.cpp).  ReportLog accumulates reports so every bench
 // binary can emit a uniform --json=<path> artifact.
 
 #include "api/options.hpp"
 #include "krylov/solver.hpp"
+#include "util/fault.hpp"
 #include "util/json.hpp"
 
 #include <cstdint>
@@ -41,8 +42,16 @@ namespace tsbo::api {
 /// the reused-setup breakdown (matrix / partition / precond_setup /
 /// rhs), and the cache_key echo.  Standalone solves emit the same
 /// object with enabled=false and all counters zero, so consumers can
-/// key off one shape.
-inline constexpr const char* kSolveReportSchema = "tsbo.solve_report/5";
+/// key off one shape.  /6: the result section grew cancelled /
+/// deadline_expired (cooperative-cancellation exits), and a top-level
+/// resilience object — outcome (ok | failed | timed_out | cancelled |
+/// quarantined | corrupted), attempts, the residual-guard verdict
+/// (guard: enabled / verdict off|ok|skipped|corrupted / true_relres /
+/// tolerance), and the injected-fault trail (fault_trail: site /
+/// ordinal / action / delay_ms / attempt per fired fault, rank 0's
+/// deterministic record).  Standalone solves emit outcome "ok" with
+/// attempts=1 unless their own guard or cancellation says otherwise.
+inline constexpr const char* kSolveReportSchema = "tsbo.solve_report/6";
 inline constexpr const char* kReportLogSchema = "tsbo.report_log/1";
 
 struct MatrixStats {
@@ -94,6 +103,23 @@ struct ServiceStats {
   std::string cache_key;  ///< operator-cache key echo ("" off-service)
 };
 
+/// Resilience record of one job: terminal outcome, attempt count, the
+/// residual-guard verdict, and the injected-fault trail.  Standalone
+/// solves fill the guard + trail; the service overwrites outcome /
+/// attempts with the job-level view (retries, quarantine).
+struct ResilienceStats {
+  /// ok | failed | timed_out | cancelled | quarantined | corrupted.
+  std::string outcome = "ok";
+  int attempts = 1;
+  bool guard_enabled = false;     ///< verify_residual=1 was requested
+  /// off (guard not requested) | ok | skipped (cancelled / timed-out
+  /// exits are not judged) | corrupted.
+  std::string guard_verdict = "off";
+  double guard_true_relres = 0.0;  ///< serial ||b - A x|| / ||b||
+  double guard_tolerance = 0.0;    ///< threshold the verdict compared against
+  std::vector<par::FaultRecord> fault_trail;  ///< fired faults (rank 0)
+};
+
 struct SolveReport {
   SolverOptions options;
   MatrixStats matrix;
@@ -101,6 +127,7 @@ struct SolveReport {
   unsigned threads = 1;
   krylov::SolveResult result;
   ServiceStats service;
+  ResilienceStats resilience;
   std::vector<RestartRecord> history;
 
   /// Emits this report as one JSON object into an open writer (used by

@@ -82,6 +82,16 @@ Solver& Solver::on_restart(krylov::ProgressCallback cb) {
   return *this;
 }
 
+Solver& Solver::set_fault_injector(par::FaultInjector* injector) {
+  fault_injector_ = injector;
+  return *this;
+}
+
+Solver& Solver::set_cancel_token(const par::CancelToken* token) {
+  cancel_token_ = token;
+  return *this;
+}
+
 const sparse::CsrMatrix& Solver::matrix() {
   if (matrix_ == nullptr) {
     owned_matrix_ = make_matrix(opts_, &matrix_label_);
@@ -147,6 +157,24 @@ SolveReport Solver::solve() {
     conv_reference = std::sqrt(sq);
   }
 
+  // Resilience plumbing: borrow the caller's job-scoped injector /
+  // token (the service path) or build per-call standalone ones from
+  // the options.  A fresh standalone injector starts at attempt 1 with
+  // nothing fired, so repeated solve() calls see identical schedules.
+  std::optional<par::FaultInjector> own_injector;
+  par::FaultInjector* injector = fault_injector_;
+  if (injector == nullptr && !opts_.faults.empty()) {
+    own_injector.emplace(par::FaultPlan::parse(opts_.faults), opts_.ranks);
+    injector = &own_injector.value();
+  }
+  std::optional<par::CancelToken> own_token;
+  const par::CancelToken* cancel = cancel_token_;
+  if (cancel == nullptr && opts_.deadline_ms > 0) {
+    own_token.emplace();
+    own_token->set_deadline_after(std::chrono::milliseconds(opts_.deadline_ms));
+    cancel = &own_token.value();
+  }
+
   krylov::SolveResult out;
   util::PhaseTimers merged;
   std::vector<RestartRecord> history;
@@ -171,6 +199,10 @@ SolveReport Solver::solve() {
 
   par::spmd_run(opts_.ranks, opts_.network_model(),
                 [&](par::Communicator& comm) {
+    // Fault seam first: every instrumented site below (DistCsr::spmv,
+    // the ortho Gram, the collectives themselves) consults through
+    // this rank's communicator.
+    comm.set_fault_injector(injector);
     // Operator piece: borrowed from the caller (the operator cache's
     // prebuilt partition + comm plan) or built fresh for this solve.
     std::optional<sparse::DistCsr> built;
@@ -211,11 +243,13 @@ SolveReport Solver::solve() {
     if (opts_.is_sstep()) {
       krylov::SStepGmresConfig cfg = opts_.sstep_config();
       cfg.conv_reference = conv_reference;
+      cfg.cancel = cancel;
       if (comm.rank() == 0) cfg.on_restart = observer;
       res = krylov::sstep_gmres(comm, dist, prec.get(), b_local, x, cfg);
     } else {
       krylov::GmresConfig cfg = opts_.gmres_config();
       cfg.conv_reference = conv_reference;
+      cfg.cancel = cancel;
       if (comm.rank() == 0) cfg.on_restart = observer;
       res = krylov::gmres(comm, dist, prec.get(), b_local, x, cfg);
     }
@@ -231,6 +265,51 @@ SolveReport Solver::solve() {
   out.timers = merged;
   report.result = out;
   report.history = std::move(history);
+
+  // Resilience record: fired-fault trail (rank 0's deterministic copy)
+  // and the end-of-solve residual guard.
+  if (injector != nullptr) {
+    report.resilience.fault_trail = injector->trail(0);
+  }
+  report.resilience.guard_enabled = opts_.verify_residual == 1;
+  if (opts_.verify_residual == 1) {
+    if (out.cancelled || out.deadline_expired) {
+      // A cooperative stop exits with whatever iterate it had; judging
+      // that against the convergence tolerance would be noise.
+      report.resilience.guard_verdict = "skipped";
+    } else {
+      // Serial recompute against the assembled global matrix —
+      // independent of the distributed pieces and their halo state, so
+      // corrupted exchange buffers cannot vouch for themselves.  The
+      // reference is the serial ||b||; the factor absorbs the benign
+      // recurrence-vs-true gap (Carson & Ma, arXiv:2409.03079) and
+      // parallel-vs-serial rounding in ref (see kResidualGuardFactor).
+      std::vector<double> ax(n, 0.0);
+      sparse::spmv(a, x_, ax);
+      double rr = 0.0;
+      double bb = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double d = b[i] - ax[i];
+        rr += d * d;
+        bb += b[i] * b[i];
+      }
+      const double ref = std::sqrt(bb);
+      const double true_rel = ref > 0.0 ? std::sqrt(rr) / ref : std::sqrt(rr);
+      const double tol =
+          kResidualGuardFactor * std::max(out.relres, opts_.rtol);
+      report.resilience.guard_true_relres = true_rel;
+      report.resilience.guard_tolerance = tol;
+      // NaN-safe on purpose: a NaN true_rel (or NaN relres making tol
+      // NaN) fails the <= and lands in "corrupted".
+      const bool sound = true_rel <= tol;
+      report.resilience.guard_verdict = sound ? "ok" : "corrupted";
+      if (!sound) report.resilience.outcome = "corrupted";
+    }
+  }
+  if (report.resilience.outcome == "ok") {
+    if (out.cancelled) report.resilience.outcome = "cancelled";
+    if (out.deadline_expired) report.resilience.outcome = "timed_out";
+  }
   return report;
 }
 

@@ -106,6 +106,20 @@ class Solver {
   /// history into the report; this hook adds live reporting on top.
   Solver& on_restart(krylov::ProgressCallback cb);
 
+  /// Borrows a job-scoped fault injector (util/fault.hpp): solve()
+  /// installs it on every rank's communicator, so the comm / spmv /
+  /// gram sites fire from its plan and the report carries its trail.
+  /// When unset and opts.faults is non-empty, solve() builds a fresh
+  /// injector per call instead.  The service passes one injector
+  /// across a job's retry attempts (fired faults stay fired).
+  Solver& set_fault_injector(par::FaultInjector* injector);
+
+  /// Borrows a cancellation token polled at restart boundaries (see
+  /// krylov::*Config::cancel).  When unset and opts.deadline_ms > 0,
+  /// solve() arms a fresh per-call deadline token.  The service shares
+  /// one token per job so cancel(id) reaches a running solve.
+  Solver& set_cancel_token(const par::CancelToken* token);
+
   /// The system matrix (building it from the options if not injected).
   const sparse::CsrMatrix& matrix();
 
@@ -134,6 +148,8 @@ class Solver {
   PrecondFactory precond_factory_;
   std::vector<util::aligned_vector<double>>* workspace_ = nullptr;  // borrowed
   krylov::ProgressCallback user_callback_;
+  par::FaultInjector* fault_injector_ = nullptr;      // borrowed
+  const par::CancelToken* cancel_token_ = nullptr;    // borrowed
 };
 
 }  // namespace tsbo::api

@@ -58,6 +58,22 @@ SolveResult gmres(par::Communicator& comm, const sparse::DistCsr& a,
 
   while (!res.converged && res.iters < cfg.max_iters &&
          res.restarts < cfg.max_restarts) {
+    // Cooperative cancellation / deadline poll, only when a token is
+    // installed (zero extra syncs otherwise).  The collective max makes
+    // the stop decision identical on every rank even though the flag
+    // flips asynchronously, so no rank is left inside a collective.
+    if (cfg.cancel != nullptr) {
+      const double stop =
+          comm.allreduce_max_scalar(cfg.cancel->should_stop() ? 1.0 : 0.0);
+      if (stop > 0.0) {
+        if (cfg.cancel->cancelled()) {
+          res.cancelled = true;
+        } else {
+          res.deadline_expired = true;
+        }
+        break;
+      }
+    }
     // Seed the cycle: q_0 = r / gamma.
     {
       double* q0 = basis.col(0);

@@ -31,6 +31,11 @@ struct GmresConfig {
   enum class Ortho { kCgs2, kMgs } ortho = Ortho::kCgs2;
   /// Optional per-restart observer (see solver.hpp).
   ProgressCallback on_restart;
+  /// Cooperative cancellation: when non-null, polled at every restart
+  /// boundary through a collective max-reduce (all ranks take the same
+  /// exit; adds one sync per restart only when installed).  On stop the
+  /// result carries cancelled / deadline_expired and the best iterate.
+  const par::CancelToken* cancel = nullptr;
 };
 
 /// Solves A M^{-1} u = b, x += M^{-1} u from the initial guess in `x`.

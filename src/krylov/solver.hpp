@@ -94,6 +94,14 @@ struct SolveResult {
   int cholesky_breakdowns = 0;
   int shift_retries = 0;
 
+  /// Cooperative-cancellation exits (Config::cancel): the solve was
+  /// stopped at a restart boundary by an explicit cancel() or by its
+  /// deadline.  x holds the best iterate so far; converged stays as
+  /// the iteration left it (normally false).  All ranks agree (the
+  /// poll is a collective max-reduce).
+  bool cancelled = false;
+  bool deadline_expired = false;
+
   /// Pipelined s-step runtime counters: speculative next-panel MPK
   /// sweeps generated inside a stage-1 reduce window that were consumed
   /// by the following panel (hits) vs discarded because the cycle

@@ -94,6 +94,12 @@ struct SStepGmresConfig {
   /// Optional per-restart observer (see solver.hpp).
   ProgressCallback on_restart;
 
+  /// Cooperative cancellation: when non-null, polled at every restart
+  /// boundary through a collective max-reduce (all ranks take the same
+  /// exit; adds one sync per restart only when installed).  On stop the
+  /// result carries cancelled / deadline_expired and the best iterate.
+  const par::CancelToken* cancel = nullptr;
+
   /// When set, make_manager() calls this instead of switching on
   /// `scheme` — the extension point the api ortho registry uses, so new
   /// block-orthogonalization schemes plug in without growing the enum.

@@ -66,9 +66,15 @@ void bcgs_pip(OrthoContext& ctx, ConstMatrixView q, MatrixView v,
 /// gap.  Move-only via the owned PendingReduce; destroying it unwaited
 /// completes the reduce (PendingReduce's destructor), keeping ranks
 /// collective on exceptions.
+///
+/// Member order is load-bearing: `g` is the buffer published to the
+/// in-flight reduce, so `pending` must be declared after it —
+/// destruction then completes the collective (whose final barrier
+/// holds every rank until all peers have read the published spans)
+/// before the buffer is freed.
 struct BcgsPipSplit {
-  PendingReduce pending;
   dense::Matrix g;  ///< fused Gram landing buffer, (q + s) x s
+  PendingReduce pending;
   index_t nq = 0;
   index_t s = 0;
   bool active = false;

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <exception>
 #include <functional>
 #include <limits>
 #include <span>
@@ -22,6 +23,23 @@ void time_start(OrthoContext& ctx, const char* phase) {
 }
 void time_stop(OrthoContext& ctx, const char* phase) {
   if (ctx.timers) ctx.timers->stop(phase);
+}
+
+// `gram.stage1` fault seam: consulted once per fused stage-1 Gram,
+// after the local gemm and before the reduce is published (a throw
+// here leaves no pending collective of its own; siblings already in
+// flight are completed by their PendingReduce dtors during unwind).  A
+// corrupt flips the same bit of every rank's local partial at the same
+// (row, col) — the reduced Gram is perturbed by a detectable 2^64-scale
+// entry on all ranks identically.
+void consult_gram_fault(OrthoContext& ctx, MatrixView g) {
+  if (ctx.comm == nullptr) return;
+  ctx.comm->consult_fault(par::FaultSite::kGramStage1, [g](long ordinal) {
+    const long cells = static_cast<long>(g.rows) * static_cast<long>(g.cols);
+    if (cells == 0) return;
+    const long cell = ordinal % cells;
+    par::FaultInjector::flip_bit(g.col(cell / g.rows)[cell % g.rows]);
+  });
 }
 
 }  // namespace
@@ -88,7 +106,13 @@ void PendingReduce::wait() {
   if (!pending_) return;
   pending_ = false;
   if (ctx_ == nullptr || ctx_->comm == nullptr) return;
-  if (ctx_->timers) ctx_->timers->start("ortho/reduce");
+  // When an exception (e.g. an injected fault) unwinds through the
+  // reduce window, the interrupted call site may have left
+  // "ortho/reduce" running; completing the collective is what keeps
+  // the ranks deadlock-free — drop the timing rather than trip the
+  // phase-state check inside a destructor.
+  const bool timed = ctx_->timers != nullptr && std::uncaught_exceptions() == 0;
+  if (timed) ctx_->timers->start("ortho/reduce");
   req_.wait();
   if (!packed_hi_.empty()) {
     for (dense::index_t j = 0; j < hi_.cols; ++j) {
@@ -102,7 +126,7 @@ void PendingReduce::wait() {
                   lo_.rows, lo_.col(j));
     }
   }
-  if (ctx_->timers) ctx_->timers->stop("ortho/reduce");
+  if (timed) ctx_->timers->stop("ortho/reduce");
 }
 
 void block_dot(OrthoContext& ctx, ConstMatrixView a, ConstMatrixView b,
@@ -146,6 +170,7 @@ PendingReduce fused_gram_ireduce(OrthoContext& ctx, ConstMatrixView q,
   if (q.cols > 0) dense::gemm_tn(1.0, q, v, 0.0, top);
   dense::gemm_tn(1.0, v, v, 0.0, bottom);
   time_stop(ctx, "ortho/dot");
+  consult_gram_fault(ctx, g);
   return ireduce_sum(ctx, g);
 }
 
@@ -169,6 +194,7 @@ PendingReduce fused_gram_dd_ireduce(OrthoContext& ctx, ConstMatrixView q,
   dense::gemm_tn_dd(v, v, g_hi.block(q.cols, 0, v.cols, v.cols),
                     g_lo.block(q.cols, 0, v.cols, v.cols));
   time_stop(ctx, "ortho/dot");
+  consult_gram_fault(ctx, g_hi);
   return ireduce_sum_dd(ctx, g_hi, g_lo);
 }
 

@@ -132,6 +132,15 @@ const double* Communicator::peer_slot(int peer, int slot) const {
 }
 
 CommRequest Communicator::iallreduce_sum(std::span<double> inout) {
+  // Fault seam, before any publication/accounting: a throw here leaves
+  // no half-open collective on any rank.  A corrupt flips the same bit
+  // of every rank's local contribution at the same index.
+  consult_fault(FaultSite::kCommAllreduce, [inout](long ordinal) {
+    if (!inout.empty()) {
+      FaultInjector::flip_bit(
+          inout[static_cast<std::size_t>(ordinal) % inout.size()]);
+    }
+  });
   stats_.allreduces += 1;
   stats_.bytes_allreduced += inout.size_bytes();
   CommRequest req = make_request(
@@ -145,6 +154,12 @@ CommRequest Communicator::iallreduce_sum_dd(std::span<double> hi,
                                             std::span<double> lo) {
   assert(hi.size() == lo.size());
   const std::size_t n = hi.size();
+  consult_fault(FaultSite::kCommAllreduce, [hi](long ordinal) {
+    if (!hi.empty()) {
+      FaultInjector::flip_bit(
+          hi[static_cast<std::size_t>(ordinal) % hi.size()]);
+    }
+  });
   stats_.allreduces += 1;
   stats_.bytes_allreduced += hi.size_bytes() + lo.size_bytes();
   CommRequest req =
@@ -267,6 +282,12 @@ void Communicator::allreduce_sum_dd(std::span<double> hi,
 }
 
 void Communicator::allreduce_max(std::span<double> inout) {
+  consult_fault(FaultSite::kCommAllreduce, [inout](long ordinal) {
+    if (!inout.empty()) {
+      FaultInjector::flip_bit(
+          inout[static_cast<std::size_t>(ordinal) % inout.size()]);
+    }
+  });
   stats_.allreduces += 1;
   stats_.bytes_allreduced += inout.size_bytes();
   if (ctx_.nranks_ > 1) {

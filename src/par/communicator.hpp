@@ -37,6 +37,7 @@
 // fine.
 
 #include "par/network_model.hpp"
+#include "util/fault.hpp"
 
 #include <atomic>
 #include <chrono>
@@ -234,6 +235,23 @@ class Communicator {
   [[nodiscard]] const CommStats& stats() const { return stats_; }
   void reset_stats() { stats_ = CommStats{}; }
 
+  /// Installs the fault-injection seam for this rank (util/fault.hpp);
+  /// nullptr (the default) disables it with zero overhead on the hot
+  /// paths.  Borrowed, job-scoped; the api facade installs it at the
+  /// top of each spmd body.  The comm layer consults the
+  /// `comm.allreduce` site at the entry of every (i)allreduce; kernel
+  /// layers (DistCsr::spmv, the ortho Gram) consult their own sites
+  /// through consult_fault() on the communicator they already hold.
+  void set_fault_injector(FaultInjector* injector) { fault_ = injector; }
+  [[nodiscard]] FaultInjector* fault_injector() const { return fault_; }
+
+  /// Consults a named fault site on this rank; no-op without an
+  /// installed injector.
+  void consult_fault(FaultSite site,
+                     const FaultInjector::CorruptFn& corrupt = {}) {
+    if (fault_ != nullptr) fault_->consult(rank_, site, corrupt);
+  }
+
  private:
   friend class CommRequest;
 
@@ -263,6 +281,7 @@ class Communicator {
   std::vector<double> scratch_;   // fold workspace (waits are serialized)
   std::vector<double> scratch2_;  // dd fold result (staging stays published)
   CommStats stats_;
+  FaultInjector* fault_ = nullptr;  // borrowed, job-scoped (may be null)
 };
 
 }  // namespace tsbo::par

@@ -21,6 +21,22 @@ std::string operator_cache_key(const api::SolverOptions& opts) {
   return out;
 }
 
+std::uint64_t rhs_fingerprint(const std::vector<double>& b) {
+  // FNV-1a over the raw value bits (same fold as Csr::checksum), so
+  // -0.0 vs 0.0 and single-bit perturbations all produce distinct
+  // fingerprints.
+  constexpr std::uint64_t kOffset = 1469598103934665603ull;
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t h = kOffset;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(b.data());
+  const std::size_t nbytes = b.size() * sizeof(double);
+  for (std::size_t i = 0; i < nbytes; ++i) {
+    h ^= bytes[i];
+    h *= kPrime;
+  }
+  return h;
+}
+
 std::size_t CachedOperator::bytes() const {
   std::size_t b = matrix.storage_bytes();
   for (const sparse::DistCsr& piece : pieces) b += piece.footprint_bytes();
@@ -32,7 +48,9 @@ std::size_t CachedOperator::bytes() const {
   for (const auto& s : cheb_setups) {
     if (s) b += s->bytes();
   }
-  b += last_solution.capacity() * sizeof(double);
+  for (const SolutionSeed& seed : seeds) {
+    b += seed.x.capacity() * sizeof(double);
+  }
   return b;
 }
 
@@ -55,6 +73,7 @@ std::shared_ptr<CachedOperator> build_operator(const api::SolverOptions& opts) {
   op->mc_setups.resize(static_cast<std::size_t>(opts.ranks));
   op->cheb_setups.resize(static_cast<std::size_t>(opts.ranks));
   op->build_seconds = timer.seconds();
+  op->matrix_checksum = op->matrix.checksum();
   return op;
 }
 
@@ -108,6 +127,19 @@ void OperatorCache::refresh_bytes(const std::shared_ptr<CachedOperator>& op) {
       return;
     }
   }
+}
+
+bool OperatorCache::invalidate(const std::string& key) {
+  std::lock_guard lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    if (it->op->key == key) {
+      total_bytes_ -= it->bytes;
+      lru_.erase(it);
+      ++stats_.evictions;
+      return true;
+    }
+  }
+  return false;
 }
 
 void OperatorCache::enforce_budget_locked() {

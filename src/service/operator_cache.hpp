@@ -44,6 +44,15 @@ namespace tsbo::service {
 /// not what it is.
 std::string operator_cache_key(const api::SolverOptions& opts);
 
+/// Deterministic FNV-1a fold of an RHS's value bits — the fingerprint
+/// warm-start seeds are keyed by, so interleaved job streams with
+/// different right-hand sides never seed each other with mismatched
+/// guesses.
+std::uint64_t rhs_fingerprint(const std::vector<double>& b);
+
+/// Warm-start seeds kept per cached operator (most-recent first).
+inline constexpr std::size_t kMaxSolutionSeeds = 8;
+
 /// One cached operator and its reusable setup.
 struct CachedOperator {
   std::string key;
@@ -61,14 +70,27 @@ struct CachedOperator {
   std::vector<std::shared_ptr<const precond::MulticolorSetup>> mc_setups;
   std::vector<std::shared_ptr<const precond::ChebyshevSetup>> cheb_setups;
 
-  /// Gathered solution of the most recent solve against this operator
-  /// (warm-start seed; guarded by in_use).
-  std::vector<double> last_solution;
-  bool has_solution = false;
+  /// Warm-start seeds: gathered solutions of recent solves against
+  /// this operator, keyed by the RHS fingerprint they solved (exact
+  /// fingerprint match preferred; most-recent as fallback for a
+  /// perturbed RHS).  Most-recent first, capped at kMaxSolutionSeeds;
+  /// guarded by in_use.
+  struct SolutionSeed {
+    std::uint64_t rhs_fingerprint = 0;
+    std::vector<double> x;
+  };
+  std::vector<SolutionSeed> seeds;
 
   std::mutex in_use;  ///< held for the duration of one solve
 
   double build_seconds = 0.0;  ///< wall time the cache miss paid
+
+  /// matrix.checksum() at build time.  After a corrupted-verdict solve
+  /// the service re-validates the live matrix against this; a mismatch
+  /// means the cached operator itself was mutated (injected
+  /// service.dispatch corruption, stray write, soft error) and the
+  /// entry is invalidated so the retry rebuilds clean state.
+  std::uint64_t matrix_checksum = 0;
 
   /// Approximate heap footprint of everything above.
   [[nodiscard]] std::size_t bytes() const;
@@ -98,6 +120,12 @@ class OperatorCache {
   /// Re-reads `op->bytes()` and re-enforces the budget — call after
   /// growing an entry in place (lazy preconditioner setups).
   void refresh_bytes(const std::shared_ptr<CachedOperator>& op);
+
+  /// Drops the entry with `key` (if cached): the next acquire()
+  /// rebuilds it.  Jobs already holding the shared_ptr keep their
+  /// (possibly poisoned) entry alive until they finish.  Returns
+  /// whether an entry was dropped.
+  bool invalidate(const std::string& key);
 
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] std::size_t size() const;

@@ -4,10 +4,24 @@
 #include "par/config.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 namespace tsbo::service {
+
+const char* to_string(JobOutcome outcome) {
+  switch (outcome) {
+    case JobOutcome::kOk: return "ok";
+    case JobOutcome::kFailed: return "failed";
+    case JobOutcome::kTimedOut: return "timed_out";
+    case JobOutcome::kCancelled: return "cancelled";
+    case JobOutcome::kQuarantined: return "quarantined";
+    case JobOutcome::kCorrupted: return "corrupted";
+  }
+  return "unknown";
+}
 
 namespace {
 
@@ -78,6 +92,8 @@ std::uint64_t SolverService::enqueue(Job job) {
   }
   job.id = next_id_++;
   job.submitted = std::chrono::steady_clock::now();
+  job.token = std::make_shared<par::CancelToken>();
+  tokens_.emplace(job.id, job.token);
   const std::uint64_t id = job.id;
   queue_.push_back(std::move(job));
   ++inflight_;
@@ -98,6 +114,14 @@ JobResult SolverService::wait(std::uint64_t id) {
   return out;
 }
 
+bool SolverService::cancel(std::uint64_t id) {
+  std::lock_guard lock(mu_);
+  auto it = tokens_.find(id);
+  if (it == tokens_.end()) return false;  // unknown or already completed
+  it->second->cancel();
+  return true;
+}
+
 std::vector<JobResult> SolverService::drain() {
   std::unique_lock lock(mu_);
   cv_done_.wait(lock, [this] { return inflight_ == 0; });
@@ -115,9 +139,29 @@ void SolverService::scheduler_loop() {
       std::unique_lock lock(mu_);
       cv_work_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and fully drained
-      batch.assign(std::make_move_iterator(queue_.begin()),
-                   std::make_move_iterator(queue_.end()));
-      queue_.clear();
+      if (cfg_.max_inflight_per_key == 0) {
+        batch.assign(std::make_move_iterator(queue_.begin()),
+                     std::make_move_iterator(queue_.end()));
+        queue_.clear();
+      } else {
+        // Fairness cap: take at most max_inflight_per_key jobs per
+        // operator key this round, front to back, leaving the overflow
+        // queued in place.  Relative order is preserved on both sides,
+        // and the front job is always taken, so every round makes
+        // progress.
+        std::map<std::string, std::size_t> picked;
+        std::deque<Job> overflow;
+        for (Job& j : queue_) {
+          std::size_t& count = picked[operator_cache_key(j.opts)];
+          if (count < cfg_.max_inflight_per_key) {
+            ++count;
+            batch.push_back(std::move(j));
+          } else {
+            overflow.push_back(std::move(j));
+          }
+        }
+        queue_ = std::move(overflow);
+      }
       cv_space_.notify_all();
     }
     // Whole solves as unit work items, claimed in ascending index
@@ -138,89 +182,235 @@ void SolverService::run_job(Job& job, std::uint64_t dispatch_seq) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     job.submitted)
           .count();
-  try {
-    bool hit = false;
-    const std::shared_ptr<CachedOperator> op = cache_.acquire(job.opts, &hit);
+  const std::string spec = job.opts.to_string();
 
-    // One solve at a time per entry: the DistCsr pieces' halo buffers
-    // are single-solve, and last_solution must not be torn.
-    std::lock_guard entry_lock(op->in_use);
-
-    const api::SolverOptions& opts = job.opts;
-    const bool use_mc =
-        opts.precond == "mc-gs" || opts.precond == "mc-sgs";
-    const bool use_cheb = chebyshev_estimates(opts);
-    const auto populated = [](const auto& setups) {
-      return !setups.empty() &&
-             std::all_of(setups.begin(), setups.end(),
-                         [](const auto& s) { return s != nullptr; });
-    };
-    const bool setups_ready = (use_mc && populated(op->mc_setups)) ||
-                              (use_cheb && populated(op->cheb_setups));
-
-    api::Solver solver(opts);
-    solver.set_matrix_ref(op->matrix, op->label);
-    solver.set_partitioned_operator(&op->pieces);
-    solver.set_local_workspace(&op->workspace);
-    solver.set_rhs_ref(job.has_rhs ? job.rhs : op->ones_b);
-    if (use_mc) {
-      solver.set_precond_factory(
-          [op](const api::SolverOptions& o, const sparse::DistCsr& a,
-               int rank) -> std::unique_ptr<precond::Preconditioner> {
-            auto& slot = op->mc_setups[static_cast<std::size_t>(rank)];
-            if (!slot) {
-              slot = std::make_shared<const precond::MulticolorSetup>(a);
-            }
-            return std::make_unique<precond::MulticolorGaussSeidel>(
-                slot, o.precond_sweeps, /*symmetric=*/o.precond == "mc-sgs");
-          });
-    } else if (use_cheb) {
-      solver.set_precond_factory(
-          [op](const api::SolverOptions& o, const sparse::DistCsr& a,
-               int rank) -> std::unique_ptr<precond::Preconditioner> {
-            auto& slot = op->cheb_setups[static_cast<std::size_t>(rank)];
-            if (!slot) {
-              slot = std::make_shared<const precond::ChebyshevSetup>(
-                  a, kChebyshevPowerIters);
-            }
-            return std::make_unique<precond::ChebyshevPolynomial>(
-                slot, o.precond_degree);
-          });
+  // Quarantine fail-fast: a spec that kept failing does not get to
+  // burn another pool slot (and its retries) on every resubmission.
+  bool quarantined = false;
+  if (job.opts.quarantine_after > 0) {
+    std::lock_guard lock(mu_);
+    const auto it = consecutive_failures_.find(spec);
+    if (it != consecutive_failures_.end() &&
+        it->second >= job.opts.quarantine_after) {
+      quarantined = true;
+      res.outcome = JobOutcome::kQuarantined;
+      res.error = "service: spec quarantined after " +
+                  std::to_string(it->second) + " consecutive failures";
     }
-
-    const bool warm = opts.warm_start == 1 && op->has_solution;
-    if (warm) solver.set_initial_guess(op->last_solution);
-
-    api::SolveReport report = solver.solve();
-
-    op->last_solution = solver.solution();
-    op->has_solution = true;
-
-    report.service.enabled = true;
-    report.service.cache_hit = hit;
-    report.service.warm_started = warm;
-    report.service.queue_seconds = queue_seconds;
-    report.service.setup_seconds = hit ? 0.0 : op->build_seconds;
-    report.service.reused_matrix = hit;
-    report.service.reused_partition = hit;
-    report.service.reused_precond_setup = setups_ready;
-    report.service.reused_rhs = hit && !job.has_rhs;
-    report.service.cache_key = op->key;
-
-    res.report = std::move(report);
-    res.solution = solver.solution();
-
-    // Lazy setups and last_solution grew the entry: re-account.
-    cache_.refresh_bytes(op);
-  } catch (const std::exception& e) {
-    res.error = e.what();
   }
 
+  if (!quarantined) {
+    // The deadline clock starts at dispatch, not submit: queue wait is
+    // the service's fault, not the job's.
+    if (job.opts.deadline_ms > 0) {
+      job.token->set_deadline_after(
+          std::chrono::milliseconds(job.opts.deadline_ms));
+    }
+    // One injector across all attempts: fired one-shot faults stay
+    // fired, so a retry re-runs the exact solve minus the event.
+    std::optional<par::FaultInjector> injector;
+    if (!job.opts.faults.empty()) {
+      injector.emplace(par::FaultPlan::parse(job.opts.faults), job.opts.ranks);
+    }
+
+    const int max_attempts = 1 + std::max(0, job.opts.retries);
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+      if (job.token->cancelled()) {
+        res.outcome = JobOutcome::kCancelled;
+        res.error = "service: job cancelled before attempt " +
+                    std::to_string(attempt);
+        break;
+      }
+      if (job.token->deadline_expired()) {
+        res.outcome = JobOutcome::kTimedOut;
+        res.error = "service: deadline expired before attempt " +
+                    std::to_string(attempt);
+        break;
+      }
+      res.attempts = attempt;
+      res.error.clear();
+      if (injector.has_value()) injector->begin_attempt(attempt);
+      try {
+        res.outcome = run_attempt(
+            job, injector.has_value() ? &injector.value() : nullptr,
+            queue_seconds, res);
+      } catch (const std::exception& e) {
+        res.outcome = JobOutcome::kFailed;
+        res.error = e.what();
+      }
+      // Terminal for this job: success, or a stop that retrying cannot
+      // beat (the deadline stays expired; cancellation stays requested).
+      if (res.outcome == JobOutcome::kOk ||
+          res.outcome == JobOutcome::kTimedOut ||
+          res.outcome == JobOutcome::kCancelled) {
+        break;
+      }
+      if (attempt == max_attempts) break;
+      // Exponential backoff with deterministic per-job jitter before
+      // the retry (failed or corrupted attempt).
+      const long base = std::max<long>(1, cfg_.retry_backoff_ms);
+      const long backoff = base << (attempt - 1);
+      const long jitter = static_cast<long>(job.id % 3);
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff + jitter));
+    }
+  }
+
+  // The report always states the job-level terminal view, whether or
+  // not an attempt ran.
+  res.report.resilience.outcome = to_string(res.outcome);
+  res.report.resilience.attempts = res.attempts;
+
   std::lock_guard lock(mu_);
+  if (job.opts.quarantine_after > 0) {
+    if (res.outcome == JobOutcome::kOk) {
+      consecutive_failures_[spec] = 0;
+    } else if (res.outcome == JobOutcome::kFailed ||
+               res.outcome == JobOutcome::kCorrupted ||
+               res.outcome == JobOutcome::kTimedOut) {
+      ++consecutive_failures_[spec];
+    }
+  }
+  tokens_.erase(job.id);
   if (res.error.empty()) log_.add(res.report);
   results_.emplace(res.id, std::move(res));
   --inflight_;
   cv_done_.notify_all();
+}
+
+JobOutcome SolverService::run_attempt(Job& job, par::FaultInjector* injector,
+                                      double queue_seconds, JobResult& res) {
+  bool hit = false;
+  const std::shared_ptr<CachedOperator> op = cache_.acquire(job.opts, &hit);
+
+  // One solve at a time per entry: the DistCsr pieces' halo buffers
+  // are single-solve, and the warm-start seeds must not be torn.
+  std::lock_guard entry_lock(op->in_use);
+
+  // Dispatch-site fault seam, consulted with rank 0's counter (the
+  // dispatch is a rank-independent service action).  corrupt flips a
+  // bit in the *cached* global matrix — the soft-error-in-cached-state
+  // scenario the checksum revalidation below exists for.
+  if (injector != nullptr) {
+    sparse::CsrMatrix& m = op->matrix;
+    injector->consult(0, par::FaultSite::kServiceDispatch, [&m](long ordinal) {
+      const sparse::offset nnz = m.nnz();
+      if (nnz <= 0) return;
+      par::FaultInjector::flip_bit(
+          m.values[static_cast<std::size_t>(ordinal % nnz)]);
+    });
+  }
+
+  const api::SolverOptions& opts = job.opts;
+  const bool use_mc =
+      opts.precond == "mc-gs" || opts.precond == "mc-sgs";
+  const bool use_cheb = chebyshev_estimates(opts);
+  const auto populated = [](const auto& setups) {
+    return !setups.empty() &&
+           std::all_of(setups.begin(), setups.end(),
+                       [](const auto& s) { return s != nullptr; });
+  };
+  const bool setups_ready = (use_mc && populated(op->mc_setups)) ||
+                            (use_cheb && populated(op->cheb_setups));
+
+  api::Solver solver(opts);
+  solver.set_matrix_ref(op->matrix, op->label);
+  solver.set_partitioned_operator(&op->pieces);
+  solver.set_local_workspace(&op->workspace);
+  solver.set_rhs_ref(job.has_rhs ? job.rhs : op->ones_b);
+  solver.set_fault_injector(injector);
+  solver.set_cancel_token(job.token.get());
+  if (use_mc) {
+    solver.set_precond_factory(
+        [op](const api::SolverOptions& o, const sparse::DistCsr& a,
+             int rank) -> std::unique_ptr<precond::Preconditioner> {
+          auto& slot = op->mc_setups[static_cast<std::size_t>(rank)];
+          if (!slot) {
+            slot = std::make_shared<const precond::MulticolorSetup>(a);
+          }
+          return std::make_unique<precond::MulticolorGaussSeidel>(
+              slot, o.precond_sweeps, /*symmetric=*/o.precond == "mc-sgs");
+        });
+  } else if (use_cheb) {
+    solver.set_precond_factory(
+        [op](const api::SolverOptions& o, const sparse::DistCsr& a,
+             int rank) -> std::unique_ptr<precond::Preconditioner> {
+          auto& slot = op->cheb_setups[static_cast<std::size_t>(rank)];
+          if (!slot) {
+            slot = std::make_shared<const precond::ChebyshevSetup>(
+                a, kChebyshevPowerIters);
+          }
+          return std::make_unique<precond::ChebyshevPolynomial>(
+              slot, o.precond_degree);
+        });
+  }
+
+  // Warm start: prefer the seed whose RHS fingerprint matches this
+  // job's RHS exactly (interleaved multi-RHS streams stay isolated);
+  // fall back to the most recent seed for perturbed-RHS repeats.
+  const std::uint64_t fp = rhs_fingerprint(job.has_rhs ? job.rhs : op->ones_b);
+  bool warm = false;
+  if (opts.warm_start == 1 && !op->seeds.empty()) {
+    const CachedOperator::SolutionSeed* pick = &op->seeds.front();
+    for (const CachedOperator::SolutionSeed& s : op->seeds) {
+      if (s.rhs_fingerprint == fp) {
+        pick = &s;
+        break;
+      }
+    }
+    solver.set_initial_guess(pick->x);
+    warm = true;
+  }
+
+  api::SolveReport report = solver.solve();
+
+  report.service.enabled = true;
+  report.service.cache_hit = hit;
+  report.service.warm_started = warm;
+  report.service.queue_seconds = queue_seconds;
+  report.service.setup_seconds = hit ? 0.0 : op->build_seconds;
+  report.service.reused_matrix = hit;
+  report.service.reused_partition = hit;
+  report.service.reused_precond_setup = setups_ready;
+  report.service.reused_rhs = hit && !job.has_rhs;
+  report.service.cache_key = op->key;
+
+  // Attempt-level classification from the facade's resilience record.
+  JobOutcome outcome = JobOutcome::kOk;
+  if (report.resilience.guard_verdict == "corrupted") {
+    outcome = JobOutcome::kCorrupted;
+  } else if (report.result.cancelled) {
+    outcome = JobOutcome::kCancelled;
+  } else if (report.result.deadline_expired) {
+    outcome = JobOutcome::kTimedOut;
+  }
+
+  if (outcome == JobOutcome::kOk) {
+    // Seed future warm starts only from sound solutions (MRU, capped).
+    auto& seeds = op->seeds;
+    for (auto it = seeds.begin(); it != seeds.end(); ++it) {
+      if (it->rhs_fingerprint == fp) {
+        seeds.erase(it);
+        break;
+      }
+    }
+    seeds.insert(seeds.begin(),
+                 CachedOperator::SolutionSeed{fp, solver.solution()});
+    if (seeds.size() > kMaxSolutionSeeds) seeds.resize(kMaxSolutionSeeds);
+  } else if (outcome == JobOutcome::kCorrupted) {
+    // The guard says the answer is unsound.  If the cached matrix no
+    // longer matches its build-time checksum, the cached state itself
+    // was mutated — drop the entry so the retry rebuilds clean.
+    if (op->matrix.checksum() != op->matrix_checksum) {
+      cache_.invalidate(op->key);
+    }
+  }
+
+  res.report = std::move(report);
+  res.solution = solver.solution();
+
+  // Lazy setups and warm-start seeds grew the entry: re-account.
+  cache_.refresh_bytes(op);
+  return outcome;
 }
 
 }  // namespace tsbo::service

@@ -23,21 +23,37 @@
 // OperatorCache.  Jobs against the same operator serialize on the
 // entry (the DistCsr halo buffer is single-solve); jobs against
 // different operators run concurrently.  With warm_start=1 a repeat
-// solve seeds x0 from the operator's previous solution; warm_start=0
+// solve seeds x0 from a cached solution keyed by the RHS fingerprint
+// (most-recent fallback for perturbed right-hand sides); warm_start=0
 // jobs are bit-for-bit cold.
 //
-// Every job's SolveReport (schema tsbo.solve_report/5, service object
-// filled in) is appended to a service-level ReportLog for uniform
-// --json artifacts.
+// Hardening (the resilience layer): every job carries a CancelToken —
+// cancel(id) reaches queued and running jobs alike, deadline_ms arms a
+// wall-clock deadline at dispatch, and the solver polls cooperatively
+// at restart boundaries.  retries=k re-runs failed / corrupted-verdict
+// attempts (exponential backoff with deterministic per-job jitter)
+// through one job-scoped FaultInjector, so one-shot injected faults do
+// not re-fire and the retry is bitwise-identical to a clean solve.  A
+// spec that fails quarantine_after times consecutively is quarantined:
+// later identical specs fail fast instead of burning pool slots.
+// After a corrupted verdict the cached matrix is re-validated against
+// its build-time checksum and the entry invalidated if mutated.  Every
+// job resolves to a terminal JobOutcome — the queue always drains.
+//
+// Every successfully-run job's SolveReport (schema tsbo.solve_report/6,
+// service + resilience objects filled in) is appended to a
+// service-level ReportLog for uniform --json artifacts.
 
 #include "api/report.hpp"
 #include "service/operator_cache.hpp"
+#include "util/fault.hpp"
 
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -53,15 +69,48 @@ struct ServiceConfig {
   std::size_t cache_budget_bytes = std::size_t{256} << 20;
   /// ReportLog label of the --json artifact.
   std::string label = "service";
+  /// Per-dispatch-round cap on jobs sharing one operator-cache key
+  /// (0 = uncapped, the historical grab-the-whole-queue behavior).
+  /// Same-key jobs serialize on the entry's in_use mutex anyway; the
+  /// cap keeps a burst against one operator from occupying every pool
+  /// slot while other operators' jobs starve behind it.  Overflow
+  /// jobs stay queued — relative order preserved — and dispatch in
+  /// later rounds.
+  std::size_t max_inflight_per_key = 0;
+  /// Exponential-backoff base for retries: attempt k+1 waits
+  /// base * 2^(k-1) ms plus a deterministic per-job jitter
+  /// (job id mod 3 ms) so colliding retry storms de-synchronize
+  /// reproducibly.
+  long retry_backoff_ms = 1;
 };
 
-/// Completed job: the /5 report (service object filled), the gathered
-/// solution, and the dispatch sequence number (ascending in submission
-/// order — the FIFO determinism pin).  `error` is non-empty when the
-/// solve threw; report/solution are then meaningless.
+/// Terminal state of a job.  Every submitted job reaches exactly one —
+/// the queue always drains, whatever was injected.
+enum class JobOutcome {
+  kOk = 0,      ///< solve completed, residual guard (if on) passed
+  kFailed,      ///< final attempt threw (injected or real exception)
+  kTimedOut,    ///< deadline_ms expired (cooperative stop or pre-attempt)
+  kCancelled,   ///< cancel(id) landed before/while the job ran
+  kQuarantined, ///< spec exceeded quarantine_after consecutive failures
+  kCorrupted,   ///< residual guard flagged the final attempt's solution
+};
+
+/// Stable lower-case name ("ok", "failed", ... — the report's
+/// resilience.outcome vocabulary).
+const char* to_string(JobOutcome outcome);
+
+/// Completed job: the /6 report (service + resilience objects filled),
+/// the gathered solution, and the dispatch sequence number (ascending
+/// in dispatch order — the FIFO determinism pin).  `error` is non-empty
+/// when no attempt produced a report (exception, quarantine, or a stop
+/// before dispatch); report/solution are then meaningless.  Cancelled /
+/// timed-out / corrupted jobs whose final attempt ran to a report keep
+/// error empty — `outcome` is the authoritative terminal state.
 struct JobResult {
   std::uint64_t id = 0;
   std::uint64_t dispatch_seq = 0;
+  JobOutcome outcome = JobOutcome::kOk;
+  int attempts = 1;  ///< attempts actually started (1 + retries used)
   api::SolveReport report;
   std::vector<double> solution;
   std::string error;
@@ -94,6 +143,13 @@ class SolverService {
   /// result.  Throws std::invalid_argument for unknown/claimed ids.
   JobResult wait(std::uint64_t id);
 
+  /// Requests cooperative cancellation of job `id`: a queued job
+  /// resolves to kCancelled without dispatching; a running solve stops
+  /// at its next restart boundary.  Returns false when the job is
+  /// unknown or already completed (cancellation raced completion —
+  /// wait() then returns the finished result).
+  bool cancel(std::uint64_t id);
+
   /// Blocks until every submitted job has completed; returns all
   /// unclaimed results in submission (id) order.
   std::vector<JobResult> drain();
@@ -114,11 +170,20 @@ class SolverService {
     std::vector<double> rhs;  ///< empty = use the cached ones-RHS
     bool has_rhs = false;
     std::chrono::steady_clock::time_point submitted;
+    /// Created at enqueue so cancel(id) reaches the job at any stage;
+    /// shared with the solve through api::Solver::set_cancel_token.
+    std::shared_ptr<par::CancelToken> token;
   };
 
   std::uint64_t enqueue(Job job);
   void scheduler_loop();
   void run_job(Job& job, std::uint64_t dispatch_seq);
+  /// One solve attempt against the cached operator; fills res.report /
+  /// res.solution on success and returns the attempt's outcome.
+  /// Exceptions (injected throws included) propagate to run_job's
+  /// retry loop.
+  JobOutcome run_attempt(Job& job, par::FaultInjector* injector,
+                         double queue_seconds, JobResult& res);
 
   ServiceConfig cfg_;
   OperatorCache cache_;
@@ -130,6 +195,11 @@ class SolverService {
   std::condition_variable cv_done_;   // waiters: a job completed
   std::deque<Job> queue_;
   std::map<std::uint64_t, JobResult> results_;
+  /// Live jobs' cancel tokens (enqueue -> completion), for cancel(id).
+  std::map<std::uint64_t, std::shared_ptr<par::CancelToken>> tokens_;
+  /// Consecutive non-ok terminal outcomes per spec (opts.to_string()),
+  /// reset on ok; drives quarantine_after.
+  std::map<std::string, int> consecutive_failures_;
   std::uint64_t next_id_ = 1;
   std::uint64_t inflight_ = 0;  ///< submitted, not yet completed
   bool stop_ = false;

@@ -7,6 +7,28 @@
 
 namespace tsbo::sparse {
 
+std::uint64_t CsrMatrix::checksum() const {
+  // FNV-1a, folding the raw bit patterns (not numeric values): a
+  // flipped exponent bit changes the sum even where the numeric
+  // difference would cancel, and -0.0 vs 0.0 are distinct.
+  constexpr std::uint64_t kOffset = 1469598103934665603ull;
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t h = kOffset;
+  const auto fold = [&h](const void* data, std::size_t bytes) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < bytes; ++i) {
+      h ^= p[i];
+      h *= kPrime;
+    }
+  };
+  fold(&rows, sizeof(rows));
+  fold(&cols, sizeof(cols));
+  fold(row_ptr.data(), row_ptr.size() * sizeof(offset));
+  fold(col_idx.data(), col_idx.size() * sizeof(ord));
+  fold(values.data(), values.size() * sizeof(double));
+  return h;
+}
+
 double CsrMatrix::at(ord i, ord j) const {
   assert(i >= 0 && i < rows);
   const auto b = col_idx.begin() + row_ptr[i];

@@ -56,6 +56,13 @@ struct CsrMatrix {
            col_idx.capacity() * sizeof(ord) +
            values.capacity() * sizeof(double);
   }
+
+  /// Deterministic FNV-1a fold over the dimensions, structure, and
+  /// value bits.  The operator cache stores it at insert and
+  /// re-validates after a corrupted-verdict solve: a mutated cached
+  /// matrix (soft error, stray write) is detected and the entry
+  /// rebuilt instead of poisoning every future job that hits it.
+  [[nodiscard]] std::uint64_t checksum() const;
 };
 
 /// Builds CSR from triplets; duplicate (row, col) entries are summed.

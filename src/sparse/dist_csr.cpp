@@ -180,6 +180,33 @@ void DistCsr::spmv(par::Communicator& comm, std::span<const double> x_local,
     spmv_rows_mapped(boundary_, boundary_rows_, xbuf_, y_local);
     if (timers) timers->stop("spmv/local");
   }
+  consult_spmv_faults(comm, y_local);
+}
+
+void DistCsr::consult_spmv_faults(par::Communicator& comm,
+                                  std::span<double> y_local) const {
+  par::FaultInjector* injector = comm.fault_injector();
+  if (injector == nullptr) return;
+  // Both spmv-layer sites are consulted once per apply, after every row
+  // is written and the exchange window is closed: a throw fires on all
+  // ranks with no half-open exchange (the piece stays reusable by a
+  // retry), and a corrupt addresses a GLOBAL row — only the owner of
+  // row (ordinal mod n) flips its local entry — so the corrupted
+  // vector, and the whole downstream trajectory, is bitwise-identical
+  // at any rank count.  `comm.exchange` is consulted here rather than
+  // inside exchange_begin so its ordinal stream also exists at
+  // ranks=1, where no exchange happens.
+  const long n = static_cast<long>(n_global());
+  const long begin = static_cast<long>(row_begin());
+  const long nloc = static_cast<long>(n_local());
+  const auto corrupt = [&](long ordinal) {
+    const long g = ordinal % n;
+    if (g >= begin && g < begin + nloc) {
+      par::FaultInjector::flip_bit(y_local[static_cast<std::size_t>(g - begin)]);
+    }
+  };
+  injector->consult(comm.rank(), par::FaultSite::kSpmvInterior, corrupt);
+  injector->consult(comm.rank(), par::FaultSite::kCommExchange, corrupt);
 }
 
 void DistCsr::spmv_local_only(std::span<const double> x_local,

@@ -104,6 +104,12 @@ class DistCsr {
   /// valid only between exchange_begin and exchange_end.
   void fill_ghosts(par::Communicator& comm) const;
 
+  /// Fault seam of spmv(): consults the `spmv.interior` and
+  /// `comm.exchange` sites once per apply on the completed y (see the
+  /// definition for the rank-count-invariance argument).
+  void consult_spmv_faults(par::Communicator& comm,
+                           std::span<double> y_local) const;
+
   int rank_;
   RowPartition partition_;
   CsrMatrix local_;             // columns remapped: [0,nlocal) own, then ghosts
