@@ -17,7 +17,7 @@
 // with CholeskyBreakdown, the same problem with autopilot=1 completes
 // the solve (shrinking s / escalating the Gram / re-basing as the
 // conditioning monitor demands).  --json dumps the autopilot run's
-// SolveReport (schema tsbo.solve_report/6) for the CI gate.
+// SolveReport (schema tsbo.solve_report/7) for the CI gate.
 //
 //   bench_fig08 [--n=20000] [--m=180] [--bs=60] [--s=5]
 //               [--json=fig08.json]

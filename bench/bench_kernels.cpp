@@ -11,6 +11,11 @@
 //                   2*m*s^2 *useful* flops, so the gap to gemm_tn is
 //                   exactly the software-dd overhead;
 //   * gemm_nn     — the panel update V -= Q R at the same shapes;
+//   * gemm_tn_wide / gemm_nn_wide — the same products at the flat
+//                   panel widths the batched (rhs=k) block solver
+//                   produces (bs * k columns, --wide list), where the
+//                   kColBlock small-operand tiling in dense/blas3.cpp
+//                   earns its keep (at s ~ 10 every width fits cache);
 //   * spmv        — 9-point 2-D Laplace stencil;
 //   * dot, axpy   — BLAS-1 baselines for context.
 // Every record carries a "simd" field naming the ISA the build's
@@ -21,7 +26,8 @@
 // layer's fixed-chunk reductions must make repeated runs identical),
 // and against the 1-thread result (which must also match bitwise).
 //
-//   bench_kernels [--m=100000] [--s=10,20,30] [--nx=512] [--reps=5]
+//   bench_kernels [--m=100000] [--s=10,20,30] [--wide=120,240]
+//                 [--wide_m=20000] [--nx=512] [--reps=5]
 //                 [--threads=<list>] [--json=BENCH_kernels.json]
 //
 // --threads defaults to a power-of-two sweep 1..hardware_concurrency.
@@ -103,6 +109,10 @@ int main(int argc, char** argv) {
   par::configure_from_cli(cli);
   const auto m = static_cast<index_t>(cli.get_int("m", 100000));
   const std::vector<int> widths = cli.get_int_list("s", {10, 20, 30});
+  // Block-solver panel widths: bs * k flat columns (e.g. bs=60 at
+  // k in {2, 4}); shorter m keeps the per-rep flop count bounded.
+  const std::vector<int> wide_widths = cli.get_int_list("wide", {120, 240});
+  const auto wide_m = static_cast<index_t>(cli.get_int("wide_m", 20000));
   const auto nx = static_cast<sparse::ord>(cli.get_int("nx", 512));
   const int reps = cli.get_int("reps", 5);
   std::vector<int> threads = cli.get_int_list("threads", default_thread_sweep());
@@ -166,6 +176,38 @@ int main(int argc, char** argv) {
          sc](std::vector<double>& out) {
           out.assign(v0.data().begin(), v0.data().end());
           dense::MatrixView v{out.data(), m, sc, m};
+          dense::gemm_nn(-1.0, q.view(), r.view(), 1.0, v);
+        }});
+  }
+  // Wide-panel (block rhs=k) shapes: same kernels, flat panel width
+  // bs * k.  These are the shapes the kColBlock small-operand tiling
+  // targets; the bitwise columns double as proof the tiling preserved
+  // the untiled accumulation order.
+  for (const int s : wide_widths) {
+    const auto sc = static_cast<index_t>(s);
+    Matrix a = random_matrix(wide_m, sc, 11);
+    Matrix b = random_matrix(wide_m, sc, 12);
+    cases.push_back(Case{
+        "gemm_tn_wide", std::to_string(wide_m) + "x" + std::to_string(s),
+        2.0 * wide_m * s * s,
+        [a = std::move(a), b = std::move(b), sc](std::vector<double>& out) {
+          out.assign(static_cast<std::size_t>(sc) * sc, 0.0);
+          dense::MatrixView c{out.data(), sc, sc, sc};
+          dense::gemm_tn(1.0, a.view(), b.view(), 0.0, c);
+        }});
+  }
+  for (const int s : wide_widths) {
+    const auto sc = static_cast<index_t>(s);
+    Matrix q = random_matrix(wide_m, sc, 13);
+    Matrix r = random_matrix(sc, sc, 14);
+    Matrix v0 = random_matrix(wide_m, sc, 15);
+    cases.push_back(Case{
+        "gemm_nn_wide", std::to_string(wide_m) + "x" + std::to_string(s),
+        2.0 * wide_m * s * s,
+        [q = std::move(q), r = std::move(r), v0 = std::move(v0), wide_m,
+         sc](std::vector<double>& out) {
+          out.assign(v0.data().begin(), v0.data().end());
+          dense::MatrixView v{out.data(), wide_m, sc, wide_m};
           dense::gemm_nn(-1.0, q.view(), r.view(), 1.0, v);
         }});
   }

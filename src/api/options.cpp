@@ -147,6 +147,7 @@ const std::vector<FieldDef>& fields() {
       double_field("precond_lambda_max", &SolverOptions::precond_lambda_max),
       int_field("ranks", &SolverOptions::ranks),
       str_field("net", &SolverOptions::net),
+      int_field("rhs", &SolverOptions::rhs),
       int_field("warm_start", &SolverOptions::warm_start),
       long_field("deadline_ms", &SolverOptions::deadline_ms),
       int_field("retries", &SolverOptions::retries),
@@ -349,6 +350,13 @@ void SolverOptions::validate() const {
   require_int("precond_sweeps", precond_sweeps, 1, ">= 1");
   require_int("precond_degree", precond_degree, 1, ">= 1");
   require_int("ranks", ranks, 1, ">= 1");
+  require_int("rhs", rhs, 1, ">= 1");
+  if (rhs > 1 && !is_sstep()) {
+    throw std::invalid_argument(
+        "SolverOptions: rhs=" + std::to_string(rhs) +
+        " requires solver=sstep (batched multi-RHS solves run through "
+        "block s-step GMRES)");
+  }
   require_int("nx", nx, 1, ">= 1");
   require_int("ny", ny, 0, ">= 0 (0 inherits nx)");
   require_int("nz", nz, 0, ">= 0 (0 inherits nx)");

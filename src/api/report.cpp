@@ -45,6 +45,21 @@ void SolveReport::write_json(util::JsonWriter& w) const {
       .kv("cancelled", result.cancelled)
       .kv("deadline_expired", result.deadline_expired);
 
+  // Per-RHS outcomes of a block (rhs=k) solve; empty for single-RHS.
+  w.key("results").begin_array();
+  for (std::size_t t = 0; t < result.rhs_results.size(); ++t) {
+    const krylov::RhsResult& rr = result.rhs_results[t];
+    w.begin_object();
+    w.kv("index", static_cast<std::int64_t>(t))
+        .kv("converged", rr.converged)
+        .kv("iters", rr.iters)
+        .kv("relres", rr.relres)
+        .kv("true_relres", rr.true_relres)
+        .kv("deflated_at_restart", rr.deflated_at_restart);
+    w.end_object();
+  }
+  w.end_array();
+
   w.key("autopilot").begin_object();
   w.kv("enabled", options.autopilot)
       .kv("max_kappa_estimate", result.autopilot_max_kappa)
@@ -124,6 +139,16 @@ void SolveReport::write_json(util::JsonWriter& w) const {
       .kv("verdict", resilience.guard_verdict)
       .kv("true_relres", resilience.guard_true_relres)
       .kv("tolerance", resilience.guard_tolerance);
+  w.key("columns").begin_array();
+  for (std::size_t t = 0; t < resilience.guard_rhs_verdicts.size(); ++t) {
+    w.begin_object();
+    w.kv("verdict", resilience.guard_rhs_verdicts[t])
+        .kv("true_relres", t < resilience.guard_rhs_true_relres.size()
+                               ? resilience.guard_rhs_true_relres[t]
+                               : 0.0);
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
   w.key("fault_trail").begin_array();
   for (const par::FaultRecord& f : resilience.fault_trail) {

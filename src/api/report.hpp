@@ -5,7 +5,7 @@
 // provenance — the options echo, matrix statistics, rank/thread counts,
 // per-phase timers, communication counters, and the per-restart
 // residual history captured by the facade's observer — and serializes
-// to JSON (schema "tsbo.solve_report/6", golden-checked by
+// to JSON (schema "tsbo.solve_report/7", golden-checked by
 // tests/test_api.cpp).  ReportLog accumulates reports so every bench
 // binary can emit a uniform --json=<path> artifact.
 
@@ -51,7 +51,14 @@ namespace tsbo::api {
 /// ordinal / action / delay_ms / attempt per fired fault, rank 0's
 /// deterministic record).  Standalone solves emit outcome "ok" with
 /// attempts=1 unless their own guard or cancellation says otherwise.
-inline constexpr const char* kSolveReportSchema = "tsbo.solve_report/6";
+/// /7: batched multi-RHS (rhs=k) solves — the result section grew a
+/// per-RHS results[] array (index / converged / iters / relres /
+/// true_relres / deflated_at_restart, empty for single-RHS solves;
+/// the scalar result fields then aggregate: converged = all columns,
+/// relres/true_relres = worst column), and the resilience guard grew a
+/// matching per-column columns[] array (verdict + true_relres per RHS)
+/// so one corrupted column is attributable.
+inline constexpr const char* kSolveReportSchema = "tsbo.solve_report/7";
 inline constexpr const char* kReportLogSchema = "tsbo.report_log/1";
 
 struct MatrixStats {
@@ -117,6 +124,11 @@ struct ResilienceStats {
   std::string guard_verdict = "off";
   double guard_true_relres = 0.0;  ///< serial ||b - A x|| / ||b||
   double guard_tolerance = 0.0;    ///< threshold the verdict compared against
+  /// Per-RHS guard verdicts of a block (rhs=k) solve, column order;
+  /// empty for single-RHS solves.  The scalar verdict above is then
+  /// the worst column's (any corrupted column flags the whole job).
+  std::vector<std::string> guard_rhs_verdicts;
+  std::vector<double> guard_rhs_true_relres;  ///< per-column serial residuals
   std::vector<par::FaultRecord> fault_trail;  ///< fired faults (rank 0)
 };
 

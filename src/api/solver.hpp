@@ -36,6 +36,14 @@ namespace tsbo::api {
 /// VIII): b = A * ones.
 std::vector<double> ones_rhs(const sparse::CsrMatrix& a);
 
+/// k-column batch RHS (length rows * k, column t at offset t * rows).
+/// Column 0 is exactly ones_rhs (so rhs=1 batches match single-RHS
+/// runs); columns t > 0 solve deterministic per-column perturbations
+/// of the ones vector, keeping the RHS block full-rank — a
+/// rank-deficient block would make the block solver's seed CholQR
+/// singular.
+std::vector<double> batch_rhs(const sparse::CsrMatrix& a, int k);
+
 /// Builds the matrix the options name via matrix_registry(), applying
 /// the paper's column-then-row max-scaling when opts.equilibrate is
 /// set.  `label` (optional) receives the provenance name.
@@ -62,7 +70,9 @@ class Solver {
   Solver& set_matrix_ref(const sparse::CsrMatrix& a,
                          std::string label = "injected");
 
-  /// Overrides the RHS (default: ones_rhs of the matrix).
+  /// Overrides the RHS (default: ones_rhs of the matrix; batch_rhs
+  /// when opts.rhs > 1).  Batched solves expect length rows * rhs,
+  /// column t at offset t * rows.
   Solver& set_rhs(std::vector<double> b);
 
   /// Borrowing variant of set_rhs (the caller keeps `b` alive across
@@ -95,7 +105,8 @@ class Solver {
   /// allocations.  Size must equal opts.ranks.
   Solver& set_local_workspace(std::vector<util::aligned_vector<double>>* ws);
 
-  /// Initial guess (default: zero).  Global length.  When set,
+  /// Initial guess (default: zero).  Global length (rows * rhs for
+  /// batched solves, column-major like the RHS).  When set,
   /// convergence (and the reported relres) is measured against the
   /// fixed norm ||b|| instead of the initial-residual norm, so a good
   /// guess genuinely cuts iterations (the service's warm-start path).
@@ -132,7 +143,8 @@ class Solver {
   /// breakdown=throw).  Repeatable: each call is a fresh run.
   SolveReport solve();
 
-  /// Gathered global solution of the last solve().
+  /// Gathered global solution of the last solve() (rows * rhs doubles
+  /// for batched solves, column t at offset t * rows).
   [[nodiscard]] const std::vector<double>& solution() const { return x_; }
 
  private:

@@ -17,6 +17,18 @@ namespace {
 constexpr index_t kRowBlock = 256;
 static_assert(par::kReduceChunk % static_cast<std::size_t>(kRowBlock) == 0);
 
+// Small-operand (panel-width) tile: gemm_nn's inner dimension and
+// gemm_tn's output-row dimension are the flat panel width, which the
+// block (rhs=k) solver grows to s*k and the two-stage flush to bs*k —
+// wide enough that streaming every small-operand column per C tile
+// spills L2.  Tiling at 64 columns keeps a 256 x 64 operand tile
+// (128 KiB) hot across the other operand's sweep.  EVEN on purpose:
+// tile boundaries then never split a fused_axpy2 / dot2 pair, and the
+// per-element accumulation order stays exactly the untiled ascending
+// order, so results are bitwise-unchanged at every shape.
+constexpr index_t kColBlock = 64;
+static_assert(kColBlock % 2 == 0);
+
 // Below this many m * p * n multiply-adds, gemm_tn's chunked reduction
 // runs inline: pool dispatch and the per-chunk partial buffer dominate
 // tall-skinny Gram shapes (1e5 x 10 is 1e7; 1e5 x 20 at 4e7 still
@@ -145,17 +157,24 @@ void gemm_nn(double alpha, ConstMatrixView a, ConstMatrixView b, double beta,
         const auto r0hi = static_cast<index_t>(re);
         for (index_t i0 = r0lo; i0 < r0hi; i0 += kRowBlock) {
           const index_t ib = std::min(kRowBlock, r0hi - i0);
-          for (index_t j = 0; j < n; ++j) {
-            double* cj = c.col(j) + i0;
-            // Unroll the accumulation over pairs of inner columns: halves
-            // the number of passes over the C tile.
-            index_t l = 0;
-            for (; l + 1 < k; l += 2) {
-              fused_axpy2(alpha * b(l, j), a.col(l) + i0, alpha * b(l + 1, j),
-                          a.col(l + 1) + i0, cj, ib);
-            }
-            for (; l < k; ++l) {
-              fused_axpy1(alpha * b(l, j), a.col(l) + i0, cj, ib);
+          // Inner-dimension tiles (even boundaries, see kColBlock): the
+          // 256 x 64 A tile stays hot across all of C's columns, and
+          // because tiles never split an axpy pair the per-element
+          // accumulation order is the untiled ascending order exactly.
+          for (index_t l0 = 0; l0 < k; l0 += kColBlock) {
+            const index_t lhi = std::min(k, l0 + kColBlock);
+            for (index_t j = 0; j < n; ++j) {
+              double* cj = c.col(j) + i0;
+              // Unroll the accumulation over pairs of inner columns:
+              // halves the number of passes over the C tile.
+              index_t l = l0;
+              for (; l + 1 < lhi; l += 2) {
+                fused_axpy2(alpha * b(l, j), a.col(l) + i0,
+                            alpha * b(l + 1, j), a.col(l + 1) + i0, cj, ib);
+              }
+              for (; l < lhi; ++l) {
+                fused_axpy1(alpha * b(l, j), a.col(l) + i0, cj, ib);
+              }
             }
           }
         }
@@ -184,19 +203,28 @@ void gemm_tn(double alpha, ConstMatrixView a, ConstMatrixView b, double beta,
   const auto accumulate = [&](double* part, index_t rlo, index_t rhi) {
     for (index_t r0 = rlo; r0 < rhi; r0 += kRowBlock) {
       const index_t nb = std::min(kRowBlock, rhi - r0);
-      for (index_t j = 0; j < n; ++j) {
-        const double* bj = b.col(j) + r0;
-        double* pj = part + static_cast<std::size_t>(j) * p;
-        index_t i = 0;
-        // Two output dot-products per pass share the streamed bj tile.
-        for (; i + 1 < p; i += 2) {
-          double s0 = 0.0, s1 = 0.0;
-          dot2(a.col(i) + r0, a.col(i + 1) + r0, bj, nb, s0, s1);
-          pj[i] += s0;
-          pj[i + 1] += s1;
-        }
-        for (; i < p; ++i) {
-          pj[i] += dot1(a.col(i) + r0, bj, nb);
+      // Output-row tiles over A's columns (even boundaries, see
+      // kColBlock): the 256 x 64 A tile is reused across every B
+      // column instead of re-streaming all p columns per j.  Each
+      // pj[i] still receives exactly one addend per r0 tile in
+      // ascending r0 order, and tiles never split a dot2 pair, so the
+      // result is bitwise the untiled one.
+      for (index_t i0 = 0; i0 < p; i0 += kColBlock) {
+        const index_t ihi = std::min(p, i0 + kColBlock);
+        for (index_t j = 0; j < n; ++j) {
+          const double* bj = b.col(j) + r0;
+          double* pj = part + static_cast<std::size_t>(j) * p;
+          index_t i = i0;
+          // Two output dot-products per pass share the streamed bj tile.
+          for (; i + 1 < ihi; i += 2) {
+            double s0 = 0.0, s1 = 0.0;
+            dot2(a.col(i) + r0, a.col(i + 1) + r0, bj, nb, s0, s1);
+            pj[i] += s0;
+            pj[i + 1] += s1;
+          }
+          for (; i < ihi; ++i) {
+            pj[i] += dot1(a.col(i) + r0, bj, nb);
+          }
         }
       }
     }

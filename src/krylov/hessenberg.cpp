@@ -10,21 +10,30 @@ namespace tsbo::krylov {
 void assemble_hessenberg(dense::ConstMatrixView r, dense::ConstMatrixView l,
                          const KrylovBasis& basis, index_t s, index_t c0,
                          index_t c1, dense::MatrixView h) {
+  assemble_hessenberg_block(r, l, basis, s, 1, c0, c1, h);
+}
+
+void assemble_hessenberg_block(dense::ConstMatrixView r,
+                               dense::ConstMatrixView l,
+                               const KrylovBasis& basis, index_t s, index_t b,
+                               index_t c0, index_t c1, dense::MatrixView h) {
+  assert(b >= 1);
   assert(c0 >= 0 && c0 <= c1 && c1 <= h.cols);
-  assert(r.rows >= c1 + 1 && l.rows >= c1 + 1);
+  assert(r.rows >= c1 + b && l.rows >= c1 + b);
 
-  std::vector<double> rhat(static_cast<std::size_t>(c1) + 1);
+  std::vector<double> rhat(static_cast<std::size_t>(c1 + b));
   for (index_t k = c0; k < c1; ++k) {
-    const BasisStep& st = basis.step(k);
+    const index_t kb = k / b;  // block step index
+    const BasisStep& st = basis.step(kb);
 
-    // Rhat(:, k) = gamma R(:, k+1) + theta L(:, k) + sigma rep(v_{k-1}),
-    // nonzero in rows 0..k+1.
-    for (index_t i = 0; i <= k + 1; ++i) {
-      double v = st.gamma * r(i, k + 1);
+    // Rhat(:, k) = gamma R(:, k+b) + theta L(:, k) + sigma rep(v_{k-b}),
+    // nonzero in rows 0..k+b.
+    for (index_t i = 0; i <= k + b; ++i) {
+      double v = st.gamma * r(i, k + b);
       if (st.theta != 0.0) v += st.theta * l(i, k);
-      if (st.sigma != 0.0 && k >= 1) {
-        const bool prev_is_start = ((k - 1) % s) == 0;
-        v += st.sigma * (prev_is_start ? l(i, k - 1) : r(i, k - 1));
+      if (st.sigma != 0.0 && kb >= 1) {
+        const bool prev_is_start = ((kb - 1) % s) == 0;
+        v += st.sigma * (prev_is_start ? l(i, k - b) : r(i, k - b));
       }
       rhat[static_cast<std::size_t>(i)] = v;
     }
@@ -33,7 +42,7 @@ void assemble_hessenberg(dense::ConstMatrixView r, dense::ConstMatrixView l,
     for (index_t j = 0; j < k; ++j) {
       const double ljk = l(j, k);
       if (ljk == 0.0) continue;
-      for (index_t i = 0; i <= j + 1; ++i) {
+      for (index_t i = 0; i <= j + b; ++i) {
         rhat[static_cast<std::size_t>(i)] -= h(i, j) * ljk;
       }
     }
@@ -43,10 +52,10 @@ void assemble_hessenberg(dense::ConstMatrixView r, dense::ConstMatrixView l,
           "assemble_hessenberg: singular basis representation (L diagonal)");
     }
     const double inv = 1.0 / lkk;
-    for (index_t i = 0; i <= k + 1; ++i) {
+    for (index_t i = 0; i <= k + b; ++i) {
       h(i, k) = rhat[static_cast<std::size_t>(i)] * inv;
     }
-    for (index_t i = k + 2; i < h.rows; ++i) h(i, k) = 0.0;
+    for (index_t i = k + b + 1; i < h.rows; ++i) h(i, k) = 0.0;
   }
 }
 

@@ -32,15 +32,26 @@ class PrecOperator {
   void apply(par::Communicator& comm, std::span<const double> x,
              std::span<double> y, util::PhaseTimers* timers) const;
 
+  /// Multi-column operator apply Y = A M^{-1} X: one fused
+  /// preconditioner sweep plus ONE halo exchange for all b columns
+  /// (DistCsr::spmm).  Column-major rank-local views.
+  void apply_block(par::Communicator& comm, dense::ConstMatrixView x,
+                   dense::MatrixView y, util::PhaseTimers* timers) const;
+
   /// Applies only M^{-1} (for recovering x from the preconditioned
   /// correction).  Identity when no preconditioner.
   void apply_minv(std::span<const double> x, std::span<double> y,
                   util::PhaseTimers* timers) const;
 
+  /// Multi-column M^{-1} apply (identity copy when no preconditioner).
+  void apply_minv_multi(dense::ConstMatrixView x, dense::MatrixView y,
+                        util::PhaseTimers* timers) const;
+
  private:
   const sparse::DistCsr& a_;
   const precond::Preconditioner* m_;
   mutable util::aligned_vector<double> tmp_;
+  mutable util::aligned_vector<double> tmp_multi_;  ///< nloc x b scratch
 };
 
 /// Runs MPK: fills basis columns [first_out, first_out + s) from the
@@ -50,5 +61,18 @@ class PrecOperator {
 void matrix_powers(par::Communicator& comm, const PrecOperator& op,
                    const KrylovBasis& basis, dense::MatrixView basis_cols,
                    index_t first_out, index_t s, util::PhaseTimers* timers);
+
+/// Block MPK for block s-step GMRES: fills basis BLOCK columns
+/// [first_out_block, first_out_block + s) — each block is b flat
+/// columns — from the same three-term recurrence applied blockwise,
+/// with the step index counted in BLOCKS (block j uses basis.step(j-1)
+/// for its generation, matching the single-RHS solver's per-column
+/// step indexing at b == 1).  Each of the s steps costs one fused
+/// operator application (one preconditioner sweep + ONE halo
+/// exchange for all b columns).
+void matrix_powers_block(par::Communicator& comm, const PrecOperator& op,
+                         const KrylovBasis& basis, dense::MatrixView basis_cols,
+                         index_t first_out_block, index_t s, index_t b,
+                         util::PhaseTimers* timers);
 
 }  // namespace tsbo::krylov

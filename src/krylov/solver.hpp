@@ -81,6 +81,18 @@ struct AutopilotEvent {
   bool dd_after = false;
 };
 
+/// Per-right-hand-side outcome of a block (multi-RHS) solve.  The
+/// block solver tracks each column's convergence independently and
+/// deflates converged columns at restart boundaries.
+struct RhsResult {
+  bool converged = false;
+  long iters = 0;          ///< flat inner iterations the column was active for
+  double relres = 0.0;     ///< recurrence residual estimate at exit
+  double true_relres = 0.0;  ///< explicit residual measured at exit
+  int deflated_at_restart = -1;  ///< restart index the column froze at (-1 =
+                                 ///< active through the final cycle)
+};
+
 /// Outcome of a linear solve.
 struct SolveResult {
   bool converged = false;
@@ -118,6 +130,12 @@ struct SolveResult {
   int rebase_recoveries = 0;  ///< CholeskyBreakdowns recovered by re-basing
   index_t autopilot_final_s = 0;     ///< step size in effect at exit
   bool autopilot_final_dd = false;   ///< Gram precision in effect at exit
+
+  /// Per-RHS outcomes of a block (rhs=k) solve, in column order; empty
+  /// for single-RHS solves.  The scalar fields above then aggregate:
+  /// converged = all columns converged, relres/true_relres = the worst
+  /// column's.
+  std::vector<RhsResult> rhs_results;
 
   /// Convenience sums over the timer buckets (seconds).
   [[nodiscard]] double time_spmv() const { return spmv_seconds(timers); }

@@ -143,6 +143,14 @@ class BlockOrthoManager {
   /// Starts a new restart cycle.
   virtual void reset() = 0;
 
+  /// Starts a new restart cycle whose basis is seeded with `n_seed`
+  /// already-final columns (block GMRES seeds a b-wide CholQR'd
+  /// residual block instead of the single normalized residual).
+  /// Managers with internal final-column watermarks override this;
+  /// the default — and the single-RHS n_seed == 1 case for every
+  /// manager — is plain reset().
+  virtual void reset_cycle(index_t /*n_seed*/) { reset(); }
+
   /// Global synchronizations per s steps (the paper's accounting:
   /// BCGS2+CholQR2 = 5, BCGS-PIP2 = 2, two-stage = 1 + s/bs).
   [[nodiscard]] virtual double syncs_per_s_steps(index_t s,

@@ -156,6 +156,13 @@ class TwoStageManager final : public BlockOrthoManager {
     last_raw_alpha_ = 1.0;
   }
 
+  void reset_cycle(index_t n_seed) override {
+    // Block GMRES seeds n_seed final columns (the CholQR'd residual
+    // block); the open big panel starts right after them.
+    reset();
+    big_begin_ = n_seed;
+  }
+
   void note_mpk_start(OrthoContext&, MatrixView l, index_t start) override {
     if (start < big_begin_) {
       // Final column (cycle start or big-panel boundary): Fig. 5 line 6.

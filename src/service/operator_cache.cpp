@@ -21,7 +21,7 @@ std::string operator_cache_key(const api::SolverOptions& opts) {
   return out;
 }
 
-std::uint64_t rhs_fingerprint(const std::vector<double>& b) {
+std::uint64_t rhs_fingerprint(std::span<const double> b) {
   // FNV-1a over the raw value bits (same fold as Csr::checksum), so
   // -0.0 vs 0.0 and single-bit perturbations all produce distinct
   // fingerprints.
@@ -35,6 +35,10 @@ std::uint64_t rhs_fingerprint(const std::vector<double>& b) {
     h *= kPrime;
   }
   return h;
+}
+
+std::uint64_t rhs_fingerprint(const std::vector<double>& b) {
+  return rhs_fingerprint(std::span<const double>(b.data(), b.size()));
 }
 
 std::size_t CachedOperator::bytes() const {

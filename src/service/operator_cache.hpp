@@ -32,6 +32,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -47,7 +48,10 @@ std::string operator_cache_key(const api::SolverOptions& opts);
 /// Deterministic FNV-1a fold of an RHS's value bits — the fingerprint
 /// warm-start seeds are keyed by, so interleaved job streams with
 /// different right-hand sides never seed each other with mismatched
-/// guesses.
+/// guesses.  The span overload fingerprints one column of a batched
+/// (rhs=k) job's RHS block, so batch columns and single-RHS jobs that
+/// solve the same b share seeds.
+std::uint64_t rhs_fingerprint(std::span<const double> b);
 std::uint64_t rhs_fingerprint(const std::vector<double>& b);
 
 /// Warm-start seeds kept per cached operator (most-recent first).

@@ -316,7 +316,16 @@ JobOutcome SolverService::run_attempt(Job& job, par::FaultInjector* injector,
   solver.set_matrix_ref(op->matrix, op->label);
   solver.set_partitioned_operator(&op->pieces);
   solver.set_local_workspace(&op->workspace);
-  solver.set_rhs_ref(job.has_rhs ? job.rhs : op->ones_b);
+  // Batched (rhs=k) jobs without an explicit RHS solve the standard
+  // batch block (column 0 == the cached ones-RHS); built per attempt,
+  // since the operator cache key excludes solver settings like rhs.
+  std::vector<double> batch_b;
+  const auto nrhs = static_cast<std::size_t>(std::max(1, opts.rhs));
+  const bool default_batch = nrhs > 1 && !job.has_rhs;
+  if (default_batch) batch_b = api::batch_rhs(op->matrix, opts.rhs);
+  const std::vector<double>& rhs_vec =
+      job.has_rhs ? job.rhs : (default_batch ? batch_b : op->ones_b);
+  solver.set_rhs_ref(rhs_vec);
   solver.set_fault_injector(injector);
   solver.set_cancel_token(job.token.get());
   if (use_mc) {
@@ -344,21 +353,41 @@ JobOutcome SolverService::run_attempt(Job& job, par::FaultInjector* injector,
         });
   }
 
-  // Warm start: prefer the seed whose RHS fingerprint matches this
-  // job's RHS exactly (interleaved multi-RHS streams stay isolated);
-  // fall back to the most recent seed for perturbed-RHS repeats.
-  const std::uint64_t fp = rhs_fingerprint(job.has_rhs ? job.rhs : op->ones_b);
+  // Warm start: per-RHS-column fingerprints.  Column t seeds from the
+  // seed whose fingerprint matches that column's RHS bits exactly, so
+  // interleaved job streams (and batch columns) never inherit a
+  // mismatched guess; batch columns with no match stay zero-seeded.
+  // Single-RHS jobs keep the most-recent-seed fallback for
+  // perturbed-RHS repeats.
+  const auto n = static_cast<std::size_t>(op->matrix.rows);
+  std::vector<std::uint64_t> fps(nrhs);
+  for (std::size_t t = 0; t < nrhs; ++t) {
+    fps[t] =
+        rhs_fingerprint(std::span<const double>(rhs_vec.data() + t * n, n));
+  }
   bool warm = false;
   if (opts.warm_start == 1 && !op->seeds.empty()) {
-    const CachedOperator::SolutionSeed* pick = &op->seeds.front();
-    for (const CachedOperator::SolutionSeed& s : op->seeds) {
-      if (s.rhs_fingerprint == fp) {
-        pick = &s;
-        break;
+    std::vector<double> x0(n * nrhs, 0.0);
+    bool any_seeded = false;
+    for (std::size_t t = 0; t < nrhs; ++t) {
+      const CachedOperator::SolutionSeed* pick = nullptr;
+      for (const CachedOperator::SolutionSeed& s : op->seeds) {
+        if (s.rhs_fingerprint == fps[t]) {
+          pick = &s;
+          break;
+        }
+      }
+      if (pick == nullptr && nrhs == 1) pick = &op->seeds.front();
+      if (pick != nullptr && pick->x.size() == n) {
+        std::copy(pick->x.begin(), pick->x.end(),
+                  x0.begin() + static_cast<std::ptrdiff_t>(t * n));
+        any_seeded = true;
       }
     }
-    solver.set_initial_guess(pick->x);
-    warm = true;
+    if (any_seeded) {
+      solver.set_initial_guess(std::move(x0));
+      warm = true;
+    }
   }
 
   api::SolveReport report = solver.solve();
@@ -371,7 +400,7 @@ JobOutcome SolverService::run_attempt(Job& job, par::FaultInjector* injector,
   report.service.reused_matrix = hit;
   report.service.reused_partition = hit;
   report.service.reused_precond_setup = setups_ready;
-  report.service.reused_rhs = hit && !job.has_rhs;
+  report.service.reused_rhs = hit && !job.has_rhs && nrhs == 1;
   report.service.cache_key = op->key;
 
   // Attempt-level classification from the facade's resilience record.
@@ -386,15 +415,26 @@ JobOutcome SolverService::run_attempt(Job& job, par::FaultInjector* injector,
 
   if (outcome == JobOutcome::kOk) {
     // Seed future warm starts only from sound solutions (MRU, capped).
+    // Batched solves store one seed per column, keyed by that column's
+    // fingerprint, so later single-RHS (or re-batched) jobs solving
+    // the same b find it.
     auto& seeds = op->seeds;
-    for (auto it = seeds.begin(); it != seeds.end(); ++it) {
-      if (it->rhs_fingerprint == fp) {
-        seeds.erase(it);
-        break;
+    const std::vector<double>& sol = solver.solution();
+    for (std::size_t t = 0; t < nrhs; ++t) {
+      for (auto it = seeds.begin(); it != seeds.end(); ++it) {
+        if (it->rhs_fingerprint == fps[t]) {
+          seeds.erase(it);
+          break;
+        }
       }
+      seeds.insert(
+          seeds.begin(),
+          CachedOperator::SolutionSeed{
+              fps[t],
+              std::vector<double>(
+                  sol.begin() + static_cast<std::ptrdiff_t>(t * n),
+                  sol.begin() + static_cast<std::ptrdiff_t>((t + 1) * n))});
     }
-    seeds.insert(seeds.begin(),
-                 CachedOperator::SolutionSeed{fp, solver.solution()});
     if (seeds.size() > kMaxSolutionSeeds) seeds.resize(kMaxSolutionSeeds);
   } else if (outcome == JobOutcome::kCorrupted) {
     // The guard says the answer is unsound.  If the cached matrix no

@@ -1,5 +1,6 @@
 #include "sparse/dist_csr.hpp"
 
+#include "par/config.hpp"
 #include "sparse/spmv.hpp"
 
 #include <algorithm>
@@ -207,6 +208,82 @@ void DistCsr::consult_spmv_faults(par::Communicator& comm,
   };
   injector->consult(comm.rank(), par::FaultSite::kSpmvInterior, corrupt);
   injector->consult(comm.rank(), par::FaultSite::kCommExchange, corrupt);
+}
+
+void DistCsr::spmm(par::Communicator& comm, dense::ConstMatrixView x_local,
+                   dense::MatrixView y_local, util::PhaseTimers* timers) const {
+  const ord nlocal = n_local();
+  assert(static_cast<ord>(x_local.rows) == nlocal);
+  assert(static_cast<ord>(y_local.rows) == nlocal);
+  assert(x_local.cols == y_local.cols);
+  const ord k = static_cast<ord>(x_local.cols);
+  assert(k >= 1);
+  xkbuf_.resize(static_cast<std::size_t>(local_.cols) *
+                static_cast<std::size_t>(k));
+  // Pack the owned entries k-interleaved BEFORE opening the exchange:
+  // exchange_begin publishes this buffer and peers read from it inside
+  // the begin/end window, so it must be complete at begin.
+  par::parallel_for_grained(
+      static_cast<std::size_t>(nlocal), [&](std::size_t b, std::size_t e) {
+        for (std::size_t j = b; j < e; ++j) {
+          double* dst = xkbuf_.data() + j * static_cast<std::size_t>(k);
+          for (ord t = 0; t < k; ++t) {
+            dst[t] = x_local(static_cast<dense::index_t>(j), t);
+          }
+        }
+      });
+  const std::span<const double> packed(
+      xkbuf_.data(), static_cast<std::size_t>(nlocal) * k);
+  if (comm.size() > 1) {
+    if (timers) timers->start("spmv/comm");
+    comm.exchange_begin(packed);
+    if (timers) {
+      timers->stop("spmv/comm");
+      timers->start("spmv/local");
+    }
+    spmm_rows_mapped(interior_, interior_rows_, xkbuf_.data(), k,
+                     y_local.data, static_cast<std::size_t>(y_local.ld));
+    if (timers) {
+      timers->stop("spmv/local");
+      timers->start("spmv/comm");
+    }
+    // Ghost row g arrives as k consecutive values at the owner's
+    // interleaved offset; one exchange moves k times the spmv volume.
+    for (std::size_t g = 0; g < ghost_gid_.size(); ++g) {
+      const double* src =
+          comm.peer_buffer(ghost_owner_[g]).data() +
+          static_cast<std::size_t>(ghost_peer_offset_[g]) * k;
+      double* dst =
+          xkbuf_.data() + (static_cast<std::size_t>(nlocal) + g) * k;
+      std::memcpy(dst, src, static_cast<std::size_t>(k) * sizeof(double));
+    }
+    peer_recv_bytes_k_.resize(peer_recv_bytes_.size());
+    for (std::size_t p = 0; p < peer_recv_bytes_.size(); ++p) {
+      peer_recv_bytes_k_[p] = peer_recv_bytes_[p] * static_cast<std::size_t>(k);
+    }
+    comm.exchange_end(peer_recv_bytes_k_,
+                      ghost_gid_.size() * static_cast<std::size_t>(k) *
+                          sizeof(double));
+    if (timers) {
+      timers->stop("spmv/comm");
+      timers->start("spmv/local");
+    }
+    spmm_rows_mapped(boundary_, boundary_rows_, xkbuf_.data(), k,
+                     y_local.data, static_cast<std::size_t>(y_local.ld));
+    if (timers) timers->stop("spmv/local");
+  } else {
+    if (timers) timers->start("spmv/local");
+    spmm_rows_mapped(interior_, interior_rows_, xkbuf_.data(), k,
+                     y_local.data, static_cast<std::size_t>(y_local.ld));
+    spmm_rows_mapped(boundary_, boundary_rows_, xkbuf_.data(), k,
+                     y_local.data, static_cast<std::size_t>(y_local.ld));
+    if (timers) timers->stop("spmv/local");
+  }
+  // One fault consult per apply (not per column): a corrupt addresses
+  // the global row in column 0, keeping the perturbed state invariant
+  // across rank counts exactly as in spmv().
+  consult_spmv_faults(
+      comm, std::span<double>(y_local.col(0), static_cast<std::size_t>(nlocal)));
 }
 
 void DistCsr::spmv_local_only(std::span<const double> x_local,

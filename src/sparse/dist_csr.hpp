@@ -17,6 +17,7 @@
 // spmv_rows per-row kernel unchanged, so the split product is bitwise
 // identical to the unsplit one at any rank/thread count.
 
+#include "dense/matrix.hpp"
 #include "par/communicator.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/partition.hpp"
@@ -76,6 +77,21 @@ class DistCsr {
   void spmv(par::Communicator& comm, std::span<const double> x_local,
             std::span<double> y_local, util::PhaseTimers* timers = nullptr) const;
 
+  /// Multi-column product Y = A X (rank-local row blocks, column-major
+  /// views) with ONE halo exchange regardless of the column count k:
+  /// the owned entries are packed k-interleaved (entry (j, t) at
+  /// j*k + t) so each ghost row travels as k consecutive values, the
+  /// per-peer wire volume scales by k, and the interior/boundary split
+  /// with split-phase overlap is preserved exactly as in spmv().  The
+  /// pack completes before exchange_begin publishes the buffer, so
+  /// peers always read a consistent interleaved span.  Per-column
+  /// accumulation uses the plain serial row kernel (no SIMD gather) —
+  /// bits are thread- and rank-count invariant, but a k=1 spmm is NOT
+  /// bitwise-identical to spmv() on gather-vectorized wide rows; the
+  /// block solver delegates k=1 to the single-vector path instead.
+  void spmm(par::Communicator& comm, dense::ConstMatrixView x_local,
+            dense::MatrixView y_local, util::PhaseTimers* timers = nullptr) const;
+
   /// Local-only product assuming ghosts are already in place (used by
   /// preconditioners that reuse a gathered halo).
   void spmv_local_only(std::span<const double> x_local,
@@ -95,8 +111,9 @@ class DistCsr {
             ghost_gid_.capacity() + ghost_peer_offset_.capacity()) *
                sizeof(ord) +
            ghost_owner_.capacity() * sizeof(int) +
-           peer_recv_bytes_.capacity() * sizeof(std::size_t) +
-           xbuf_.capacity() * sizeof(double);
+           (peer_recv_bytes_.capacity() + peer_recv_bytes_k_.capacity()) *
+               sizeof(std::size_t) +
+           (xbuf_.capacity() + xkbuf_.capacity()) * sizeof(double);
   }
 
  private:
@@ -122,6 +139,10 @@ class DistCsr {
   std::vector<ord> ghost_peer_offset_;  // gid - peer row_begin
   std::vector<std::size_t> peer_recv_bytes_;  // per-peer pull sizes
   mutable util::aligned_vector<double> xbuf_;    // [x_local | ghosts]
+  // spmm scratch, sized lazily per apply: the k-interleaved operand
+  // [owned | ghosts] and the k-scaled per-peer pull sizes.
+  mutable util::aligned_vector<double> xkbuf_;
+  mutable std::vector<std::size_t> peer_recv_bytes_k_;
 };
 
 }  // namespace tsbo::sparse

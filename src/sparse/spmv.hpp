@@ -33,4 +33,14 @@ void spmv_rows(const CsrMatrix& a, ord begin, ord end,
 void spmv_rows_mapped(const CsrMatrix& a, std::span<const ord> rows,
                       std::span<const double> x, std::span<double> y);
 
+/// Multi-column row-mapped product: row i of `a` is scattered to
+/// y[t*ldy + rows[i]] for each of the k right-hand columns.  The input
+/// is k-interleaved — entry (j, t) of the logical n x k operand lives
+/// at xk[j*k + t] — so one pass over the matrix streams all k columns.
+/// Each column's per-row accumulation runs in plain serial order (no
+/// SIMD gather), independent of the other columns; the row partition
+/// across threads cannot change the bits.
+void spmm_rows_mapped(const CsrMatrix& a, std::span<const ord> rows,
+                      const double* xk, ord k, double* y, std::size_t ldy);
+
 }  // namespace tsbo::sparse
